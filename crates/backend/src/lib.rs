@@ -1,0 +1,15 @@
+//! Backends for lowered Calyx programs.
+//!
+//! - [`verilog`]: the paper's `Lower` pass (§4.2) — translate control-free
+//!   Calyx into synthesizable SystemVerilog, one module per component.
+//! - [`area`]: an FPGA resource estimator standing in for Vivado synthesis
+//!   (see DESIGN.md §2). It reports LUTs, flip-flops, DSP blocks, and BRAMs
+//!   for a lowered design using a documented, deterministic technology
+//!   model, which is what the relative comparisons in the paper's Figures
+//!   7b, 8b, and 9 need.
+
+pub mod area;
+pub mod verilog;
+
+pub use area::{estimate, Area};
+pub use verilog::emit;

@@ -1,0 +1,20 @@
+//! Criterion bench for §7.4's compilation statistics: compiler throughput
+//! on the largest designs (gemver and the 8×8 systolic array).
+
+use calyx_bench::stats;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_stats");
+    group.sample_size(10);
+    group.bench_function("gemver_compile", |b| {
+        b.iter(|| stats::gemver_stats(8).expect("gemver compiles"));
+    });
+    group.bench_function("systolic_8x8_compile", |b| {
+        b.iter(|| stats::systolic_stats(8).expect("systolic compiles"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

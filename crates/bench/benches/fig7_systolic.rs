@@ -1,0 +1,26 @@
+//! Criterion bench regenerating Figure 7's data points: systolic-array
+//! generation, lowering, and cycle-accurate simulation versus the HLS
+//! model, per array size.
+
+use calyx_bench::fig7;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_systolic");
+    group.sample_size(10);
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("calyx_static", n), &n, |b, &n| {
+            b.iter(|| fig7::run_systolic(n, true).expect("systolic runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("calyx_dynamic", n), &n, |b, &n| {
+            b.iter(|| fig7::run_systolic(n, false).expect("systolic runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("hls_model", n), &n, |b, &n| {
+            b.iter(|| fig7::run_hls_matmul(n).expect("model runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

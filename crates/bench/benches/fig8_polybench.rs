@@ -1,0 +1,28 @@
+//! Criterion bench regenerating Figure 8's data points: verified
+//! simulation of PolyBench kernels (Dahlia → Calyx) against the HLS model.
+
+use calyx_bench::fig8;
+use calyx_polybench::kernel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_polybench");
+    group.sample_size(10);
+    // A representative subset keeps the bench wall-clock manageable; the
+    // `figures` binary covers the full suite.
+    for name in ["gemm", "atax", "mvt", "trisolv"] {
+        let def = kernel(name).expect("registered kernel");
+        group.bench_with_input(BenchmarkId::new("plain", name), &def, |b, def| {
+            b.iter(|| fig8::run_kernel(def, 4, 1).expect("kernel verifies"));
+        });
+        if def.unrollable {
+            group.bench_with_input(BenchmarkId::new("unrolled", name), &def, |b, def| {
+                b.iter(|| fig8::run_kernel(def, 4, 2).expect("kernel verifies"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Figure 9's ablation points: the same
+//! kernel lowered with each optimization configuration.
+
+use calyx_bench::fig9;
+use calyx_polybench::kernel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_ablation");
+    group.sample_size(10);
+    for name in ["gemm", "trisolv"] {
+        let def = kernel(name).expect("registered kernel");
+        group.bench_with_input(BenchmarkId::new("ablation", name), &def, |b, def| {
+            b.iter(|| fig9::run_kernel(def, 4).expect("ablation runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! A `futil`-style command-line driver for the Calyx compiler, mirroring
+//! the artifact's binary (paper appendix A): read a textual Calyx program,
+//! run a chosen pass pipeline, and print the result, emit SystemVerilog,
+//! or simulate.
+//!
+//! ```text
+//! futil <file.futil> [flags]
+//!   -p lower            latency-insensitive lowering (default)
+//!   -p lower-static     latency inference + static compilation + lowering
+//!   -p opt              full optimizing pipeline (sharing + static)
+//!   -p none             parse + validate only
+//!   -b calyx            print Calyx (default)
+//!   -b verilog          emit SystemVerilog
+//!   -b sim              simulate and report cycles + final state
+//!   --cycles N          simulation budget (default 1_000_000)
+//! ```
+//!
+//! Example:
+//!
+//! ```sh
+//! echo 'component main() -> () {
+//!   cells { r = std_reg(8); }
+//!   wires { group g { r.in = 8'"'"'d7; r.write_en = 1'"'"'d1; g[done] = r.done; } }
+//!   control { g; }
+//! }' > /tmp/t.futil
+//! cargo run -p calyx-bench --bin futil -- /tmp/t.futil -p lower -b sim
+//! ```
+
+use calyx_backend::verilog;
+use calyx_core::ir::{parse_context, Printer};
+use calyx_core::passes;
+use calyx_sim::rtl::Simulator;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: futil <file.futil> [-p none|lower|lower-static|opt] \
+         [-b calyx|verilog|sim] [--cycles N]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut pipeline = "lower".to_string();
+    let mut backend = "calyx".to_string();
+    let mut cycles: u64 = 1_000_000;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-p" => pipeline = it.next().unwrap_or_else(|| usage()),
+            "-b" => backend = it.next().unwrap_or_else(|| usage()),
+            "--cycles" => {
+                cycles = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "-h" | "--help" => usage(),
+            f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(file) = file else { usage() };
+
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("futil: cannot read `{file}`: {e}");
+            exit(1);
+        }
+    };
+    let mut ctx = match parse_context(&src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("futil: {e}");
+            exit(1);
+        }
+    };
+
+    let mut pm = match pipeline.as_str() {
+        "none" => {
+            let mut pm = passes::PassManager::new();
+            pm.register(passes::WellFormed);
+            pm
+        }
+        "lower" => passes::lower_pipeline(),
+        "lower-static" => passes::lower_pipeline_static(),
+        "opt" => passes::optimized_pipeline(true, true, true),
+        other => {
+            eprintln!("futil: unknown pipeline `{other}`");
+            exit(2);
+        }
+    };
+    if let Err(e) = pm.run(&mut ctx) {
+        eprintln!("futil: {e}");
+        exit(1);
+    }
+
+    match backend.as_str() {
+        "calyx" => print!("{}", Printer::print_context(&ctx)),
+        "verilog" => match verilog::emit(&ctx) {
+            Ok(sv) => print!("{sv}"),
+            Err(e) => {
+                eprintln!("futil: {e} (run with `-p lower` first?)");
+                exit(1);
+            }
+        },
+        "sim" => {
+            let mut sim = match Simulator::new(&ctx, ctx.entrypoint.as_str()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("futil: {e} (simulation needs `-p lower`/`opt`)");
+                    exit(1);
+                }
+            };
+            match sim.run(cycles) {
+                Ok(stats) => {
+                    println!("done in {} cycles", stats.cycles);
+                    // Report external memories and registers of the entry
+                    // component, best-effort.
+                    let main = ctx.entry().expect("entrypoint checked at parse");
+                    for cell in main.cells.iter() {
+                        let name = cell.name.as_str();
+                        if let Ok(mem) = sim.memory(&[name]) {
+                            println!("{name} = {mem:?}");
+                        } else if let Ok(v) = sim.register_value(&[name]) {
+                            println!("{name} = {v}");
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("futil: simulation failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("futil: unknown backend `{other}`");
+            exit(2);
+        }
+    }
+}

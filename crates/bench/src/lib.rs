@@ -1,0 +1,36 @@
+//! Harnesses regenerating every table and figure in the paper's evaluation
+//! (§7). Each `figN` module computes the corresponding figure's data as
+//! plain structs; the `figures` binary renders them as tables and
+//! `EXPERIMENTS.md` records a captured run against the paper's numbers.
+
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod stats;
+
+/// Geometric mean of a sequence of ratios.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([4.0, 1.0]) - 2.0).abs() < 1e-9);
+        assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Live-range analysis for registers over parallel CFGs (paper §5.2).
+//!
+//! A standard backward may-liveness dataflow with one twist from the paper:
+//! for the children of a p-node, "we set the live sets at the end of each
+//! child to be the set of live registers coming out of the p-node", and the
+//! p-node's kill set is the union of its children's must-writes (all
+//! children execute).
+
+use super::pcfg::{Pcfg, PcfgNode};
+use super::read_write::ReadWriteSets;
+use crate::ir::Id;
+use std::collections::BTreeSet;
+
+/// Liveness facts for one pCFG (recursively including p-node children).
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live *into* each node.
+    pub live_in: Vec<BTreeSet<Id>>,
+    /// Registers live *out of* each node.
+    pub live_out: Vec<BTreeSet<Id>>,
+}
+
+impl Liveness {
+    /// Solve liveness over `pcfg` with `boundary` live at the graph's exit.
+    pub fn solve(pcfg: &Pcfg, rw: &ReadWriteSets, boundary: &BTreeSet<Id>) -> Self {
+        let n = pcfg.len();
+        let mut live_in = vec![BTreeSet::new(); n];
+        let mut live_out = vec![BTreeSet::new(); n];
+        live_out[pcfg.exit] = boundary.clone();
+
+        // Iterate to fixpoint (loops create cycles). Node count is small —
+        // groups per component — so a simple round-robin converges quickly.
+        loop {
+            let mut changed = false;
+            for node in (0..n).rev() {
+                // live_out = union of successors' live_in (exit keeps its
+                // boundary set).
+                let mut out = if node == pcfg.exit {
+                    boundary.clone()
+                } else {
+                    BTreeSet::new()
+                };
+                for &s in &pcfg.succs[node] {
+                    out.extend(live_in[s].iter().copied());
+                }
+                let (uses, defs) = node_use_def(&pcfg.nodes[node], rw, &out);
+                let mut inn: BTreeSet<Id> = out.difference(&defs).copied().collect();
+                inn.extend(uses);
+                if inn != live_in[node] || out != live_out[node] {
+                    changed = true;
+                    live_in[node] = inn;
+                    live_out[node] = out;
+                }
+            }
+            if !changed {
+                return Liveness { live_in, live_out };
+            }
+        }
+    }
+}
+
+/// use/def of a node. For p-nodes this *recursively solves* the children
+/// with the current live-out as their boundary, per the paper.
+fn node_use_def(
+    node: &PcfgNode,
+    rw: &ReadWriteSets,
+    live_out: &BTreeSet<Id>,
+) -> (BTreeSet<Id>, BTreeSet<Id>) {
+    match node {
+        PcfgNode::Nop => (BTreeSet::new(), BTreeSet::new()),
+        PcfgNode::Group(g) => (rw.reads(*g).clone(), rw.must_writes(*g).clone()),
+        PcfgNode::Par(children) => {
+            let mut uses = BTreeSet::new();
+            let mut defs = BTreeSet::new();
+            for child in children {
+                let solved = Liveness::solve(child, rw, live_out);
+                uses.extend(solved.live_in[child.entry].iter().copied());
+                defs.extend(par_defs(child, rw));
+            }
+            // A register used by one child must not be treated as killed by
+            // a sibling: uses win over defs at the p-node boundary.
+            let defs = defs.difference(&uses).copied().collect();
+            (uses, defs)
+        }
+    }
+}
+
+/// Must-writes of an entire sub-pCFG: only nodes that execute on *every*
+/// path kill unconditionally. We conservatively take the union of must-
+/// writes of nodes that dominate the exit; a simple safe approximation is
+/// nodes with no branching anywhere, so instead we under-approximate with
+/// the intersection-free rule: a register is killed by the child if every
+/// path from entry to exit must-writes it. For simplicity and safety this
+/// implementation only counts *straight-line* children (no branch nodes);
+/// otherwise it reports no kills, which is conservative (registers stay
+/// live longer).
+fn par_defs(child: &Pcfg, rw: &ReadWriteSets) -> BTreeSet<Id> {
+    // Straight-line check: every node has at most one successor.
+    let straight = child.succs.iter().all(|s| s.len() <= 1);
+    if !straight {
+        return BTreeSet::new();
+    }
+    let mut defs = BTreeSet::new();
+    for node in &child.nodes {
+        if let PcfgNode::Group(g) = node {
+            defs.extend(rw.must_writes(*g).iter().copied());
+        }
+    }
+    defs
+}
+
+/// Build the register interference relation from liveness facts.
+///
+/// Two registers conflict when they are simultaneously live at some node
+/// (pairwise within `live_out ∪ may_def ∪ use` at every group node), or
+/// when they are touched by different children of the same p-node (parallel
+/// execution).
+#[derive(Debug, Clone, Default)]
+pub struct Interference {
+    edges: BTreeSet<(Id, Id)>,
+}
+
+impl Interference {
+    /// Compute interference over `pcfg`.
+    pub fn build(pcfg: &Pcfg, rw: &ReadWriteSets, boundary: &BTreeSet<Id>) -> Self {
+        let mut interference = Interference::default();
+        interference.visit(pcfg, rw, boundary);
+        interference
+    }
+
+    fn add_clique(&mut self, regs: &BTreeSet<Id>) {
+        for &a in regs {
+            for &b in regs {
+                if a < b {
+                    self.edges.insert((a, b));
+                }
+            }
+        }
+    }
+
+    fn add_cross(&mut self, left: &BTreeSet<Id>, right: &BTreeSet<Id>) {
+        for &a in left {
+            for &b in right {
+                if a != b {
+                    let (x, y) = if a < b { (a, b) } else { (b, a) };
+                    self.edges.insert((x, y));
+                }
+            }
+        }
+    }
+
+    fn visit(&mut self, pcfg: &Pcfg, rw: &ReadWriteSets, boundary: &BTreeSet<Id>) {
+        let live = Liveness::solve(pcfg, rw, boundary);
+        for (idx, node) in pcfg.nodes.iter().enumerate() {
+            match node {
+                PcfgNode::Nop => {
+                    self.add_clique(&live.live_out[idx]);
+                }
+                PcfgNode::Group(g) => {
+                    let mut set = live.live_out[idx].clone();
+                    set.extend(rw.may_writes(*g).iter().copied());
+                    set.extend(rw.reads(*g).iter().copied());
+                    self.add_clique(&set);
+                }
+                PcfgNode::Par(children) => {
+                    // Recurse with this node's live-out as the boundary.
+                    for child in children {
+                        self.visit(child, rw, &live.live_out[idx]);
+                    }
+                    // Registers touched in different children interfere.
+                    let touched: Vec<BTreeSet<Id>> = children
+                        .iter()
+                        .map(|c| touched_regs(c, rw))
+                        .collect();
+                    for i in 0..touched.len() {
+                        for j in (i + 1)..touched.len() {
+                            self.add_cross(&touched[i], &touched[j]);
+                        }
+                    }
+                    self.add_clique(&live.live_out[idx]);
+                }
+            }
+        }
+    }
+
+    /// Do `a` and `b` interfere?
+    pub fn conflict(&self, a: Id, b: Id) -> bool {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.edges.contains(&key)
+    }
+}
+
+fn touched_regs(pcfg: &Pcfg, rw: &ReadWriteSets) -> BTreeSet<Id> {
+    let mut out = BTreeSet::new();
+    for node in &pcfg.nodes {
+        match node {
+            PcfgNode::Nop => {}
+            PcfgNode::Group(g) => {
+                out.extend(rw.reads(*g).iter().copied());
+                out.extend(rw.may_writes(*g).iter().copied());
+            }
+            PcfgNode::Par(children) => {
+                for c in children {
+                    out.extend(touched_regs(c, rw));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{parse_context, Control};
+
+    /// Two registers written and read in disjoint phases can share.
+    #[test]
+    fn sequential_disjoint_lifetimes_do_not_interfere() {
+        let ctx = parse_context(
+            r#"component main() -> () {
+                cells { a = std_reg(8); b = std_reg(8); out = std_reg(8); }
+                wires {
+                  group wa { a.in = 8'd1; a.write_en = 1'd1; wa[done] = a.done; }
+                  group ra { out.in = a.out; out.write_en = 1'd1; ra[done] = out.done; }
+                  group wb { b.in = 8'd2; b.write_en = 1'd1; wb[done] = b.done; }
+                  group rb { out.in = b.out; out.write_en = 1'd1; rb[done] = out.done; }
+                }
+                control { seq { wa; ra; wb; rb; } }
+            }"#,
+        )
+        .unwrap();
+        let comp = ctx.component("main").unwrap();
+        let rw = ReadWriteSets::analyze(comp);
+        let pcfg = Pcfg::from_control(&comp.control);
+        let interference = Interference::build(&pcfg, &rw, &BTreeSet::new());
+        let (a, b) = (Id::new("a"), Id::new("b"));
+        assert!(
+            !interference.conflict(a, b),
+            "a dies before b is written; they can share"
+        );
+        // But both interfere with `out` while it is being written/read...
+        // (out is written while a/b are live).
+        assert!(interference.conflict(a, Id::new("out")));
+    }
+
+    #[test]
+    fn overlapping_lifetimes_interfere() {
+        let ctx = parse_context(
+            r#"component main() -> () {
+                cells { a = std_reg(8); b = std_reg(8); out = std_reg(8); add = std_add(8); }
+                wires {
+                  group wa { a.in = 8'd1; a.write_en = 1'd1; wa[done] = a.done; }
+                  group wb { b.in = 8'd2; b.write_en = 1'd1; wb[done] = b.done; }
+                  group sum {
+                    add.left = a.out; add.right = b.out;
+                    out.in = add.out; out.write_en = 1'd1;
+                    sum[done] = out.done;
+                  }
+                }
+                control { seq { wa; wb; sum; } }
+            }"#,
+        )
+        .unwrap();
+        let comp = ctx.component("main").unwrap();
+        let rw = ReadWriteSets::analyze(comp);
+        let pcfg = Pcfg::from_control(&comp.control);
+        let interference = Interference::build(&pcfg, &rw, &BTreeSet::new());
+        assert!(interference.conflict(Id::new("a"), Id::new("b")));
+    }
+
+    #[test]
+    fn par_children_interfere() {
+        let ctx = parse_context(
+            r#"component main() -> () {
+                cells { a = std_reg(8); b = std_reg(8); }
+                wires {
+                  group wa { a.in = 8'd1; a.write_en = 1'd1; wa[done] = a.done; }
+                  group wb { b.in = 8'd2; b.write_en = 1'd1; wb[done] = b.done; }
+                }
+                control { par { wa; wb; } }
+            }"#,
+        )
+        .unwrap();
+        let comp = ctx.component("main").unwrap();
+        let rw = ReadWriteSets::analyze(comp);
+        let pcfg = Pcfg::from_control(&comp.control);
+        let interference = Interference::build(&pcfg, &rw, &BTreeSet::new());
+        assert!(interference.conflict(Id::new("a"), Id::new("b")));
+    }
+
+    #[test]
+    fn loop_keeps_loop_carried_register_live() {
+        let ctx = parse_context(
+            r#"component main() -> () {
+                cells { i = std_reg(8); lt = std_lt(8); add = std_add(8); t = std_reg(8); }
+                wires {
+                  group cond { lt.left = i.out; lt.right = 8'd10; cond[done] = 1'd1; }
+                  group incr {
+                    add.left = i.out; add.right = 8'd1;
+                    i.in = add.out; i.write_en = 1'd1;
+                    incr[done] = i.done;
+                  }
+                  group tmp { t.in = 8'd0; t.write_en = 1'd1; tmp[done] = t.done; }
+                }
+                control { while lt.out with cond { seq { tmp; incr; } } }
+            }"#,
+        )
+        .unwrap();
+        let comp = ctx.component("main").unwrap();
+        let rw = ReadWriteSets::analyze(comp);
+        let pcfg = Pcfg::from_control(&comp.control);
+        let live = Liveness::solve(&pcfg, &rw, &BTreeSet::new());
+        // `i` is live around the back edge: at the condition node's entry.
+        let cond_idx = pcfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n, PcfgNode::Group(g) if g.as_str() == "cond"))
+            .unwrap();
+        assert!(live.live_in[cond_idx].contains(&Id::new("i")));
+        // The loop-carried register interferes with the temporary.
+        let interference = Interference::build(&pcfg, &rw, &BTreeSet::new());
+        assert!(interference.conflict(Id::new("i"), Id::new("t")));
+    }
+
+    #[test]
+    fn boundary_registers_stay_live() {
+        let c = Control::enable("g");
+        let ctx = parse_context(
+            r#"component main() -> () {
+                cells { r = std_reg(8); }
+                wires { group g { r.in = 8'd1; r.write_en = 1'd1; g[done] = r.done; } }
+                control { g; }
+            }"#,
+        )
+        .unwrap();
+        let comp = ctx.component("main").unwrap();
+        let rw = ReadWriteSets::analyze(comp);
+        let pcfg = Pcfg::from_control(&c);
+        let boundary: BTreeSet<Id> = [Id::new("r")].into_iter().collect();
+        let live = Liveness::solve(&pcfg, &rw, &boundary);
+        assert!(live.live_out[pcfg.exit].contains(&Id::new("r")));
+    }
+}

@@ -1,0 +1,17 @@
+//! Reusable analyses over Calyx programs.
+//!
+//! These back the optimization passes described in the paper:
+//!
+//! - [`ParConflicts`](conflict::ParConflicts): which groups may execute in
+//!   parallel (resource sharing, §5.1).
+//! - [`Pcfg`](pcfg::Pcfg): parallel control-flow graphs with p-nodes
+//!   (register sharing, §5.2, after Srinivasan & Wolfe).
+//! - [`ReadWriteSets`](read_write::ReadWriteSets): conservative register
+//!   read/may-write/must-write sets per group.
+//! - [`Liveness`](liveness::Liveness): backward live-range dataflow over the
+//!   pCFG.
+
+pub mod conflict;
+pub mod liveness;
+pub mod pcfg;
+pub mod read_write;

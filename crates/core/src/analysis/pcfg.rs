@@ -1,0 +1,251 @@
+//! Parallel control-flow graphs (paper §5.2, after Srinivasan & Wolfe).
+//!
+//! Most Calyx control maps onto an ordinary CFG, but `par` needs a special
+//! *p-node* that executes **all** of its children: writes inside any child
+//! are visible after the block, unlike an `if` where only one branch runs.
+//! A p-node therefore recursively contains one sub-pCFG per child.
+
+use crate::ir::{Control, Id};
+
+/// A node in the parallel CFG.
+#[derive(Debug, Clone)]
+pub enum PcfgNode {
+    /// A no-op fork/join/entry/exit marker.
+    Nop,
+    /// Execution of a group (an enable, or a `with` condition evaluation).
+    Group(Id),
+    /// A `par` block: all children execute; each child is its own pCFG.
+    Par(Vec<Pcfg>),
+}
+
+/// A parallel control-flow graph with unique entry and exit markers.
+#[derive(Debug, Clone)]
+pub struct Pcfg {
+    /// Node payloads, indexed by node id.
+    pub nodes: Vec<PcfgNode>,
+    /// Forward edges.
+    pub succs: Vec<Vec<usize>>,
+    /// Backward edges.
+    pub preds: Vec<Vec<usize>>,
+    /// Entry node (a [`PcfgNode::Nop`]).
+    pub entry: usize,
+    /// Exit node (a [`PcfgNode::Nop`]).
+    pub exit: usize,
+}
+
+impl Pcfg {
+    /// Build the pCFG of a control program.
+    pub fn from_control(control: &Control) -> Self {
+        let mut g = Builder::default();
+        let entry = g.add(PcfgNode::Nop);
+        let exit = g.add(PcfgNode::Nop);
+        let (first, last) = g.build(control, entry);
+        // `build` returns the subgraph's entry/exit; wire the global exit.
+        g.edge(last, exit);
+        let _ = first;
+        Pcfg {
+            nodes: g.nodes,
+            succs: g.succs,
+            preds: g.preds,
+            entry,
+            exit,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes (never happens for built graphs).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    nodes: Vec<PcfgNode>,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl Builder {
+    fn add(&mut self, node: PcfgNode) -> usize {
+        self.nodes.push(node);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        self.succs[from].push(to);
+        self.preds[to].push(from);
+    }
+
+    /// Append the subgraph for `control` after node `pred`; returns the
+    /// subgraph's (first, last) node ids.
+    fn build(&mut self, control: &Control, pred: usize) -> (usize, usize) {
+        match control {
+            Control::Empty => {
+                let n = self.add(PcfgNode::Nop);
+                self.edge(pred, n);
+                (n, n)
+            }
+            Control::Enable { group, .. } => {
+                let n = self.add(PcfgNode::Group(*group));
+                self.edge(pred, n);
+                (n, n)
+            }
+            Control::Seq { stmts, .. } => {
+                let first = self.add(PcfgNode::Nop);
+                self.edge(pred, first);
+                let mut last = first;
+                for stmt in stmts {
+                    let (_, stmt_last) = self.build(stmt, last);
+                    last = stmt_last;
+                }
+                (first, last)
+            }
+            Control::Par { stmts, .. } => {
+                let children = stmts.iter().map(Pcfg::from_control).collect();
+                let n = self.add(PcfgNode::Par(children));
+                self.edge(pred, n);
+                (n, n)
+            }
+            Control::If {
+                cond,
+                tbranch,
+                fbranch,
+                ..
+            } => {
+                let head = match cond {
+                    Some(c) => self.add(PcfgNode::Group(*c)),
+                    None => self.add(PcfgNode::Nop),
+                };
+                self.edge(pred, head);
+                let join = self.add(PcfgNode::Nop);
+                let (_, t_last) = self.build(tbranch, head);
+                self.edge(t_last, join);
+                let (_, f_last) = self.build(fbranch, head);
+                self.edge(f_last, join);
+                (head, join)
+            }
+            Control::While { cond, body, .. } => {
+                let head = match cond {
+                    Some(c) => self.add(PcfgNode::Group(*c)),
+                    None => self.add(PcfgNode::Nop),
+                };
+                self.edge(pred, head);
+                let (_, body_last) = self.build(body, head);
+                // Back edge: after the body, the condition re-evaluates.
+                self.edge(body_last, head);
+                let exit = self.add(PcfgNode::Nop);
+                self.edge(head, exit);
+                (head, exit)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::PortRef;
+
+    fn groups_in(pcfg: &Pcfg) -> Vec<String> {
+        let mut out = Vec::new();
+        for n in &pcfg.nodes {
+            match n {
+                PcfgNode::Group(g) => out.push(g.to_string()),
+                PcfgNode::Par(children) => {
+                    for c in children {
+                        out.extend(groups_in(c));
+                    }
+                }
+                PcfgNode::Nop => {}
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn seq_chains_nodes() {
+        let c = Control::seq(vec![Control::enable("a"), Control::enable("b")]);
+        let g = Pcfg::from_control(&c);
+        assert_eq!(groups_in(&g), vec!["a", "b"]);
+        // a's successor chain reaches b.
+        let a = g
+            .nodes
+            .iter()
+            .position(|n| matches!(n, PcfgNode::Group(id) if id.as_str() == "a"))
+            .unwrap();
+        let b = g
+            .nodes
+            .iter()
+            .position(|n| matches!(n, PcfgNode::Group(id) if id.as_str() == "b"))
+            .unwrap();
+        assert!(g.succs[a].contains(&b));
+    }
+
+    #[test]
+    fn par_becomes_p_node_with_child_graphs() {
+        // Paper Fig. 4: the p-node recursively contains its children.
+        let c = Control::par(vec![
+            Control::seq(vec![Control::enable("x0"), Control::enable("x1")]),
+            Control::seq(vec![Control::enable("y0"), Control::enable("y1")]),
+        ]);
+        let g = Pcfg::from_control(&c);
+        let p = g
+            .nodes
+            .iter()
+            .find_map(|n| match n {
+                PcfgNode::Par(children) => Some(children),
+                _ => None,
+            })
+            .expect("p-node exists");
+        assert_eq!(p.len(), 2);
+        assert_eq!(groups_in(&g), vec!["x0", "x1", "y0", "y1"]);
+    }
+
+    #[test]
+    fn while_has_back_edge() {
+        let c = Control::while_(
+            PortRef::cell("lt", "out"),
+            Some(crate::ir::Id::new("cond")),
+            Control::enable("body"),
+        );
+        let g = Pcfg::from_control(&c);
+        let cond = g
+            .nodes
+            .iter()
+            .position(|n| matches!(n, PcfgNode::Group(id) if id.as_str() == "cond"))
+            .unwrap();
+        let body = g
+            .nodes
+            .iter()
+            .position(|n| matches!(n, PcfgNode::Group(id) if id.as_str() == "body"))
+            .unwrap();
+        assert!(g.succs[cond].contains(&body));
+        assert!(g.succs[body].contains(&cond), "loop back edge");
+    }
+
+    #[test]
+    fn if_joins_branches() {
+        let c = Control::if_(
+            PortRef::cell("lt", "out"),
+            Some(crate::ir::Id::new("cond")),
+            Control::enable("t"),
+            Control::enable("f"),
+        );
+        let g = Pcfg::from_control(&c);
+        let cond = g
+            .nodes
+            .iter()
+            .position(|n| matches!(n, PcfgNode::Group(id) if id.as_str() == "cond"))
+            .unwrap();
+        // Condition node has two successors (the branches).
+        assert_eq!(g.succs[cond].len(), 2);
+    }
+}

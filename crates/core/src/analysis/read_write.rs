@@ -1,0 +1,224 @@
+//! Conservative register read/write sets per group (paper §5.2).
+//!
+//! The live-range analysis needs, for every group, which registers it *may
+//! read* and which it *must write*. Groups can contain arbitrary logic, so
+//! both sets are conservative over-approximations: reads include any
+//! appearance of a register output in a source or guard; must-writes
+//! require an unconditional data write *and* an unconditional `write_en`,
+//! since only then is the old value certainly dead after the group runs.
+
+use crate::ir::{Atom, Component, Group, Id, PortParent, PortRef};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Read/write sets for every group in a component.
+#[derive(Debug, Clone, Default)]
+pub struct ReadWriteSets {
+    reads: BTreeMap<Id, BTreeSet<Id>>,
+    must_writes: BTreeMap<Id, BTreeSet<Id>>,
+    may_writes: BTreeMap<Id, BTreeSet<Id>>,
+}
+
+impl ReadWriteSets {
+    /// Analyze all groups of `comp`, considering only `std_reg` cells.
+    pub fn analyze(comp: &Component) -> Self {
+        let registers: BTreeSet<Id> = comp
+            .cells
+            .iter()
+            .filter(|c| c.is_register())
+            .map(|c| c.name)
+            .collect();
+        let mut rw = ReadWriteSets::default();
+        for group in comp.groups.iter() {
+            let (reads, must, may) = analyze_group(group, &registers);
+            rw.reads.insert(group.name, reads);
+            rw.must_writes.insert(group.name, must);
+            rw.may_writes.insert(group.name, may);
+        }
+        rw
+    }
+
+    /// Registers `group` may read.
+    pub fn reads(&self, group: Id) -> &BTreeSet<Id> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<Id>> = std::sync::OnceLock::new();
+        self.reads
+            .get(&group)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// Registers `group` certainly overwrites.
+    pub fn must_writes(&self, group: Id) -> &BTreeSet<Id> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<Id>> = std::sync::OnceLock::new();
+        self.must_writes
+            .get(&group)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// Registers `group` may write (superset of must-writes).
+    pub fn may_writes(&self, group: Id) -> &BTreeSet<Id> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<Id>> = std::sync::OnceLock::new();
+        self.may_writes
+            .get(&group)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+}
+
+fn reg_of(port: &PortRef, registers: &BTreeSet<Id>) -> Option<Id> {
+    match port.parent {
+        PortParent::Cell(c) if registers.contains(&c) => Some(c),
+        _ => None,
+    }
+}
+
+fn analyze_group(
+    group: &Group,
+    registers: &BTreeSet<Id>,
+) -> (BTreeSet<Id>, BTreeSet<Id>, BTreeSet<Id>) {
+    let mut reads = BTreeSet::new();
+    let mut data_writes: BTreeMap<Id, bool> = BTreeMap::new(); // reg -> unconditional?
+    let mut en_writes: BTreeMap<Id, bool> = BTreeMap::new();
+    for asgn in &group.assignments {
+        for p in asgn.reads() {
+            if let Some(r) = reg_of(&p, registers) {
+                // Only `out` observes the register's *value*. Reading `done`
+                // observes control state (the write handshake) and would
+                // otherwise make every written register self-live-before its
+                // write, inflating every live range by one group.
+                if p.port.as_str() == "out" {
+                    reads.insert(r);
+                }
+            }
+        }
+        if let Some(r) = reg_of(&asgn.dst, registers) {
+            let unconditional = asgn.guard.is_true();
+            match asgn.dst.port.as_str() {
+                "in" => {
+                    let e = data_writes.entry(r).or_insert(false);
+                    *e = *e || unconditional;
+                }
+                "write_en" => {
+                    // `write_en = 0` is not a write at all.
+                    let enables = !matches!(asgn.src, Atom::Const { val: 0, .. });
+                    if enables {
+                        let e = en_writes.entry(r).or_insert(false);
+                        *e = *e || unconditional;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut must = BTreeSet::new();
+    let mut may = BTreeSet::new();
+    for (&r, &data_uncond) in &data_writes {
+        if let Some(&en_uncond) = en_writes.get(&r) {
+            may.insert(r);
+            if data_uncond && en_uncond {
+                must.insert(r);
+            }
+        }
+    }
+    // `write_en` driven without a data write still clobbers the register
+    // (it latches whatever the undriven `in` reads as).
+    for &r in en_writes.keys() {
+        may.insert(r);
+    }
+    (reads, must, may)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_context;
+
+    fn analyze(src: &str) -> (ReadWriteSets, crate::ir::Context) {
+        let ctx = parse_context(src).unwrap();
+        let rw = ReadWriteSets::analyze(ctx.component("main").unwrap());
+        (rw, ctx)
+    }
+
+    #[test]
+    fn unconditional_write_is_must() {
+        let (rw, _) = analyze(
+            r#"component main() -> () {
+                cells { r = std_reg(8); }
+                wires { group g { r.in = 8'd1; r.write_en = 1'd1; g[done] = r.done; } }
+                control { g; }
+            }"#,
+        );
+        let g = Id::new("g");
+        assert!(rw.must_writes(g).contains(&Id::new("r")));
+        assert!(rw.may_writes(g).contains(&Id::new("r")));
+    }
+
+    #[test]
+    fn guarded_write_is_only_may() {
+        let (rw, _) = analyze(
+            r#"component main() -> () {
+                cells { r = std_reg(8); c = std_lt(8); }
+                wires {
+                  group g {
+                    r.in = 8'd1;
+                    r.write_en = c.out ? 1'd1;
+                    g[done] = r.done;
+                  }
+                }
+                control { g; }
+            }"#,
+        );
+        let g = Id::new("g");
+        assert!(!rw.must_writes(g).contains(&Id::new("r")));
+        assert!(rw.may_writes(g).contains(&Id::new("r")));
+    }
+
+    #[test]
+    fn reads_include_guards_and_sources() {
+        let (rw, _) = analyze(
+            r#"component main() -> () {
+                cells { a = std_reg(8); b = std_reg(1); r = std_reg(8); }
+                wires {
+                  group g {
+                    r.in = b.out ? a.out;
+                    r.write_en = 1'd1;
+                    g[done] = r.done;
+                  }
+                }
+                control { g; }
+            }"#,
+        );
+        let reads = rw.reads(Id::new("g"));
+        assert!(reads.contains(&Id::new("a")));
+        assert!(reads.contains(&Id::new("b")));
+    }
+
+    #[test]
+    fn non_registers_ignored() {
+        let (rw, _) = analyze(
+            r#"component main() -> () {
+                cells { add = std_add(8); r = std_reg(8); }
+                wires {
+                  group g {
+                    add.left = r.out; add.right = 8'd1;
+                    r.in = add.out; r.write_en = 1'd1;
+                    g[done] = r.done;
+                  }
+                }
+                control { g; }
+            }"#,
+        );
+        let g = Id::new("g");
+        assert!(!rw.reads(g).contains(&Id::new("add")));
+        assert!(rw.reads(g).contains(&Id::new("r")));
+    }
+
+    #[test]
+    fn write_en_zero_is_not_a_write() {
+        let (rw, _) = analyze(
+            r#"component main() -> () {
+                cells { r = std_reg(8); }
+                wires { group g { r.in = 8'd1; r.write_en = 1'd0; g[done] = 1'd1; } }
+                control { g; }
+            }"#,
+        );
+        assert!(rw.may_writes(Id::new("g")).is_empty());
+    }
+}

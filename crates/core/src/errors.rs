@@ -1,0 +1,79 @@
+//! Error types shared by the Calyx compiler.
+
+use std::fmt;
+
+/// The error type returned by compiler entry points.
+///
+/// Variants record which phase produced the error so that driver code (and
+/// test assertions) can distinguish malformed input from internal misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The textual frontend rejected the input.
+    Parse {
+        /// Explanation of what went wrong.
+        msg: String,
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
+    },
+    /// A program failed structural validation (see
+    /// [`WellFormed`](crate::passes::WellFormed)).
+    Malformed(String),
+    /// A pass could not complete.
+    Pass {
+        /// Name of the failing pass.
+        pass: &'static str,
+        /// Explanation of what went wrong.
+        msg: String,
+    },
+    /// An IR construction helper was misused (e.g. a reference to an
+    /// undefined port or a duplicate cell name).
+    BuildError(String),
+    /// A name lookup failed.
+    Undefined(String),
+}
+
+impl Error {
+    /// Construct a [`Error::Malformed`] from anything printable.
+    pub fn malformed(msg: impl fmt::Display) -> Self {
+        Error::Malformed(msg.to_string())
+    }
+
+    /// Construct a [`Error::Pass`] for pass `pass`.
+    pub fn pass(pass: &'static str, msg: impl fmt::Display) -> Self {
+        Error::Pass {
+            pass,
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Construct a [`Error::BuildError`] from anything printable.
+    pub fn build(msg: impl fmt::Display) -> Self {
+        Error::BuildError(msg.to_string())
+    }
+
+    /// Construct a [`Error::Undefined`] from anything printable.
+    pub fn undefined(msg: impl fmt::Display) -> Self {
+        Error::Undefined(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { msg, line, col } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            Error::Malformed(msg) => write!(f, "malformed program: {msg}"),
+            Error::Pass { pass, msg } => write!(f, "pass `{pass}` failed: {msg}"),
+            Error::BuildError(msg) => write!(f, "IR construction error: {msg}"),
+            Error::Undefined(msg) => write!(f, "undefined name: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the compiler.
+pub type CalyxResult<T> = Result<T, Error>;

@@ -1,0 +1,137 @@
+//! Interned identifiers.
+//!
+//! Compilers compare and hash names constantly; interning makes [`Id`] a
+//! `Copy` handle with O(1) equality while `as_str` recovers the text. The
+//! interner lives for the whole process (strings are leaked), which is the
+//! right trade-off for a compiler: the set of distinct names is small and
+//! bounded by the input programs.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+/// An interned identifier: a cheap, copyable handle to a name.
+///
+/// Two `Id`s constructed from equal strings are equal:
+///
+/// ```
+/// use calyx_core::ir::Id;
+/// let a = Id::new("adder");
+/// let b = Id::new("adder");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "adder");
+/// ```
+///
+/// `Ord` compares the underlying strings so that sorted output (e.g. in the
+/// printer and in deterministic analyses) is alphabetical rather than
+/// creation-ordered.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Id(u32);
+
+impl Id {
+    /// Intern `name` and return its handle.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let name = name.as_ref();
+        let mut interner = interner().lock();
+        if let Some(&idx) = interner.map.get(name) {
+            return Id(idx);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let idx = interner.strings.len() as u32;
+        interner.strings.push(leaked);
+        interner.map.insert(leaked, idx);
+        Id(idx)
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().strings[self.0 as usize]
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Id({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialOrd for Id {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Id {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl From<&str> for Id {
+    fn from(s: &str) -> Self {
+        Id::new(s)
+    }
+}
+
+impl From<String> for Id {
+    fn from(s: String) -> Self {
+        Id::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_strings_intern_to_equal_ids() {
+        assert_eq!(Id::new("x"), Id::new("x"));
+        assert_ne!(Id::new("x"), Id::new("y"));
+    }
+
+    #[test]
+    fn round_trips_text() {
+        let id = Id::new("a_long_component_name");
+        assert_eq!(id.as_str(), "a_long_component_name");
+        assert_eq!(id.to_string(), "a_long_component_name");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut ids = [Id::new("zeta"), Id::new("alpha"), Id::new("mid")];
+        ids.sort();
+        let names: Vec<_> = ids.iter().map(|i| i.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn usable_across_threads() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| std::thread::spawn(move || Id::new(format!("shared{}", i % 2))))
+            .collect();
+        let ids: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(ids[0], ids[2]);
+    }
+}

@@ -1,0 +1,370 @@
+//! Structural well-formedness checks.
+//!
+//! These functions implement the invariants the paper's IL requires (§3.2–
+//! §3.3): ports exist and widths match, destinations are actually writable,
+//! syntactically-duplicate unconditional drivers are rejected, and control
+//! programs reference real groups. The [`WellFormed`](crate::passes::WellFormed)
+//! pass wraps them; frontends can also call them directly.
+
+use super::{
+    Assignment, Atom, Component, Context, Control, Direction, Group, Guard, PortParent, PortRef,
+};
+use crate::errors::{CalyxResult, Error};
+
+/// Validate a whole program: every component, plus entry-point existence.
+///
+/// # Errors
+///
+/// Returns [`Error::Malformed`] (or [`Error::Undefined`] from width
+/// resolution) describing the first violation found.
+pub fn validate_context(ctx: &Context) -> CalyxResult<()> {
+    ctx.entry()?;
+    for comp in ctx.components.iter() {
+        validate_component(comp)
+            .map_err(|e| Error::malformed(format!("in component `{}`: {e}", comp.name)))?;
+    }
+    Ok(())
+}
+
+/// Validate one component.
+///
+/// # Errors
+///
+/// Returns an error when an assignment references undefined ports, widths
+/// mismatch, a destination is not writable, a port has two unconditional
+/// drivers in the same scope, a group never writes its `done` hole, or the
+/// control program references undefined groups.
+pub fn validate_component(comp: &Component) -> CalyxResult<()> {
+    for group in comp.groups.iter() {
+        validate_group(comp, group)?;
+        check_unique_drivers(comp, &group.assignments, group.name.as_str())?;
+    }
+    for asgn in &comp.continuous {
+        validate_assignment(comp, asgn)?;
+    }
+    check_unique_drivers(comp, &comp.continuous, "continuous assignments")?;
+    validate_control(comp, &comp.control)
+}
+
+fn validate_group(comp: &Component, group: &Group) -> CalyxResult<()> {
+    for asgn in &group.assignments {
+        validate_assignment(comp, asgn)
+            .map_err(|e| Error::malformed(format!("in group `{}`: {e}", group.name)))?;
+    }
+    // Every group in a live control program must signal completion.
+    if comp.control.used_groups().contains(&group.name) && group.done_writes().count() == 0 {
+        return Err(Error::malformed(format!(
+            "group `{}` is enabled by the control program but never writes `{}[done]`",
+            group.name, group.name
+        )));
+    }
+    Ok(())
+}
+
+/// Direction of `port` from the *component's* point of view: may this
+/// reference be used as an assignment destination?
+fn writable(comp: &Component, port: &PortRef) -> CalyxResult<bool> {
+    Ok(match port.parent {
+        // A cell's inputs are driven by the surrounding component.
+        PortParent::Cell(cell) => {
+            let cell = comp
+                .cells
+                .get(cell)
+                .ok_or_else(|| Error::undefined(format!("cell `{cell}`")))?;
+            let def = cell
+                .port(port.port)
+                .ok_or_else(|| Error::undefined(format!("port `{}` on `{}`", port.port, cell.name)))?;
+            def.direction == Direction::Input
+        }
+        // The component's outputs are driven from the inside.
+        PortParent::This => {
+            let def = comp
+                .signature_port(port.port)
+                .ok_or_else(|| Error::undefined(format!("signature port `{}`", port.port)))?;
+            def.direction == Direction::Output
+        }
+        // Holes are writable (their reads are resolved by RemoveGroups).
+        PortParent::Group(_) => true,
+    })
+}
+
+fn validate_assignment(comp: &Component, asgn: &Assignment) -> CalyxResult<()> {
+    let dst_width = comp.port_width(&asgn.dst)?;
+    if !writable(comp, &asgn.dst)? {
+        return Err(Error::malformed(format!(
+            "`{}` is not a writable port",
+            asgn.dst
+        )));
+    }
+    let src_width = match &asgn.src {
+        Atom::Port(p) => {
+            if writable(comp, p)? && !p.is_hole() {
+                return Err(Error::malformed(format!(
+                    "`{p}` is written-only and cannot be read"
+                )));
+            }
+            comp.port_width(p)?
+        }
+        Atom::Const { width, .. } => *width,
+    };
+    if dst_width != src_width {
+        return Err(Error::malformed(format!(
+            "width mismatch in `{} = {}`: {dst_width} vs {src_width} bits",
+            asgn.dst, asgn.src
+        )));
+    }
+    validate_guard(comp, &asgn.guard)
+}
+
+fn validate_guard(comp: &Component, guard: &Guard) -> CalyxResult<()> {
+    match guard {
+        Guard::True => Ok(()),
+        Guard::Port(p) => {
+            let w = comp.port_width(p)?;
+            if w != 1 {
+                return Err(Error::malformed(format!(
+                    "guard port `{p}` must be 1 bit, found {w}"
+                )));
+            }
+            Ok(())
+        }
+        Guard::Not(g) => validate_guard(comp, g),
+        Guard::And(a, b) | Guard::Or(a, b) => {
+            validate_guard(comp, a)?;
+            validate_guard(comp, b)
+        }
+        Guard::Comp(_, l, r) => {
+            let lw = match l {
+                Atom::Port(p) => comp.port_width(p)?,
+                Atom::Const { width, .. } => *width,
+            };
+            let rw = match r {
+                Atom::Port(p) => comp.port_width(p)?,
+                Atom::Const { width, .. } => *width,
+            };
+            if lw != rw {
+                return Err(Error::malformed(format!(
+                    "comparison `{l} {r}` mixes widths {lw} and {rw}"
+                )));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Reject two unconditional (guard-`True`) drivers of the same port in the
+/// same activation scope — a *static* violation of the unique-driver rule.
+/// Dynamically conflicting guarded drivers are caught by the simulator.
+fn check_unique_drivers(
+    _comp: &Component,
+    assignments: &[Assignment],
+    scope: &str,
+) -> CalyxResult<()> {
+    let mut unconditional = std::collections::HashSet::new();
+    for asgn in assignments {
+        if asgn.guard.is_true() && !unconditional.insert(asgn.dst) {
+            return Err(Error::malformed(format!(
+                "port `{}` has multiple unconditional drivers in {scope}",
+                asgn.dst
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn validate_control(comp: &Component, control: &Control) -> CalyxResult<()> {
+    match control {
+        Control::Empty => Ok(()),
+        Control::Enable { group, .. } => {
+            if !comp.groups.contains(*group) {
+                return Err(Error::undefined(format!("group `{group}` in control")));
+            }
+            Ok(())
+        }
+        Control::Seq { stmts, .. } | Control::Par { stmts, .. } => {
+            stmts.iter().try_for_each(|s| validate_control(comp, s))
+        }
+        Control::If {
+            port,
+            cond,
+            tbranch,
+            fbranch,
+            ..
+        } => {
+            validate_cond(comp, port, cond)?;
+            validate_control(comp, tbranch)?;
+            validate_control(comp, fbranch)
+        }
+        Control::While {
+            port, cond, body, ..
+        } => {
+            validate_cond(comp, port, cond)?;
+            validate_control(comp, body)
+        }
+    }
+}
+
+fn validate_cond(comp: &Component, port: &PortRef, cond: &Option<super::Id>) -> CalyxResult<()> {
+    let w = comp.port_width(port)?;
+    if w != 1 {
+        return Err(Error::malformed(format!(
+            "condition port `{port}` must be 1 bit, found {w}"
+        )));
+    }
+    if let Some(c) = cond {
+        if !comp.groups.contains(*c) {
+            return Err(Error::undefined(format!("condition group `{c}`")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{parse_context, Builder, Context};
+    use super::*;
+
+    fn well_formed(src: &str) -> CalyxResult<()> {
+        validate_context(&parse_context(src).expect("parses"))
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        let src = r#"
+            component main() -> () {
+              cells { r = std_reg(8); }
+              wires {
+                group g { r.in = 8'd1; r.write_en = 1'd1; g[done] = r.done; }
+              }
+              control { g; }
+            }
+        "#;
+        well_formed(src).unwrap();
+    }
+
+    #[test]
+    fn rejects_width_mismatch() {
+        let src = r#"
+            component main() -> () {
+              cells { r = std_reg(8); }
+              wires { group g { r.in = 4'd1; g[done] = r.done; } }
+              control { g; }
+            }
+        "#;
+        let err = well_formed(src).unwrap_err();
+        assert!(err.to_string().contains("width mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_reading_an_input_port() {
+        let src = r#"
+            component main() -> () {
+              cells { r = std_reg(8); a = std_add(8); }
+              wires { group g { r.in = a.left; g[done] = r.done; } }
+              control { g; }
+            }
+        "#;
+        let err = well_formed(src).unwrap_err();
+        assert!(err.to_string().contains("cannot be read"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_done() {
+        let src = r#"
+            component main() -> () {
+              cells { r = std_reg(8); }
+              wires { group g { r.in = 8'd1; r.write_en = 1'd1; } }
+              control { g; }
+            }
+        "#;
+        let err = well_formed(src).unwrap_err();
+        assert!(err.to_string().contains("never writes"), "{err}");
+    }
+
+    #[test]
+    fn unused_group_without_done_is_fine() {
+        let src = r#"
+            component main() -> () {
+              cells { r = std_reg(8); }
+              wires { group g { r.in = 8'd1; } }
+              control {}
+            }
+        "#;
+        well_formed(src).unwrap();
+    }
+
+    #[test]
+    fn rejects_double_unconditional_drivers() {
+        let src = r#"
+            component main() -> () {
+              cells { r = std_reg(8); }
+              wires {
+                group g {
+                  r.in = 8'd1;
+                  r.in = 8'd2;
+                  r.write_en = 1'd1;
+                  g[done] = r.done;
+                }
+              }
+              control { g; }
+            }
+        "#;
+        let err = well_formed(src).unwrap_err();
+        assert!(err.to_string().contains("multiple unconditional"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wide_guard_port() {
+        let src = r#"
+            component main() -> () {
+              cells { r = std_reg(8); }
+              wires {
+                group g {
+                  r.in = r.out ? 8'd1;
+                  r.write_en = 1'd1;
+                  g[done] = r.done;
+                }
+              }
+              control { g; }
+            }
+        "#;
+        let err = well_formed(src).unwrap_err();
+        assert!(err.to_string().contains("must be 1 bit"), "{err}");
+    }
+
+    #[test]
+    fn rejects_undefined_control_group() {
+        let src = r#"
+            component main() -> () {
+              cells {}
+              wires {}
+              control { ghost; }
+            }
+        "#;
+        assert!(well_formed(src).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_entrypoint() {
+        let ctx = Context::new();
+        assert!(validate_context(&ctx).is_err());
+    }
+
+    #[test]
+    fn accepts_builder_output() {
+        let ctx = Context::new();
+        let mut comp = ctx.new_component("main");
+        {
+            let mut b = Builder::new(&mut comp, &ctx);
+            let r = b.add_primitive("r", "std_reg", &[4]);
+            let g = b.add_group("g");
+            b.asgn_const(g, (r, "in"), 3, 4);
+            b.asgn_const(g, (r, "write_en"), 1, 1);
+            b.group_done(g, (r, "done"));
+            b.set_control_enable(g);
+        }
+        let mut ctx = ctx;
+        ctx.add_component(comp);
+        validate_context(&ctx).unwrap();
+    }
+}

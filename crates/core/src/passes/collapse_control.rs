@@ -1,0 +1,186 @@
+//! Control-program normalization.
+
+use super::traversal::{for_each_component, Pass};
+use crate::errors::CalyxResult;
+use crate::ir::{Attributes, Context, Control};
+
+/// Flattens directly nested `seq`-in-`seq` and `par`-in-`par`, removes
+/// [`Control::Empty`] children, and unwraps single-statement blocks.
+///
+/// Frontends generate deeply nested control; normalizing it shrinks the
+/// FSMs `CompileControl` emits and makes the conflict analyses (§5.1–5.2)
+/// more precise.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CollapseControl;
+
+impl Pass for CollapseControl {
+    fn name(&self) -> &'static str {
+        "collapse-control"
+    }
+
+    fn description(&self) -> &'static str {
+        "flatten nested seq/par blocks and drop empty statements"
+    }
+
+    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+        for_each_component(ctx, |comp, _| {
+            let control = std::mem::take(&mut comp.control);
+            comp.control = collapse(control);
+            Ok(())
+        })
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum BlockKind {
+    Seq,
+    Par,
+}
+
+fn collapse(control: Control) -> Control {
+    match control {
+        Control::Empty | Control::Enable { .. } => control,
+        Control::Seq { stmts, attributes } => collapse_block(stmts, attributes, BlockKind::Seq),
+        Control::Par { stmts, attributes } => collapse_block(stmts, attributes, BlockKind::Par),
+        Control::If {
+            port,
+            cond,
+            tbranch,
+            fbranch,
+            attributes,
+        } => Control::If {
+            port,
+            cond,
+            tbranch: Box::new(collapse(*tbranch)),
+            fbranch: Box::new(collapse(*fbranch)),
+            attributes,
+        },
+        Control::While {
+            port,
+            cond,
+            body,
+            attributes,
+        } => Control::While {
+            port,
+            cond,
+            body: Box::new(collapse(*body)),
+            attributes,
+        },
+    }
+}
+
+fn collapse_block(stmts: Vec<Control>, attributes: Attributes, kind: BlockKind) -> Control {
+    let mut flat = Vec::new();
+    for stmt in stmts {
+        match (kind, collapse(stmt)) {
+            (_, Control::Empty) => {}
+            // A nested block of the same kind imposes no constraint the
+            // outer block does not already impose, so its children can be
+            // spliced in directly.
+            (BlockKind::Seq, Control::Seq { stmts: inner, .. }) => flat.extend(inner),
+            (BlockKind::Par, Control::Par { stmts: inner, .. }) => flat.extend(inner),
+            (_, other) => flat.push(other),
+        }
+    }
+    match flat.len() {
+        0 => Control::Empty,
+        // Unwrapping single-child blocks is only safe when the block carries
+        // no attributes a later pass might consume.
+        1 if attributes.is_empty() => flat.pop().expect("length checked"),
+        _ => match kind {
+            BlockKind::Seq => Control::Seq {
+                stmts: flat,
+                attributes,
+            },
+            BlockKind::Par => Control::Par {
+                stmts: flat,
+                attributes,
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::PortRef;
+
+    #[test]
+    fn flattens_nested_seq() {
+        let c = Control::seq(vec![
+            Control::seq(vec![Control::enable("a"), Control::enable("b")]),
+            Control::Empty,
+            Control::enable("c"),
+        ]);
+        let collapsed = collapse(c);
+        match collapsed {
+            Control::Seq { stmts, .. } => {
+                assert_eq!(stmts.len(), 3);
+                assert!(stmts.iter().all(|s| matches!(s, Control::Enable { .. })));
+            }
+            other => panic!("expected seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flattens_nested_par() {
+        let c = Control::par(vec![
+            Control::par(vec![Control::enable("a")]),
+            Control::enable("b"),
+        ]);
+        match collapse(c) {
+            Control::Par { stmts, .. } => assert_eq!(stmts.len(), 2),
+            other => panic!("expected par, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn does_not_flatten_par_in_seq() {
+        let c = Control::seq(vec![
+            Control::par(vec![Control::enable("a"), Control::enable("b")]),
+            Control::enable("c"),
+        ]);
+        match collapse(c) {
+            Control::Seq { stmts, .. } => {
+                assert!(matches!(stmts[0], Control::Par { .. }));
+            }
+            other => panic!("expected seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unwraps_singletons_and_empties() {
+        assert_eq!(
+            collapse(Control::seq(vec![Control::enable("a")])),
+            Control::enable("a")
+        );
+        assert_eq!(collapse(Control::seq(vec![])), Control::Empty);
+        assert_eq!(
+            collapse(Control::par(vec![Control::Empty, Control::Empty])),
+            Control::Empty
+        );
+    }
+
+    #[test]
+    fn keeps_attributed_singleton_blocks() {
+        let mut c = Control::seq(vec![Control::enable("a")]);
+        c.attributes_mut()
+            .unwrap()
+            .insert(crate::ir::attr::static_(), 3);
+        assert!(matches!(collapse(c), Control::Seq { .. }));
+    }
+
+    #[test]
+    fn recurses_into_branches() {
+        let c = Control::if_(
+            PortRef::cell("lt", "out"),
+            None,
+            Control::seq(vec![Control::seq(vec![Control::enable("a")])]),
+            Control::Empty,
+        );
+        match collapse(c) {
+            Control::If { tbranch, .. } => assert_eq!(*tbranch, Control::enable("a")),
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Remove completely unreferenced cells.
+
+use super::traversal::{for_each_component, Pass};
+use crate::errors::CalyxResult;
+use crate::ir::{attr, Context, Control, Id, PortRef};
+use std::collections::BTreeSet;
+
+/// Deletes cells that no assignment or control statement references at all.
+///
+/// The sharing passes (§5.1–5.2) rewrite groups to use representative
+/// cells, leaving the donated cells completely unreferenced — this pass is
+/// what turns those rewrites into actual area savings. Cells marked
+/// `@external` are always kept: their state is the component's observable
+/// interface (e.g. result memories).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadCellRemoval;
+
+impl Pass for DeadCellRemoval {
+    fn name(&self) -> &'static str {
+        "dead-cell-removal"
+    }
+
+    fn description(&self) -> &'static str {
+        "remove cells with no references"
+    }
+
+    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+        for_each_component(ctx, |comp, _| {
+            let mut used: BTreeSet<Id> = BTreeSet::new();
+            let mut mark = |p: &PortRef| {
+                if let Some(c) = p.cell_parent() {
+                    used.insert(c);
+                }
+            };
+            for asgn in comp.all_assignments() {
+                mark(&asgn.dst);
+                for p in asgn.reads() {
+                    mark(&p);
+                }
+            }
+            mark_control(&comp.control, &mut used);
+            comp.cells
+                .retain(|c| used.contains(&c.name) || c.attributes.has(attr::external()));
+            Ok(())
+        })
+    }
+}
+
+fn mark_control(control: &Control, used: &mut BTreeSet<Id>) {
+    match control {
+        Control::Empty | Control::Enable { .. } => {}
+        Control::Seq { stmts, .. } | Control::Par { stmts, .. } => {
+            for s in stmts {
+                mark_control(s, used);
+            }
+        }
+        Control::If {
+            port,
+            tbranch,
+            fbranch,
+            ..
+        } => {
+            if let Some(c) = port.cell_parent() {
+                used.insert(c);
+            }
+            mark_control(tbranch, used);
+            mark_control(fbranch, used);
+        }
+        Control::While { port, body, .. } => {
+            if let Some(c) = port.cell_parent() {
+                used.insert(c);
+            }
+            mark_control(body, used);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_context;
+
+    #[test]
+    fn removes_unreferenced_cells() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+                cells {
+                  used = std_reg(8);
+                  dead = std_add(8);
+                  @external kept = std_mem_d1(8, 4, 2);
+                }
+                wires {
+                  group g { used.in = 8'd1; used.write_en = 1'd1; g[done] = used.done; }
+                }
+                control { g; }
+            }"#,
+        )
+        .unwrap();
+        DeadCellRemoval.run(&mut ctx).unwrap();
+        let main = ctx.component("main").unwrap();
+        assert!(main.cells.contains(Id::new("used")));
+        assert!(!main.cells.contains(Id::new("dead")));
+        assert!(main.cells.contains(Id::new("kept")), "@external cells survive");
+    }
+
+    #[test]
+    fn keeps_cells_only_read_by_guards() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+                cells { flag = std_reg(1); r = std_reg(8); }
+                wires {
+                  group g {
+                    r.in = flag.out ? 8'd1;
+                    r.write_en = 1'd1;
+                    g[done] = r.done;
+                  }
+                }
+                control { g; }
+            }"#,
+        )
+        .unwrap();
+        DeadCellRemoval.run(&mut ctx).unwrap();
+        assert!(ctx.component("main").unwrap().cells.contains(Id::new("flag")));
+    }
+
+    #[test]
+    fn keeps_condition_port_cells() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+                cells { lt = std_lt(8); r = std_reg(8); }
+                wires {
+                  group cond { cond[done] = 1'd1; }
+                  group body { r.in = 8'd1; r.write_en = 1'd1; body[done] = r.done; }
+                }
+                control { while lt.out with cond { body; } }
+            }"#,
+        )
+        .unwrap();
+        DeadCellRemoval.run(&mut ctx).unwrap();
+        assert!(ctx.component("main").unwrap().cells.contains(Id::new("lt")));
+    }
+}

@@ -1,0 +1,71 @@
+//! Remove groups not reachable from the control program.
+
+use super::traversal::{for_each_component, Pass};
+use crate::errors::CalyxResult;
+use crate::ir::Context;
+
+/// Deletes groups that the control program never enables (directly or as a
+/// `with` condition group). Dead groups otherwise survive into lowering and
+/// cost area for no behavior.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadGroupRemoval;
+
+impl Pass for DeadGroupRemoval {
+    fn name(&self) -> &'static str {
+        "dead-group-removal"
+    }
+
+    fn description(&self) -> &'static str {
+        "remove groups unused by the control program"
+    }
+
+    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+        for_each_component(ctx, |comp, _| {
+            let used = comp.control.used_groups();
+            comp.groups.retain(|g| used.contains(&g.name));
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{parse_context, Id};
+
+    #[test]
+    fn removes_unreferenced_groups() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+                cells { r = std_reg(8); }
+                wires {
+                  group live { r.in = 8'd1; r.write_en = 1'd1; live[done] = r.done; }
+                  group dead { r.in = 8'd2; r.write_en = 1'd1; dead[done] = r.done; }
+                }
+                control { live; }
+            }"#,
+        )
+        .unwrap();
+        DeadGroupRemoval.run(&mut ctx).unwrap();
+        let main = ctx.component("main").unwrap();
+        assert!(main.groups.contains(Id::new("live")));
+        assert!(!main.groups.contains(Id::new("dead")));
+    }
+
+    #[test]
+    fn keeps_condition_groups() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+                cells { lt = std_lt(8); r = std_reg(8); }
+                wires {
+                  group cond { lt.left = r.out; lt.right = 8'd10; cond[done] = 1'd1; }
+                  group body { r.in = 8'd1; r.write_en = 1'd1; body[done] = r.done; }
+                }
+                control { while lt.out with cond { body; } }
+            }"#,
+        )
+        .unwrap();
+        DeadGroupRemoval.run(&mut ctx).unwrap();
+        assert_eq!(ctx.component("main").unwrap().groups.len(), 2);
+    }
+}

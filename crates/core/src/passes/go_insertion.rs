@@ -1,0 +1,99 @@
+//! The `GoInsertion` pass (paper §4.2, Fig. 2b).
+
+use super::traversal::{for_each_component, Pass};
+use crate::errors::CalyxResult;
+use crate::ir::{Context, Guard, PortRef};
+
+/// Guards every assignment inside a group with the group's `go` interface
+/// signal.
+///
+/// Calyx's semantics activate a group's assignments only while the group
+/// executes; after groups are erased ([`RemoveGroups`](super::RemoveGroups))
+/// these inserted guards are what keeps the right assignments active at the
+/// right time. Writes to the group's *own* `done` hole are left unguarded —
+/// the paper's Fig. 2b shows `one[done] = x.done` surviving unchanged — since
+/// `done` is only consulted while the group is running.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GoInsertion;
+
+impl Pass for GoInsertion {
+    fn name(&self) -> &'static str {
+        "go-insertion"
+    }
+
+    fn description(&self) -> &'static str {
+        "guard group assignments with the group's go signal"
+    }
+
+    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+        for_each_component(ctx, |comp, _| {
+            for group in comp.groups.iter_mut() {
+                let go = Guard::Port(PortRef::hole(group.name, "go"));
+                let done_hole = PortRef::hole(group.name, "done");
+                for asgn in &mut group.assignments {
+                    if asgn.dst != done_hole {
+                        let guard = std::mem::replace(&mut asgn.guard, Guard::True);
+                        asgn.guard = go.clone().and(guard);
+                    }
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{parse_context, Id};
+
+    #[test]
+    fn guards_assignments_with_go() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+                cells { x = std_reg(32); }
+                wires {
+                  group one {
+                    x.in = 32'd1;
+                    x.write_en = 1'd1;
+                    one[done] = x.done;
+                  }
+                }
+                control { one; }
+            }"#,
+        )
+        .unwrap();
+        GoInsertion.run(&mut ctx).unwrap();
+        let main = ctx.component("main").unwrap();
+        let one = main.groups.get(Id::new("one")).unwrap();
+        let go = Guard::Port(PortRef::hole("one", "go"));
+        // Data assignments gain the go guard...
+        assert_eq!(one.assignments[0].guard, go);
+        assert_eq!(one.assignments[1].guard, go);
+        // ...while the done write stays unguarded (paper Fig. 2b).
+        assert!(one.assignments[2].guard.is_true());
+    }
+
+    #[test]
+    fn preserves_existing_guards_conjunctively() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+                cells { x = std_reg(32); cmp = std_lt(32); }
+                wires {
+                  group g {
+                    x.in = cmp.out ? 32'd1;
+                    x.write_en = 1'd1;
+                    g[done] = x.done;
+                  }
+                }
+                control { g; }
+            }"#,
+        )
+        .unwrap();
+        GoInsertion.run(&mut ctx).unwrap();
+        let g = ctx.component("main").unwrap().groups.get(Id::new("g")).unwrap();
+        let expected = Guard::Port(PortRef::hole("g", "go"))
+            .and(Guard::Port(PortRef::cell("cmp", "out")));
+        assert_eq!(g.assignments[0].guard, expected);
+    }
+}

@@ -1,0 +1,165 @@
+//! Boolean simplification of guards.
+
+use super::traversal::{for_each_component, Pass};
+use crate::errors::CalyxResult;
+use crate::ir::{Atom, CompOp, Context, Guard};
+
+/// Simplifies guard expressions after interface-signal inlining:
+/// double negations, `x & x` / `x | x` idempotence, constant comparisons,
+/// and `True`/`!True` identity/annihilator folding.
+///
+/// Substitution in [`RemoveGroups`](super::RemoveGroups) can clone large
+/// guard trees; simplification both shrinks the emitted Verilog and makes
+/// area estimation (which counts guard nodes) reflect what synthesis would
+/// see after its own Boolean minimization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GuardSimplify;
+
+impl Pass for GuardSimplify {
+    fn name(&self) -> &'static str {
+        "guard-simplify"
+    }
+
+    fn description(&self) -> &'static str {
+        "boolean simplification of assignment guards"
+    }
+
+    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+        for_each_component(ctx, |comp, _| {
+            for group in comp.groups.iter_mut() {
+                for asgn in &mut group.assignments {
+                    let g = std::mem::replace(&mut asgn.guard, Guard::True);
+                    asgn.guard = simplify(g);
+                }
+            }
+            for asgn in &mut comp.continuous {
+                let g = std::mem::replace(&mut asgn.guard, Guard::True);
+                asgn.guard = simplify(g);
+            }
+            Ok(())
+        })
+    }
+}
+
+/// Is this guard the constant false (`!True`)?
+fn is_false(g: &Guard) -> bool {
+    matches!(g, Guard::Not(inner) if inner.is_true())
+}
+
+/// Simplify a guard bottom-up.
+pub fn simplify(guard: Guard) -> Guard {
+    match guard {
+        Guard::True | Guard::Port(_) => guard,
+        Guard::Not(inner) => {
+            let inner = simplify(*inner);
+            match inner {
+                Guard::Not(g) => *g,
+                g => Guard::Not(Box::new(g)),
+            }
+        }
+        Guard::And(a, b) => {
+            let a = simplify(*a);
+            let b = simplify(*b);
+            if a.is_true() {
+                return b;
+            }
+            if b.is_true() {
+                return a;
+            }
+            if is_false(&a) || is_false(&b) {
+                return Guard::True.not();
+            }
+            if a == b {
+                return a;
+            }
+            Guard::And(Box::new(a), Box::new(b))
+        }
+        Guard::Or(a, b) => {
+            let a = simplify(*a);
+            let b = simplify(*b);
+            if a.is_true() || b.is_true() {
+                return Guard::True;
+            }
+            if is_false(&a) {
+                return b;
+            }
+            if is_false(&b) {
+                return a;
+            }
+            if a == b {
+                return a;
+            }
+            Guard::Or(Box::new(a), Box::new(b))
+        }
+        Guard::Comp(op, l, r) => {
+            if let (Atom::Const { val: lv, .. }, Atom::Const { val: rv, .. }) = (&l, &r) {
+                return if op.eval(*lv, *rv) {
+                    Guard::True
+                } else {
+                    Guard::True.not()
+                };
+            }
+            // x == x, x <= x, x >= x are tautologies on equal atoms.
+            if l == r {
+                return match op {
+                    CompOp::Eq | CompOp::Leq | CompOp::Geq => Guard::True,
+                    CompOp::Neq | CompOp::Lt | CompOp::Gt => Guard::True.not(),
+                };
+            }
+            Guard::Comp(op, l, r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::PortRef;
+
+    fn p(name: &str) -> Guard {
+        Guard::Port(PortRef::cell(name, "out"))
+    }
+
+    #[test]
+    fn folds_double_negation() {
+        assert_eq!(simplify(p("a").not().not()), p("a"));
+    }
+
+    #[test]
+    fn idempotence() {
+        assert_eq!(simplify(p("a").and(p("a"))), p("a"));
+        assert_eq!(simplify(p("a").or(p("a"))), p("a"));
+    }
+
+    #[test]
+    fn annihilators_and_identities() {
+        assert_eq!(simplify(Guard::True.not().and(p("a"))), Guard::True.not());
+        assert_eq!(simplify(Guard::True.not().or(p("a"))), p("a"));
+        assert_eq!(
+            simplify(Guard::And(Box::new(Guard::True), Box::new(p("a")))),
+            p("a")
+        );
+    }
+
+    #[test]
+    fn constant_comparisons_fold() {
+        let g = Guard::Comp(CompOp::Eq, Atom::constant(3, 4), Atom::constant(3, 4));
+        assert_eq!(simplify(g), Guard::True);
+        let g = Guard::Comp(CompOp::Lt, Atom::constant(5, 4), Atom::constant(3, 4));
+        assert!(is_false(&simplify(g)));
+    }
+
+    #[test]
+    fn reflexive_comparisons_fold() {
+        let port = Atom::Port(PortRef::cell("fsm", "out"));
+        assert_eq!(simplify(Guard::Comp(CompOp::Eq, port, port)), Guard::True);
+        assert!(is_false(&simplify(Guard::Comp(CompOp::Neq, port, port))));
+    }
+
+    #[test]
+    fn simplifies_recursively() {
+        // (!!a) & (a & a) => a
+        let g = p("a").not().not().and(p("a").and(p("a")));
+        assert_eq!(simplify(g), p("a"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Compiler passes.
+//!
+//! The paper's primary compilation pipeline (§4.2) is
+//! [`GoInsertion`] → [`CompileControl`] → [`RemoveGroups`]; code generation
+//! (`Lower`) lives in the backend crate. [`StaticTiming`] is the
+//! latency-sensitive `Sensitive` pass (§4.4) and [`InferStaticTiming`] is
+//! the latency-inference pass (§5.3). The optimization passes are
+//! [`ResourceSharing`] (§5.1) and [`MinimizeRegs`] (§5.2).
+//!
+//! One deliberate departure from the paper's presentation: our pipelines run
+//! [`GoInsertion`] *after* [`CompileControl`] so that the generated
+//! compilation groups' assignments (FSM updates, child `go` writes) are also
+//! guarded by their own group's `go` hole. For frontend-written groups the
+//! result is identical to the paper's order, and the extra guards are what
+//! keeps *nested* FSMs inert while their parent statement is not running
+//! once [`RemoveGroups`] erases group boundaries.
+
+mod collapse_control;
+mod compile_control;
+mod dead_cell;
+mod dead_group;
+mod go_insertion;
+mod guard_simplify;
+mod infer_static;
+mod minimize_regs;
+mod remove_groups;
+mod resource_sharing;
+mod static_timing;
+mod traversal;
+mod well_formed;
+
+pub use collapse_control::CollapseControl;
+pub use compile_control::CompileControl;
+pub use dead_cell::DeadCellRemoval;
+pub use dead_group::DeadGroupRemoval;
+pub use go_insertion::GoInsertion;
+pub use guard_simplify::{simplify, GuardSimplify};
+pub use infer_static::InferStaticTiming;
+pub use minimize_regs::MinimizeRegs;
+pub use remove_groups::RemoveGroups;
+pub use resource_sharing::ResourceSharing;
+pub use static_timing::StaticTiming;
+pub use traversal::{Pass, PassManager, PassTiming};
+pub use well_formed::WellFormed;
+
+/// The standard lowering pipeline: validate, clean up, insert `go` guards,
+/// compile control to FSMs, and inline interface signals.
+///
+/// This is the latency-*insensitive* pipeline; see
+/// [`lower_pipeline_static`] for the variant that first applies latency
+/// inference and static compilation.
+pub fn lower_pipeline() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.register(WellFormed);
+    pm.register(CollapseControl);
+    pm.register(DeadGroupRemoval);
+    pm.register(CompileControl);
+    pm.register(GoInsertion);
+    pm.register(RemoveGroups);
+    pm.register(GuardSimplify);
+    pm.register(DeadCellRemoval);
+    pm
+}
+
+/// The lowering pipeline with latency-sensitive compilation enabled:
+/// latencies are inferred (§5.3) and statically schedulable control is
+/// compiled with counter FSMs (§4.4) before the dynamic fallback runs.
+pub fn lower_pipeline_static() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.register(WellFormed);
+    pm.register(CollapseControl);
+    pm.register(DeadGroupRemoval);
+    pm.register(InferStaticTiming);
+    pm.register(StaticTiming);
+    pm.register(CompileControl);
+    pm.register(GoInsertion);
+    pm.register(RemoveGroups);
+    pm.register(GuardSimplify);
+    pm.register(DeadCellRemoval);
+    pm
+}
+
+/// The full optimizing pipeline used for the paper's headline numbers:
+/// sharing optimizations followed by latency-sensitive lowering.
+pub fn optimized_pipeline(resource_sharing: bool, minimize_regs: bool, static_timing: bool) -> PassManager {
+    let mut pm = PassManager::new();
+    pm.register(WellFormed);
+    pm.register(CollapseControl);
+    pm.register(DeadGroupRemoval);
+    if resource_sharing {
+        pm.register(ResourceSharing);
+    }
+    if minimize_regs {
+        pm.register(MinimizeRegs);
+    }
+    if static_timing {
+        pm.register(InferStaticTiming);
+        pm.register(StaticTiming);
+    }
+    pm.register(CompileControl);
+    pm.register(GoInsertion);
+    pm.register(RemoveGroups);
+    pm.register(GuardSimplify);
+    pm.register(DeadCellRemoval);
+    pm
+}

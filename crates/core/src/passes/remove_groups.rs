@@ -1,0 +1,323 @@
+//! The `RemoveGroups` pass: interface-signal inlining (paper §4.2, Fig. 2d).
+//!
+//! After `CompileControl` + `GoInsertion`, every hole (`g[go]`, `g[done]`)
+//! appears in exactly two roles: as the *destination* of writes that define
+//! it, and as a 1-bit atom *read inside guards*. This pass:
+//!
+//! 1. wires the single top-level group enable to the component's `go`/`done`
+//!    interface ports,
+//! 2. collects all hole writes and replaces every hole read with the
+//!    disjunction of its writers (`guard & src` per write), iterating to a
+//!    fixpoint since `go` substitutions mention parent holes,
+//! 3. moves all group assignments into the top-level `wires` section and
+//!    deletes the groups.
+//!
+//! The result is a control-free component: a flat list of guarded
+//! assignments ready for RTL code generation.
+
+use super::traversal::{for_each_component, Pass};
+use crate::errors::{CalyxResult, Error};
+use crate::ir::{Assignment, Atom, Context, Control, Guard, PortRef};
+use std::collections::HashMap;
+
+/// Inlines `go`/`done` interface signals and erases all groups.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RemoveGroups;
+
+impl Pass for RemoveGroups {
+    fn name(&self) -> &'static str {
+        "remove-groups"
+    }
+
+    fn description(&self) -> &'static str {
+        "inline interface signals and erase group boundaries"
+    }
+
+    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+        for_each_component(ctx, |comp, _| {
+            let top = match std::mem::take(&mut comp.control) {
+                Control::Empty => None,
+                Control::Enable { group, .. } => Some(group),
+                other => {
+                    return Err(Error::pass(
+                        "remove-groups",
+                        format!(
+                            "expected compiled control (a single enable), found:\n{other}"
+                        ),
+                    ))
+                }
+            };
+
+            // Does the top group need `!done` re-execution protection? A
+            // group whose done is a registered pulse (`reg.done`/`mem.done`)
+            // would fire again during its done cycle if `go` stayed high —
+            // inner enables get this term from their parent FSM
+            // (compile-control), but the top-level enable has no parent, so
+            // the component's own go wiring must supply it.
+            let top_needs_protection = top
+                .and_then(|t| comp.groups.get(t))
+                .map(|g| {
+                    g.done_writes().any(|asgn| match &asgn.src {
+                        Atom::Port(p) if p.port.as_str() == "done" => p
+                            .cell_parent()
+                            .and_then(|c| comp.cells.get(c))
+                            .is_some_and(|cell| cell.is_register() || cell.is_memory()),
+                        _ => false,
+                    })
+                })
+                .unwrap_or(false);
+
+            // Gather hole definitions, removing the defining assignments.
+            let mut writes: HashMap<PortRef, Vec<(Guard, Atom)>> = HashMap::new();
+            for group in comp.groups.iter_mut() {
+                group.assignments.retain(|asgn| {
+                    if asgn.dst.is_hole() {
+                        writes
+                            .entry(asgn.dst)
+                            .or_default()
+                            .push((asgn.guard.clone(), asgn.src));
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            comp.continuous.retain(|asgn| {
+                if asgn.dst.is_hole() {
+                    writes
+                        .entry(asgn.dst)
+                        .or_default()
+                        .push((asgn.guard.clone(), asgn.src));
+                    false
+                } else {
+                    true
+                }
+            });
+
+            // Each hole's replacement: OR over its writes of (guard & src).
+            let mut repl: HashMap<PortRef, Guard> = HashMap::new();
+            for (hole, defs) in writes {
+                let mut guard: Option<Guard> = None;
+                for (g, src) in defs {
+                    let contribution = match src {
+                        Atom::Const { val: 0, .. } => continue,
+                        Atom::Const { .. } => g,
+                        Atom::Port(p) if p.is_hole() => g.and(Guard::Port(p)),
+                        Atom::Port(p) => g.and(Guard::Port(p)),
+                    };
+                    guard = Some(match guard {
+                        Some(acc) => acc.or(contribution),
+                        None => contribution,
+                    });
+                }
+                // A hole that is never written (or only written 0) is never
+                // high.
+                repl.insert(hole, guard.unwrap_or_else(|| Guard::True.not()));
+            }
+
+            // The top group is started by the component's own go port (with
+            // re-execution protection when its done is a registered pulse).
+            if let Some(top) = top {
+                let mut go_guard = Guard::Port(PortRef::this("go"));
+                if top_needs_protection {
+                    go_guard =
+                        go_guard.and(Guard::Port(PortRef::hole(top, "done")).not());
+                }
+                repl.insert(PortRef::hole(top, "go"), go_guard);
+            }
+
+            // Resolve hole references inside replacements to a fixpoint. The
+            // dependency structure follows the control tree (a child's go
+            // mentions its parent's go and sibling dones), so this
+            // terminates in O(nesting depth) rounds.
+            let holes: Vec<PortRef> = repl.keys().copied().collect();
+            for round in 0.. {
+                let mut changed = false;
+                for hole in &holes {
+                    let mut guard = repl[hole].clone();
+                    let reads: Vec<PortRef> =
+                        guard.ports().into_iter().filter(PortRef::is_hole).collect();
+                    if reads.is_empty() {
+                        continue;
+                    }
+                    for read in reads {
+                        let replacement = repl.get(&read).cloned().ok_or_else(|| {
+                            Error::pass(
+                                "remove-groups",
+                                format!("hole `{read}` is read but never written"),
+                            )
+                        })?;
+                        guard.substitute(read, &replacement);
+                        changed = true;
+                    }
+                    repl.insert(*hole, guard);
+                }
+                if !changed {
+                    break;
+                }
+                if round > 256 {
+                    return Err(Error::pass(
+                        "remove-groups",
+                        "interface-signal substitution did not converge (cyclic holes?)",
+                    ));
+                }
+            }
+
+            // Substitute hole reads in every remaining assignment.
+            let substitute_in = |guard: &mut Guard| -> CalyxResult<()> {
+                loop {
+                    let reads: Vec<PortRef> =
+                        guard.ports().into_iter().filter(PortRef::is_hole).collect();
+                    if reads.is_empty() {
+                        return Ok(());
+                    }
+                    for read in reads {
+                        let replacement = repl.get(&read).cloned().ok_or_else(|| {
+                            Error::pass(
+                                "remove-groups",
+                                format!("hole `{read}` is read but never written"),
+                            )
+                        })?;
+                        guard.substitute(read, &replacement);
+                    }
+                }
+            };
+
+            let mut flattened: Vec<Assignment> = Vec::new();
+            let group_names: Vec<_> = comp.groups.names().collect();
+            for gname in group_names {
+                let group = comp.groups.remove(gname).expect("name from iteration");
+                for mut asgn in group.assignments {
+                    if matches!(asgn.src, Atom::Port(p) if p.is_hole()) {
+                        return Err(Error::pass(
+                            "remove-groups",
+                            format!("hole used as assignment source in `{}`", asgn.dst),
+                        ));
+                    }
+                    substitute_in(&mut asgn.guard)?;
+                    flattened.push(asgn);
+                }
+            }
+            for asgn in &mut comp.continuous {
+                substitute_in(&mut asgn.guard)?;
+            }
+            comp.continuous.extend(flattened);
+
+            // Wire the component's done port.
+            let done_guard = match top {
+                Some(top) => repl
+                    .get(&PortRef::hole(top, "done"))
+                    .cloned()
+                    .ok_or_else(|| {
+                        Error::pass(
+                            "remove-groups",
+                            format!("top-level group `{top}` never writes its done hole"),
+                        )
+                    })?,
+                // An empty component finishes as soon as it is started.
+                None => Guard::Port(PortRef::this("go")),
+            };
+            comp.continuous.push(Assignment::guarded(
+                PortRef::this("done"),
+                Atom::constant(1, 1),
+                done_guard,
+            ));
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{CompileControl, GoInsertion};
+    use super::*;
+    use crate::ir::parse_context;
+
+    fn lower(src: &str) -> crate::ir::Context {
+        let mut ctx = parse_context(src).unwrap();
+        CompileControl.run(&mut ctx).unwrap();
+        GoInsertion.run(&mut ctx).unwrap();
+        RemoveGroups.run(&mut ctx).unwrap();
+        ctx
+    }
+
+    const FIG2: &str = r#"
+        component main() -> () {
+          cells { x = std_reg(32); }
+          wires {
+            group one { x.in = 32'd1; x.write_en = 1'd1; one[done] = x.done; }
+            group two { x.in = 32'd2; x.write_en = 1'd1; two[done] = x.done; }
+          }
+          control { seq { one; two; } }
+        }
+    "#;
+
+    #[test]
+    fn produces_flat_control_free_program() {
+        let ctx = lower(FIG2);
+        let main = ctx.component("main").unwrap();
+        assert!(main.groups.is_empty(), "all groups erased");
+        assert!(main.control.is_empty(), "control emptied");
+        assert!(!main.continuous.is_empty());
+        // No holes anywhere.
+        for asgn in &main.continuous {
+            assert!(!asgn.dst.is_hole(), "hole dst survives: {}", asgn.dst);
+            for p in asgn.reads() {
+                assert!(!p.is_hole(), "hole read survives: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn wires_component_done() {
+        let ctx = lower(FIG2);
+        let main = ctx.component("main").unwrap();
+        let done_writes: Vec<_> = main
+            .continuous
+            .iter()
+            .filter(|a| a.dst == PortRef::this("done"))
+            .collect();
+        assert_eq!(done_writes.len(), 1);
+        // The done condition mentions the FSM's final state.
+        let guard = format!("{}", done_writes[0].guard);
+        assert!(guard.contains("fsm.out == 2'd2"), "done guard: {guard}");
+    }
+
+    #[test]
+    fn assignments_are_gated_by_component_go() {
+        let ctx = lower(FIG2);
+        let main = ctx.component("main").unwrap();
+        // The write `x.in = 1` must (transitively) require the component go
+        // and the FSM state.
+        let x_writes: Vec<_> = main
+            .continuous
+            .iter()
+            .filter(|a| a.dst == PortRef::cell("x", "in"))
+            .collect();
+        assert_eq!(x_writes.len(), 2);
+        for w in x_writes {
+            let guard = format!("{}", w.guard);
+            assert!(guard.contains("go"), "guard must mention go: {guard}");
+            assert!(guard.contains("fsm.out =="), "guard must mention fsm: {guard}");
+        }
+    }
+
+    #[test]
+    fn empty_control_component_is_immediately_done() {
+        let ctx = lower("component main() -> () { cells {} wires {} control {} }");
+        let main = ctx.component("main").unwrap();
+        let done = main
+            .continuous
+            .iter()
+            .find(|a| a.dst == PortRef::this("done"))
+            .unwrap();
+        assert_eq!(done.guard, Guard::Port(PortRef::this("go")));
+    }
+
+    #[test]
+    fn rejects_uncompiled_control() {
+        let mut ctx = parse_context(FIG2).unwrap();
+        let err = RemoveGroups.run(&mut ctx).unwrap_err();
+        assert!(err.to_string().contains("single enable"), "{err}");
+    }
+}

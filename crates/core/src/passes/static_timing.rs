@@ -1,0 +1,543 @@
+//! Latency-sensitive compilation — the paper's `Sensitive` pass (§4.4).
+//!
+//! When every group nested under a control statement carries a `"static"`
+//! latency attribute, the statement can be realized with a *counter* FSM
+//! that enables each child for exactly its declared window and ignores
+//! `done` handshakes entirely, eliminating the latency-insensitive
+//! interface's extra cycles and hardware. The pass is best-effort: any
+//! statement with a dynamic child is left for
+//! [`CompileControl`](super::CompileControl) — mixing the two styles is the
+//! paper's headline compilation feature.
+//!
+//! ## Static group contract
+//!
+//! A group with `"static" = L`:
+//! - performs its work in exactly `L` cycles once its `go` is held high,
+//! - asserts `done` *combinationally during cycle `L-1`* (for `L == 1`,
+//!   `done` is constant-true while enabled),
+//! - resets any internal counter on its final cycle so it can re-execute.
+//!
+//! Dynamic parents compiled by `CompileControl` understand this contract
+//! (they omit the `!done` re-execution protection for static children), so
+//! static islands compose with dynamic surroundings.
+
+use super::traversal::{for_each_component, Pass};
+use crate::errors::CalyxResult;
+use crate::ir::{
+    attr, Atom, Builder, Component, Context, Control, Group, Guard, Id, PortRef,
+};
+use crate::utils::bits_needed;
+
+/// Opportunistically compile control with latency-sensitive counter FSMs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticTiming;
+
+impl Pass for StaticTiming {
+    fn name(&self) -> &'static str {
+        "static-timing"
+    }
+
+    fn description(&self) -> &'static str {
+        "compile statically-timed control with counter FSMs (the paper's Sensitive pass)"
+    }
+
+    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+        for_each_component(ctx, |comp, ctx| {
+            let control = std::mem::take(&mut comp.control);
+            let mut b = Builder::new(comp, ctx);
+            let transformed = transform(&mut b, control);
+            // A fully static component gets a component-level latency so
+            // instantiating groups can be inferred in turn (§6.1's systolic
+            // arrays rely on this composition).
+            if let Control::Enable { group, .. } = &transformed {
+                if let Some(l) = comp.groups.get(*group).and_then(Group::static_latency) {
+                    comp.attributes.insert(attr::static_(), l);
+                }
+            }
+            comp.control = transformed;
+            Ok(())
+        })
+    }
+}
+
+/// Latency of a control statement when every nested group is static.
+/// `while` is never static (data-dependent trip count).
+pub(crate) fn stmt_latency(comp: &Component, stmt: &Control) -> Option<u64> {
+    match stmt {
+        Control::Empty => Some(0),
+        Control::Enable { group, .. } => comp
+            .groups
+            .get(*group)
+            .and_then(Group::static_latency)
+            .filter(|l| *l > 0),
+        Control::Seq { stmts, .. } => stmts
+            .iter()
+            .map(|s| stmt_latency(comp, s))
+            .sum::<Option<u64>>(),
+        Control::Par { stmts, .. } => stmts
+            .iter()
+            .map(|s| stmt_latency(comp, s))
+            .collect::<Option<Vec<_>>>()
+            .map(|ls| ls.into_iter().max().unwrap_or(0)),
+        Control::If {
+            cond,
+            tbranch,
+            fbranch,
+            ..
+        } => {
+            let lc = cond_latency(comp, cond)?;
+            let lt = stmt_latency(comp, tbranch)?;
+            let lf = stmt_latency(comp, fbranch)?;
+            // Mirrors the transformation: only balanced ifs compile
+            // statically (see `transform`), so only they have a latency.
+            (lt == lf).then_some(lc + lt)
+        }
+        Control::While { .. } => None,
+    }
+}
+
+/// Latency of the condition-evaluation phase of an `if`.
+///
+/// Combinational condition groups (constant-true `done`) and absent `with`
+/// groups still need one cycle to latch the condition value.
+pub(crate) fn cond_latency(comp: &Component, cond: &Option<Id>) -> Option<u64> {
+    match cond {
+        None => Some(1),
+        Some(cg) => {
+            let group = comp.groups.get(*cg)?;
+            if let Some(l) = group.static_latency() {
+                if l > 0 {
+                    return Some(l);
+                }
+            }
+            if is_comb_group(group) {
+                Some(1)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// A group whose `done` is the constant 1 — it computes combinationally.
+pub(crate) fn is_comb_group(group: &Group) -> bool {
+    group
+        .done_writes()
+        .any(|a| a.guard.is_true() && matches!(a.src, Atom::Const { val: 1, .. }))
+}
+
+/// A statement that is already a single static activity: `Empty` (latency
+/// 0) or an enable of a static group.
+fn as_static_enable(b: &mut Builder, stmt: &Control) -> Option<(Option<Id>, u64)> {
+    match stmt {
+        Control::Empty => Some((None, 0)),
+        Control::Enable { group, .. } => {
+            let l = b.component().groups.get(*group)?.static_latency()?;
+            (l > 0).then_some((Some(*group), l))
+        }
+        _ => None,
+    }
+}
+
+fn transform(b: &mut Builder, stmt: Control) -> Control {
+    match stmt {
+        Control::Empty => Control::Empty,
+        Control::Enable { group, mut attributes } => {
+            if let Some(l) = b.component().groups.get(group).and_then(Group::static_latency) {
+                attributes.insert(attr::static_(), l);
+            }
+            Control::Enable { group, attributes }
+        }
+        Control::Seq { stmts, attributes } => {
+            let stmts: Vec<Control> = stmts.into_iter().map(|s| transform(b, s)).collect();
+            let children: Option<Vec<(Option<Id>, u64)>> =
+                stmts.iter().map(|s| as_static_enable(b, s)).collect();
+            match children {
+                Some(children) if children.iter().any(|(g, _)| g.is_some()) => {
+                    let live: Vec<(Id, u64)> = children
+                        .into_iter()
+                        .filter_map(|(g, l)| g.map(|g| (g, l)))
+                        .collect();
+                    if live.len() == 1 {
+                        return static_enable(live[0].0, live[0].1);
+                    }
+                    let (group, total) = build_static_seq(b, &live);
+                    static_enable(group, total)
+                }
+                _ => Control::Seq { stmts, attributes },
+            }
+        }
+        Control::Par { stmts, attributes } => {
+            let stmts: Vec<Control> = stmts.into_iter().map(|s| transform(b, s)).collect();
+            let children: Option<Vec<(Option<Id>, u64)>> =
+                stmts.iter().map(|s| as_static_enable(b, s)).collect();
+            match children {
+                Some(children) if children.iter().any(|(g, _)| g.is_some()) => {
+                    let live: Vec<(Id, u64)> = children
+                        .into_iter()
+                        .filter_map(|(g, l)| g.map(|g| (g, l)))
+                        .collect();
+                    if live.len() == 1 {
+                        return static_enable(live[0].0, live[0].1);
+                    }
+                    let (group, total) = build_static_par(b, &live);
+                    static_enable(group, total)
+                }
+                _ => Control::Par { stmts, attributes },
+            }
+        }
+        Control::If {
+            port,
+            cond,
+            tbranch,
+            fbranch,
+            attributes,
+        } => {
+            let tbranch = transform(b, *tbranch);
+            let fbranch = transform(b, *fbranch);
+            let cond_lat = cond_latency(b.component(), &cond);
+            let t = as_static_enable(b, &tbranch);
+            let f = as_static_enable(b, &fbranch);
+            match (cond_lat, t, f) {
+                // Static `if` runs for the *worst-case* branch latency, so it
+                // only pays off when the branches are balanced; predicated
+                // triangular loops (a frequent PolyBench shape, with an empty
+                // else) would otherwise spend the full taken-branch time on
+                // every untaken iteration. Unbalanced ifs keep the dynamic
+                // FSM, which finishes an untaken branch in two cycles.
+                (Some(lc), Some(t), Some(f)) if t.1 == f.1 => {
+                    let (group, total) = build_static_if(b, port, cond, lc, t, f);
+                    static_enable(group, total)
+                }
+                _ => Control::If {
+                    port,
+                    cond,
+                    tbranch: Box::new(tbranch),
+                    fbranch: Box::new(fbranch),
+                    attributes,
+                },
+            }
+        }
+        Control::While {
+            port,
+            cond,
+            body,
+            attributes,
+        } => Control::While {
+            port,
+            cond,
+            body: Box::new(transform(b, *body)),
+            attributes,
+        },
+    }
+}
+
+fn static_enable(group: Id, latency: u64) -> Control {
+    let mut e = Control::enable(group);
+    if let Some(a) = e.attributes_mut() {
+        a.insert(attr::static_(), latency);
+    }
+    e
+}
+
+/// `lo <= fsm < hi` within a schedule of `total` cycles, with the redundant
+/// bound checks dropped.
+fn window_guard(fsm_out: PortRef, lo: u64, hi: u64, total: u64, width: u32) -> Guard {
+    let lower = (lo > 0).then(|| Guard::port_geq(fsm_out, lo, width));
+    let upper = (hi < total).then(|| Guard::port_lt(fsm_out, hi, width));
+    match (lower, upper) {
+        (Some(l), Some(u)) => l.and(u),
+        (Some(l), None) => l,
+        (None, Some(u)) => u,
+        (None, None) => Guard::True,
+    }
+}
+
+/// Shared counter scaffolding: an incrementing FSM that counts `0..total`,
+/// resets on its last cycle, and drives the group's combinational `done`.
+/// Returns the FSM output port (or `None` when `total == 1` and no counter
+/// is needed).
+fn build_counter(b: &mut Builder, g: Id, total: u64) -> Option<(PortRef, u32)> {
+    if total <= 1 {
+        b.asgn_const(g, PortRef::hole(g, "done"), 1, 1);
+        return None;
+    }
+    let width = bits_needed(total - 1);
+    let fsm = b.add_primitive("fsm", "std_reg", &[u64::from(width)]);
+    b.set_cell_attribute(fsm, attr::fsm(), 1);
+    let add = b.add_primitive("incr", "std_add", &[u64::from(width)]);
+    b.set_cell_attribute(add, attr::fsm(), 1);
+    let fsm_out = PortRef::cell(fsm, "out");
+
+    b.asgn(g, (add, "left"), fsm_out);
+    b.asgn_const(g, (add, "right"), 1, width);
+    let not_last = Guard::port_lt(fsm_out, total - 1, width);
+    b.asgn_guarded(g, (fsm, "in"), (add, "out"), not_last.clone());
+    b.asgn_const_guarded(g, (fsm, "write_en"), 1, 1, not_last);
+    let last = Guard::port_eq(fsm_out, total - 1, width);
+    b.asgn_const_guarded(g, (fsm, "in"), 0, width, last.clone());
+    b.asgn_const_guarded(g, (fsm, "write_en"), 1, 1, last.clone());
+    b.asgn_const_guarded(g, PortRef::hole(g, "done"), 1, 1, last);
+    Some((fsm_out, width))
+}
+
+/// The paper's `static_seq` example: children enabled back-to-back in
+/// `[offset, offset + latency)` windows.
+fn build_static_seq(b: &mut Builder, children: &[(Id, u64)]) -> (Id, u64) {
+    let total: u64 = children.iter().map(|(_, l)| l).sum();
+    let g = b.add_static_group("static_seq", total);
+    b.set_group_attribute(g, attr::generated(), 1);
+    let counter = build_counter(b, g, total);
+    let mut offset = 0;
+    for &(child, latency) in children {
+        let guard = match counter {
+            Some((fsm_out, width)) => {
+                window_guard(fsm_out, offset, offset + latency, total, width)
+            }
+            None => Guard::True,
+        };
+        b.asgn_const_guarded(g, PortRef::hole(child, "go"), 1, 1, guard);
+        offset += latency;
+    }
+    (g, total)
+}
+
+/// Static `par`: all children start at cycle 0; each runs for its own
+/// latency; the block takes the maximum.
+fn build_static_par(b: &mut Builder, children: &[(Id, u64)]) -> (Id, u64) {
+    let total: u64 = children.iter().map(|(_, l)| *l).max().unwrap_or(1);
+    let g = b.add_static_group("static_par", total);
+    b.set_group_attribute(g, attr::generated(), 1);
+    let counter = build_counter(b, g, total);
+    for &(child, latency) in children {
+        let guard = match counter {
+            Some((fsm_out, width)) => window_guard(fsm_out, 0, latency, total, width),
+            None => Guard::True,
+        };
+        b.asgn_const_guarded(g, PortRef::hole(child, "go"), 1, 1, guard);
+    }
+    (g, total)
+}
+
+/// Static `if`: evaluate the condition for `cond_lat` cycles, latch the
+/// condition port into `cs` on the last condition cycle, then run the
+/// selected branch; the whole statement takes the worst-case branch time.
+fn build_static_if(
+    b: &mut Builder,
+    port: PortRef,
+    cond: Option<Id>,
+    cond_lat: u64,
+    tbranch: (Option<Id>, u64),
+    fbranch: (Option<Id>, u64),
+) -> (Id, u64) {
+    let branch_lat = tbranch.1.max(fbranch.1);
+    let total = cond_lat + branch_lat;
+    let g = b.add_static_group("static_if", total);
+    b.set_group_attribute(g, attr::generated(), 1);
+    let counter = build_counter(b, g, total);
+
+    let window = |counter: &Option<(PortRef, u32)>, lo: u64, hi: u64| match counter {
+        Some((fsm_out, width)) => window_guard(*fsm_out, lo, hi, total, *width),
+        None => Guard::True,
+    };
+
+    if let Some(cg) = cond {
+        b.asgn_const_guarded(
+            g,
+            PortRef::hole(cg, "go"),
+            1,
+            1,
+            window(&counter, 0, cond_lat),
+        );
+    }
+
+    if branch_lat > 0 {
+        let cs = b.add_primitive("cs", "std_reg", &[1]);
+        b.set_cell_attribute(cs, attr::fsm(), 1);
+        // Latch the condition on the final condition cycle.
+        let latch = match &counter {
+            Some((fsm_out, width)) => Guard::port_eq(*fsm_out, cond_lat - 1, *width),
+            None => Guard::True,
+        };
+        b.asgn_guarded(g, (cs, "in"), port, latch.clone());
+        b.asgn_const_guarded(g, (cs, "write_en"), 1, 1, latch);
+        let taken = Guard::Port(PortRef::cell(cs, "out"));
+        for (branch, active) in [(tbranch, taken.clone()), (fbranch, taken.not())] {
+            let (Some(child), latency) = branch else {
+                continue;
+            };
+            let guard = window(&counter, cond_lat, cond_lat + latency).and(active);
+            b.asgn_const_guarded(g, PortRef::hole(child, "go"), 1, 1, guard);
+        }
+    }
+    (g, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_context;
+
+    /// The paper's §4.4 example: two static groups in sequence compile to a
+    /// single static group of latency 3 with window guards.
+    const PAPER_SEQ: &str = r#"
+        component main() -> () {
+          cells { x = std_reg(8); y = std_reg(8); }
+          wires {
+            group one<"static"=1> { x.in = 8'd1; x.write_en = 1'd1; one[done] = 1'd1; }
+            group two<"static"=2> { y.in = 8'd2; y.write_en = 1'd1; two[done] = 1'd1; }
+          }
+          control { seq { one; two; } }
+        }
+    "#;
+
+    #[test]
+    fn compiles_static_seq_with_counter() {
+        let mut ctx = parse_context(PAPER_SEQ).unwrap();
+        StaticTiming.run(&mut ctx).unwrap();
+        let main = ctx.component("main").unwrap();
+        // Control is a single enable of a static group with latency 3.
+        match &main.control {
+            Control::Enable { group, attributes } => {
+                assert!(group.as_str().starts_with("static_seq"));
+                assert_eq!(attributes.get(attr::static_()), Some(3));
+            }
+            other => panic!("expected static enable, got {other:?}"),
+        }
+        // Window guards like the paper's `fsm.out >= 1 && fsm.out < 3`.
+        let sg = main
+            .groups
+            .iter()
+            .find(|g| g.name.as_str().starts_with("static_seq"))
+            .unwrap();
+        let text = format!("{sg}");
+        assert!(text.contains("one[go]"), "{text}");
+        assert!(text.contains("two[go]"), "{text}");
+        assert!(text.contains("fsm.out >= 2'd1"), "{text}");
+        // Component latency is recorded for cross-component inference.
+        assert_eq!(main.static_latency(), Some(3));
+    }
+
+    #[test]
+    fn static_par_takes_max_latency() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+              cells { x = std_reg(8); y = std_reg(8); }
+              wires {
+                group a<"static"=1> { x.in = 8'd1; x.write_en = 1'd1; a[done] = 1'd1; }
+                group c<"static"=4> { y.in = 8'd3; y.write_en = 1'd1; c[done] = 1'd1; }
+              }
+              control { par { a; c; } }
+            }"#,
+        )
+        .unwrap();
+        StaticTiming.run(&mut ctx).unwrap();
+        let main = ctx.component("main").unwrap();
+        assert_eq!(main.control.static_latency(), Some(4));
+    }
+
+    #[test]
+    fn dynamic_children_fall_back() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+              cells { x = std_reg(8); y = std_reg(8); }
+              wires {
+                group s<"static"=1> { x.in = 8'd1; x.write_en = 1'd1; s[done] = 1'd1; }
+                group d { y.in = 8'd2; y.write_en = 1'd1; d[done] = y.done; }
+              }
+              control { seq { s; d; } }
+            }"#,
+        )
+        .unwrap();
+        StaticTiming.run(&mut ctx).unwrap();
+        let main = ctx.component("main").unwrap();
+        // Mixed latency: the seq stays dynamic.
+        assert!(matches!(main.control, Control::Seq { .. }));
+        assert!(main.static_latency().is_none());
+    }
+
+    #[test]
+    fn while_bodies_are_compiled_but_loop_stays_dynamic() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+              cells { x = std_reg(8); y = std_reg(8); lt = std_lt(8); }
+              wires {
+                group cond { lt.left = x.out; lt.right = 8'd3; cond[done] = 1'd1; }
+                group a<"static"=1> { x.in = 8'd1; x.write_en = 1'd1; a[done] = 1'd1; }
+                group c<"static"=1> { y.in = 8'd2; y.write_en = 1'd1; c[done] = 1'd1; }
+              }
+              control { while lt.out with cond { seq { a; c; } } }
+            }"#,
+        )
+        .unwrap();
+        StaticTiming.run(&mut ctx).unwrap();
+        let main = ctx.component("main").unwrap();
+        match &main.control {
+            Control::While { body, .. } => match body.as_ref() {
+                Control::Enable { group, attributes } => {
+                    assert!(group.as_str().starts_with("static_seq"));
+                    assert_eq!(attributes.get(attr::static_()), Some(2));
+                }
+                other => panic!("body should be a static enable, got {other:?}"),
+            },
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_if_latches_condition() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+              cells { x = std_reg(8); lt = std_lt(8); }
+              wires {
+                group cond { lt.left = x.out; lt.right = 8'd3; cond[done] = 1'd1; }
+                group t<"static"=2> { x.in = 8'd1; x.write_en = 1'd1; t[done] = 1'd1; }
+                group f<"static"=2> { x.in = 8'd2; x.write_en = 1'd1; f[done] = 1'd1; }
+              }
+              control { if lt.out with cond { t; } else { f; } }
+            }"#,
+        )
+        .unwrap();
+        StaticTiming.run(&mut ctx).unwrap();
+        let main = ctx.component("main").unwrap();
+        // 1 (comb cond latch) + 2 (balanced branches).
+        assert_eq!(main.control.static_latency(), Some(3));
+        let cs = main.cells.iter().find(|c| c.name.as_str().starts_with("cs"));
+        assert!(cs.is_some(), "condition-save register allocated");
+    }
+
+    #[test]
+    fn unbalanced_if_stays_dynamic() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+              cells { x = std_reg(8); lt = std_lt(8); }
+              wires {
+                group cond { lt.left = x.out; lt.right = 8'd3; cond[done] = 1'd1; }
+                group t<"static"=5> { x.in = 8'd1; x.write_en = 1'd1; t[done] = 1'd1; }
+              }
+              control { if lt.out with cond { t; } }
+            }"#,
+        )
+        .unwrap();
+        StaticTiming.run(&mut ctx).unwrap();
+        let main = ctx.component("main").unwrap();
+        // A predicated (empty-else) if would waste the full taken-branch
+        // latency on untaken executions; it keeps the dynamic FSM.
+        assert!(matches!(main.control, Control::If { .. }));
+        assert!(main.static_latency().is_none());
+    }
+
+    #[test]
+    fn stmt_latency_computes_compositionally() {
+        let ctx = parse_context(PAPER_SEQ).unwrap();
+        let comp = ctx.component("main").unwrap();
+        assert_eq!(stmt_latency(comp, &comp.control), Some(3));
+        assert_eq!(stmt_latency(comp, &Control::Empty), Some(0));
+        let w = Control::while_(
+            PortRef::cell("x", "out"),
+            None,
+            Control::enable("one"),
+        );
+        assert_eq!(stmt_latency(comp, &w), None);
+    }
+}

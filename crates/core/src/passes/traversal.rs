@@ -1,0 +1,250 @@
+//! The pass framework: a registry of passes executed in order with timing.
+//!
+//! Passes implement [`Pass`] and are composed by [`PassManager`]; the
+//! prebuilt pipelines in [`crate::passes`] mirror the paper's compilation
+//! workflows. Most passes are per-component; [`for_each_component`] handles
+//! the borrow dance of editing a component while consulting the context's
+//! primitive library.
+
+use crate::errors::CalyxResult;
+use crate::ir::{Component, Context, Id};
+use std::time::{Duration, Instant};
+
+/// A compiler pass over a whole [`Context`].
+pub trait Pass {
+    /// Unique, kebab-case pass name (used in reports and errors).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for documentation output.
+    fn description(&self) -> &'static str;
+
+    /// Transform the program.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`crate::errors::Error`] on violated
+    /// preconditions; the pass manager aborts the pipeline at the first
+    /// failure.
+    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()>;
+}
+
+/// Wall-clock duration of one executed pass.
+#[derive(Debug, Clone)]
+pub struct PassTiming {
+    /// The pass's [`Pass::name`].
+    pub name: &'static str,
+    /// Time spent in [`Pass::run`].
+    pub duration: Duration,
+}
+
+/// An ordered list of passes.
+///
+/// ```
+/// use calyx_core::passes::{PassManager, WellFormed};
+/// use calyx_core::ir::Context;
+///
+/// let mut ctx = Context::new();
+/// ctx.add_component(ctx.new_component("main"));
+/// let mut pm = PassManager::new();
+/// pm.register(WellFormed);
+/// pm.run(&mut ctx).unwrap();
+/// assert_eq!(pm.timings().len(), 1);
+/// ```
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    timings: Vec<PassTiming>,
+}
+
+impl PassManager {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a pass to the pipeline.
+    pub fn register<P: Pass + 'static>(&mut self, pass: P) {
+        self.passes.push(Box::new(pass));
+    }
+
+    /// Names of registered passes, in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Run every pass in order, recording wall-clock timings.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first pass failure.
+    pub fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+        self.timings.clear();
+        for pass in &mut self.passes {
+            let start = Instant::now();
+            pass.run(ctx)?;
+            self.timings.push(PassTiming {
+                name: pass.name(),
+                duration: start.elapsed(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Timings from the most recent [`PassManager::run`].
+    pub fn timings(&self) -> &[PassTiming] {
+        &self.timings
+    }
+
+    /// Total time of the most recent run.
+    pub fn total_time(&self) -> Duration {
+        self.timings.iter().map(|t| t.duration).sum()
+    }
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.pass_names())
+            .finish()
+    }
+}
+
+/// Apply `f` to every component.
+///
+/// The component is temporarily cloned out of the context so that `f` can
+/// hold `&mut Component` while consulting `&Context` (e.g. through
+/// [`crate::ir::Builder`]); the edited copy is written back preserving the
+/// component's position.
+///
+/// # Errors
+///
+/// Propagates the first error returned by `f`.
+pub fn for_each_component(
+    ctx: &mut Context,
+    mut f: impl FnMut(&mut Component, &Context) -> CalyxResult<()>,
+) -> CalyxResult<()> {
+    let names: Vec<Id> = ctx.components.names().collect();
+    for name in names {
+        let mut comp = ctx
+            .components
+            .get(name)
+            .expect("component names are stable during traversal")
+            .clone();
+        f(&mut comp, ctx)?;
+        ctx.components.insert(comp);
+    }
+    Ok(())
+}
+
+/// Like [`for_each_component`] but visits components in dependency order
+/// (instantiated components first) — required by cross-component analyses
+/// such as latency inference.
+///
+/// # Errors
+///
+/// Propagates cyclic-instantiation errors and the first error from `f`.
+pub fn for_each_component_topological(
+    ctx: &mut Context,
+    mut f: impl FnMut(&mut Component, &Context) -> CalyxResult<()>,
+) -> CalyxResult<()> {
+    for name in ctx.topological_order()? {
+        let mut comp = ctx
+            .components
+            .get(name)
+            .expect("topological order only lists existing components")
+            .clone();
+        f(&mut comp, ctx)?;
+        ctx.components.insert(comp);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errors::Error;
+
+    struct Marker(&'static str, Vec<&'static str>);
+    impl Pass for Marker {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn description(&self) -> &'static str {
+            "test marker"
+        }
+        fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+            // Record execution order through a component attribute.
+            let comp = ctx.component_mut("main").unwrap();
+            let count = comp.attributes.get(Id::new("count")).unwrap_or(0);
+            comp.attributes.insert(Id::new("count"), count + 1);
+            self.1.push(self.0);
+            Ok(())
+        }
+    }
+
+    struct Failing;
+    impl Pass for Failing {
+        fn name(&self) -> &'static str {
+            "failing"
+        }
+        fn description(&self) -> &'static str {
+            "always fails"
+        }
+        fn run(&mut self, _ctx: &mut Context) -> CalyxResult<()> {
+            Err(Error::pass("failing", "boom"))
+        }
+    }
+
+    fn ctx_with_main() -> Context {
+        let mut ctx = Context::new();
+        ctx.add_component(ctx.new_component("main"));
+        ctx
+    }
+
+    #[test]
+    fn runs_passes_in_order_and_times_them() {
+        let mut ctx = ctx_with_main();
+        let mut pm = PassManager::new();
+        pm.register(Marker("first", vec![]));
+        pm.register(Marker("second", vec![]));
+        pm.run(&mut ctx).unwrap();
+        assert_eq!(pm.timings().len(), 2);
+        assert_eq!(pm.timings()[0].name, "first");
+        assert_eq!(pm.timings()[1].name, "second");
+        assert_eq!(
+            ctx.component("main").unwrap().attributes.get(Id::new("count")),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn stops_at_first_failure() {
+        let mut ctx = ctx_with_main();
+        let mut pm = PassManager::new();
+        pm.register(Failing);
+        pm.register(Marker("after", vec![]));
+        let err = pm.run(&mut ctx).unwrap_err();
+        assert!(matches!(err, Error::Pass { pass: "failing", .. }));
+        assert_eq!(pm.timings().len(), 0);
+        assert_eq!(
+            ctx.component("main").unwrap().attributes.get(Id::new("count")),
+            None
+        );
+    }
+
+    #[test]
+    fn for_each_component_preserves_order() {
+        let mut ctx = Context::new();
+        ctx.add_component(ctx.new_component("b"));
+        ctx.add_component(ctx.new_component("a"));
+        ctx.entrypoint = Id::new("a");
+        for_each_component(&mut ctx, |comp, _| {
+            comp.attributes.insert(Id::new("seen"), 1);
+            Ok(())
+        })
+        .unwrap();
+        let names: Vec<_> = ctx.components.names().map(|n| n.as_str()).collect();
+        assert_eq!(names, vec!["b", "a"]);
+        assert!(ctx.component("a").unwrap().attributes.has(Id::new("seen")));
+    }
+}

@@ -1,0 +1,59 @@
+//! Structural validation as a pass.
+
+use super::traversal::Pass;
+use crate::errors::CalyxResult;
+use crate::ir::{validate, Context};
+
+/// Checks the structural invariants of the IL (§3.2–§3.3): port existence
+/// and width agreement, writability of destinations, statically-unique
+/// drivers, group `done` presence, and control references.
+///
+/// Run first in every pipeline so later passes can assume well-formed input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WellFormed;
+
+impl Pass for WellFormed {
+    fn name(&self) -> &'static str {
+        "well-formed"
+    }
+
+    fn description(&self) -> &'static str {
+        "validate structural invariants of the program"
+    }
+
+    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+        validate::validate_context(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_context;
+
+    #[test]
+    fn pass_wraps_validation() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+                cells { r = std_reg(8); }
+                wires { group g { r.in = 8'd1; r.write_en = 1'd1; g[done] = r.done; } }
+                control { g; }
+            }"#,
+        )
+        .unwrap();
+        WellFormed.run(&mut ctx).unwrap();
+    }
+
+    #[test]
+    fn pass_rejects_bad_program() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+                cells { r = std_reg(8); }
+                wires { group g { r.in = 4'd1; g[done] = r.done; } }
+                control { g; }
+            }"#,
+        )
+        .unwrap();
+        assert!(WellFormed.run(&mut ctx).is_err());
+    }
+}

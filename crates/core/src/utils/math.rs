@@ -1,0 +1,53 @@
+//! Bit-width arithmetic helpers.
+
+/// Number of bits needed to represent values in `0..=max_value`.
+///
+/// This is the width the FSM compilers use for state registers: an FSM with
+/// final state `n` needs `bits_needed(n)` bits. Always returns at least 1.
+///
+/// ```
+/// use calyx_core::utils::bits_needed;
+/// assert_eq!(bits_needed(0), 1);
+/// assert_eq!(bits_needed(1), 1);
+/// assert_eq!(bits_needed(2), 2);
+/// assert_eq!(bits_needed(3), 2);
+/// assert_eq!(bits_needed(4), 3);
+/// assert_eq!(bits_needed(255), 8);
+/// assert_eq!(bits_needed(256), 9);
+/// ```
+pub fn bits_needed(max_value: u64) -> u32 {
+    (64 - max_value.leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(bits_needed(0), 1);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(2), 2);
+        assert_eq!(bits_needed(7), 3);
+        assert_eq!(bits_needed(8), 4);
+    }
+
+    #[test]
+    fn large_values() {
+        assert_eq!(bits_needed(u64::MAX), 64);
+        assert_eq!(bits_needed(1 << 62), 63);
+    }
+
+    #[test]
+    fn covers_range() {
+        for max in [0u64, 1, 2, 3, 15, 16, 17, 1000] {
+            let bits = bits_needed(max);
+            if bits < 64 {
+                assert!(
+                    (1u64 << bits) > max,
+                    "bits_needed({max}) = {bits} cannot represent {max}"
+                );
+            }
+        }
+    }
+}

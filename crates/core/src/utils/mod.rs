@@ -1,0 +1,7 @@
+//! Small utilities shared across the compiler.
+
+mod math;
+mod ordered_map;
+
+pub use math::bits_needed;
+pub use ordered_map::{Named, OrderedMap};

@@ -1,0 +1,121 @@
+//! Property tests for the guard language: simplification preserves
+//! semantics under every valuation, and printed guards re-parse to
+//! semantically identical trees.
+
+use calyx_core::ir::{parse_guard, Atom, CompOp, Guard, PortRef};
+use calyx_core::passes::simplify;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A tiny universe of ports: four 1-bit flags and two 4-bit buses.
+fn port(i: usize) -> PortRef {
+    PortRef::cell(format!("p{i}"), "out")
+}
+
+fn bus(i: usize) -> PortRef {
+    PortRef::cell(format!("b{i}"), "out")
+}
+
+/// Evaluate a guard under a valuation (missing ports read 0).
+fn eval(g: &Guard, env: &HashMap<PortRef, u64>) -> bool {
+    let atom = |a: &Atom| match a {
+        Atom::Port(p) => env.get(p).copied().unwrap_or(0),
+        Atom::Const { val, .. } => *val,
+    };
+    match g {
+        Guard::True => true,
+        Guard::Port(p) => env.get(p).copied().unwrap_or(0) != 0,
+        Guard::Not(inner) => !eval(inner, env),
+        Guard::And(a, b) => eval(a, env) && eval(b, env),
+        Guard::Or(a, b) => eval(a, env) || eval(b, env),
+        Guard::Comp(op, l, r) => op.eval(atom(l), atom(r)),
+    }
+}
+
+fn comp_op() -> impl Strategy<Value = CompOp> {
+    prop_oneof![
+        Just(CompOp::Eq),
+        Just(CompOp::Neq),
+        Just(CompOp::Lt),
+        Just(CompOp::Gt),
+        Just(CompOp::Geq),
+        Just(CompOp::Leq),
+    ]
+}
+
+fn guard_strategy() -> impl Strategy<Value = Guard> {
+    let leaf = prop_oneof![
+        Just(Guard::True),
+        (0..4usize).prop_map(|i| Guard::Port(port(i))),
+        (comp_op(), 0..2usize, 0..16u64)
+            .prop_map(|(op, i, c)| Guard::Comp(op, Atom::Port(bus(i)), Atom::constant(c, 4))),
+        (comp_op(), 0..16u64, 0..16u64).prop_map(|(op, a, b)| {
+            Guard::Comp(op, Atom::constant(a, 4), Atom::constant(b, 4))
+        }),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|g| Guard::Not(Box::new(g))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Guard::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Guard::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn valuation() -> impl Strategy<Value = HashMap<PortRef, u64>> {
+    (
+        prop::collection::vec(0..2u64, 4),
+        prop::collection::vec(0..16u64, 2),
+    )
+        .prop_map(|(flags, buses)| {
+            let mut env = HashMap::new();
+            for (i, v) in flags.into_iter().enumerate() {
+                env.insert(port(i), v);
+            }
+            for (i, v) in buses.into_iter().enumerate() {
+                env.insert(bus(i), v);
+            }
+            env
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// Simplification never changes a guard's value.
+    #[test]
+    fn simplify_preserves_semantics(g in guard_strategy(), env in valuation()) {
+        let simplified = simplify(g.clone());
+        prop_assert_eq!(
+            eval(&g, &env),
+            eval(&simplified, &env),
+            "guard {} simplified to {}",
+            g,
+            simplified
+        );
+    }
+
+    /// Simplification is idempotent.
+    #[test]
+    fn simplify_is_idempotent(g in guard_strategy()) {
+        let once = simplify(g);
+        let twice = simplify(once.clone());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Printing and re-parsing a guard preserves its semantics.
+    #[test]
+    fn printed_guards_reparse(g in guard_strategy(), env in valuation()) {
+        let text = format!("{g}");
+        let reparsed = parse_guard(&text)
+            .map_err(|e| TestCaseError::fail(format!("`{text}` failed to parse: {e}")))?;
+        prop_assert_eq!(
+            eval(&g, &env),
+            eval(&reparsed, &env),
+            "`{}` reparsed as `{}`",
+            text,
+            reparsed
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! A compiler for Dahlia, the imperative accelerator language of paper
+//! §6.2, targeting Calyx.
+//!
+//! Dahlia (Nigam et al., PLDI 2020) is a C-like language whose
+//! substructural type system rules out programs that map to bad hardware.
+//! This crate reimplements the *Calyx backend* case study: parse Dahlia,
+//! check it, lower the conveniences away, and emit Calyx with latency
+//! annotations.
+//!
+//! Pipeline:
+//!
+//! 1. [`parse`]: text → AST. The dialect covers the paper's "lowered
+//!    Dahlia" plus the conveniences it says are compiled away: memories
+//!    with banking, `for` loops with `unroll`, `while`, `if`, ordered
+//!    (`---`) and unordered (`;`) composition, and a `sqrt` builtin (the
+//!    black-box RTL example).
+//! 2. [`check`](check::check): scope/width checking plus the affine-flavored
+//!    restrictions that make hardware mapping predictable (single memory
+//!    write per unordered block, unroll factors matching banking).
+//! 3. [`lower`](lower::lower): unroll loops into parallel lanes with
+//!    resolved memory banks, convert `for` to `while`, and split statements
+//!    so each reads every memory at most once and performs at most one
+//!    sequential unit chain (three-address form).
+//! 4. [`emit`](backend::emit): lowered AST → Calyx, one group per simple
+//!    statement (annotated `"static"` where the latency is fixed; `sqrt`
+//!    groups are left dynamic), with the one-to-one control mapping of the
+//!    paper: `;` → `par`, `---` → `seq`, loops and conditionals → `while`
+//!    and `if`.
+
+pub mod ast;
+pub mod backend;
+pub mod check;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{BinOp, Block, Expr, MemDecl, Program, Stmt};
+pub use parser::parse;
+
+use calyx_core::errors::CalyxResult;
+use calyx_core::ir::Context;
+
+/// Convenience entry point: parse, check, lower, and emit in one call.
+///
+/// # Errors
+///
+/// Propagates parse, check, and lowering errors.
+pub fn compile(src: &str) -> CalyxResult<Context> {
+    let program = parse(src)?;
+    check::check(&program)?;
+    let lowered = lower::lower(program)?;
+    backend::emit(&lowered)
+}
+
+/// Like [`compile`] but returns the lowered AST alongside the Calyx
+/// program; the HLS model consumes the lowered AST.
+///
+/// # Errors
+///
+/// Propagates parse, check, and lowering errors.
+pub fn compile_with_ast(src: &str) -> CalyxResult<(Program, Context)> {
+    let program = parse(src)?;
+    check::check(&program)?;
+    let lowered = lower::lower(program)?;
+    let ctx = backend::emit(&lowered)?;
+    Ok((lowered, ctx))
+}

@@ -1,0 +1,1062 @@
+//! Dahlia sources for the 19 PolyBench linear-algebra kernels (paper §7.2).
+//!
+//! Integer (32-bit wrapping) versions of the PolyBench/C kernels. Scalar
+//! coefficients use shifts (`alpha = 2`, `beta = 3` where applicable) so a
+//! coefficient does not cost an extra multiplier. Triangular loops use
+//! static bounds with predication (`if (k < i)`), which both the Calyx
+//! backend and the HLS model schedule.
+//!
+//! For the unrolled variants (`unroll > 1`), arrays touched inside the
+//! unrolled loop are banked by the unroll factor, reads shared by all lanes
+//! are hoisted into scalars, and arrays needing a second, differently-
+//! banked access pattern are provided as *input copies* (`a2` mirrors `a`),
+//! the standard trick in HLS evaluations when memory views are unavailable.
+//! Ten of the nineteen kernels support unrolling this way; the paper
+//! reports eleven — the difference (gemver) needs Dahlia's memory views,
+//! which this reproduction omits (see DESIGN.md).
+
+/// Number of spatial lanes; loop variables are 8-bit counters, so `n` must
+/// stay below 256 (PolyBench mini/small sizes).
+fn hdr(var: &str, n: u64) -> String {
+    format!("for (let {var}: ubit<8> = 0..{n})")
+}
+
+fn hdr_from(var: &str, lo: u64, n: u64) -> String {
+    format!("for (let {var}: ubit<8> = {lo}..{n})")
+}
+
+fn hdru(var: &str, n: u64, u: u64) -> String {
+    format!("for (let {var}: ubit<8> = 0..{n}) unroll {u}")
+}
+
+/// `gemm`: C = 3·C + A·B.
+pub fn gemm(n: u64, u: u64) -> String {
+    if u <= 1 {
+        format!(
+            "decl a: ubit<32>[{n}][{n}];
+             decl b: ubit<32>[{n}][{n}];
+             decl c: ubit<32>[{n}][{n}];
+             {i} {{
+               {j} {{
+                 c[i][j] := c[i][j] * 3;
+                 ---
+                 {k} {{
+                   let t: ubit<32> = a[i][k] * b[k][j];
+                   ---
+                   c[i][j] := c[i][j] + t;
+                 }}
+               }}
+             }}",
+            i = hdr("i", n),
+            j = hdr("j", n),
+            k = hdr("k", n)
+        )
+    } else {
+        format!(
+            "decl a: ubit<32>[{n} bank {u}][{n}];
+             decl b: ubit<32>[{n}][{n}];
+             decl c: ubit<32>[{n} bank {u}][{n}];
+             {j0} {{
+               {iu} {{
+                 c[i][j] := c[i][j] * 3;
+               }}
+             }}
+             ---
+             {k} {{
+               {j} {{
+                 let bv: ubit<32> = b[k][j];
+                 ---
+                 {iu2} {{
+                   let t: ubit<32> = a[i][k] * bv;
+                   ---
+                   c[i][j] := c[i][j] + t;
+                 }}
+               }}
+             }}",
+            j0 = hdr("j", n),
+            iu = hdru("i", n, u),
+            k = hdr("k", n),
+            j = hdr("j", n),
+            iu2 = hdru("i", n, u),
+        )
+    }
+}
+
+/// `2mm`: tmp = A·B; D += tmp·C.
+pub fn two_mm(n: u64, u: u64) -> String {
+    if u <= 1 {
+        format!(
+            "decl a: ubit<32>[{n}][{n}];
+             decl b: ubit<32>[{n}][{n}];
+             decl c: ubit<32>[{n}][{n}];
+             decl d: ubit<32>[{n}][{n}];
+             decl tmp: ubit<32>[{n}][{n}];
+             {i} {{ {j} {{
+               tmp[i][j] := 0;
+               ---
+               {k} {{
+                 let t: ubit<32> = a[i][k] * b[k][j];
+                 ---
+                 tmp[i][j] := tmp[i][j] + t;
+               }}
+             }} }}
+             ---
+             {i2} {{ {j2} {{
+               {k2} {{
+                 let t2: ubit<32> = tmp[i2][k2] * c[k2][j2];
+                 ---
+                 d[i2][j2] := d[i2][j2] + t2;
+               }}
+             }} }}",
+            i = hdr("i", n),
+            j = hdr("j", n),
+            k = hdr("k", n),
+            i2 = hdr("i2", n),
+            j2 = hdr("j2", n),
+            k2 = hdr("k2", n)
+        )
+    } else {
+        format!(
+            "decl a: ubit<32>[{n} bank {u}][{n}];
+             decl b: ubit<32>[{n}][{n}];
+             decl c: ubit<32>[{n}][{n}];
+             decl d: ubit<32>[{n} bank {u}][{n}];
+             decl tmp: ubit<32>[{n} bank {u}][{n}];
+             {j0} {{ {iu0} {{ tmp[i][j] := 0; }} }}
+             ---
+             {k} {{ {j} {{
+               let bv: ubit<32> = b[k][j];
+               ---
+               {iu} {{
+                 let t: ubit<32> = a[i][k] * bv;
+                 ---
+                 tmp[i][j] := tmp[i][j] + t;
+               }}
+             }} }}
+             ---
+             {k2} {{ {j2} {{
+               let cv: ubit<32> = c[k2][j2];
+               ---
+               {iu2} {{
+                 let t2: ubit<32> = tmp[i][k2] * cv;
+                 ---
+                 d[i][j2] := d[i][j2] + t2;
+               }}
+             }} }}",
+            j0 = hdr("j", n),
+            iu0 = hdru("i", n, u),
+            k = hdr("k", n),
+            j = hdr("j", n),
+            iu = hdru("i", n, u),
+            k2 = hdr("k2", n),
+            j2 = hdr("j2", n),
+            iu2 = hdru("i", n, u),
+        )
+    }
+}
+
+/// `3mm`: E = A·B; F = C·D; G = E·F.
+pub fn three_mm(n: u64, u: u64) -> String {
+    if u <= 1 {
+        format!(
+            "decl a: ubit<32>[{n}][{n}];
+             decl b: ubit<32>[{n}][{n}];
+             decl c: ubit<32>[{n}][{n}];
+             decl d: ubit<32>[{n}][{n}];
+             decl e: ubit<32>[{n}][{n}];
+             decl f: ubit<32>[{n}][{n}];
+             decl g: ubit<32>[{n}][{n}];
+             {i} {{ {j} {{ {k} {{
+               let t: ubit<32> = a[i][k] * b[k][j];
+               ---
+               e[i][j] := e[i][j] + t;
+             }} }} }}
+             ---
+             {i2} {{ {j2} {{ {k2} {{
+               let t2: ubit<32> = c[i2][k2] * d[k2][j2];
+               ---
+               f[i2][j2] := f[i2][j2] + t2;
+             }} }} }}
+             ---
+             {i3} {{ {j3} {{ {k3} {{
+               let t3: ubit<32> = e[i3][k3] * f[k3][j3];
+               ---
+               g[i3][j3] := g[i3][j3] + t3;
+             }} }} }}",
+            i = hdr("i", n),
+            j = hdr("j", n),
+            k = hdr("k", n),
+            i2 = hdr("i2", n),
+            j2 = hdr("j2", n),
+            k2 = hdr("k2", n),
+            i3 = hdr("i3", n),
+            j3 = hdr("j3", n),
+            k3 = hdr("k3", n)
+        )
+    } else {
+        // Phase 3 reads F row-wise while phase 2 writes it lane-banked; a
+        // constant-index drain copies F into the unbanked F2 (memory views
+        // in real Dahlia; an explicit copy here).
+        let mut drain = String::new();
+        for r in 0..n {
+            for cc in 0..n {
+                drain.push_str(&format!("f2[{r}][{cc}] := f[{r}][{cc}];\n---\n"));
+            }
+        }
+        let drain = drain.trim_end_matches("---\n").to_string();
+        format!(
+            "decl a: ubit<32>[{n} bank {u}][{n}];
+             decl b: ubit<32>[{n}][{n}];
+             decl c: ubit<32>[{n} bank {u}][{n}];
+             decl d: ubit<32>[{n}][{n}];
+             decl e: ubit<32>[{n} bank {u}][{n}];
+             decl f: ubit<32>[{n} bank {u}][{n}];
+             decl f2: ubit<32>[{n}][{n}];
+             decl g: ubit<32>[{n} bank {u}][{n}];
+             {k} {{ {j} {{
+               let bv: ubit<32> = b[k][j];
+               ---
+               {iu} {{
+                 let t: ubit<32> = a[i][k] * bv;
+                 ---
+                 e[i][j] := e[i][j] + t;
+               }}
+             }} }}
+             ---
+             {k2} {{ {j2} {{
+               let dv: ubit<32> = d[k2][j2];
+               ---
+               {iu2} {{
+                 let t2: ubit<32> = c[i][k2] * dv;
+                 ---
+                 f[i][j2] := f[i][j2] + t2;
+               }}
+             }} }}
+             ---
+             {drain}
+             ---
+             {k3} {{ {j3} {{
+               let fv: ubit<32> = f2[k3][j3];
+               ---
+               {iu3} {{
+                 let t3: ubit<32> = e[i][k3] * fv;
+                 ---
+                 g[i][j3] := g[i][j3] + t3;
+               }}
+             }} }}",
+            k = hdr("k", n),
+            j = hdr("j", n),
+            iu = hdru("i", n, u),
+            k2 = hdr("k2", n),
+            j2 = hdr("j2", n),
+            iu2 = hdru("i", n, u),
+            k3 = hdr("k3", n),
+            j3 = hdr("j3", n),
+            iu3 = hdru("i", n, u),
+        )
+    }
+}
+
+/// `atax`: y = Aᵀ(A·x).
+pub fn atax(n: u64, u: u64) -> String {
+    if u <= 1 {
+        format!(
+            "decl a: ubit<32>[{n}][{n}];
+             decl x: ubit<32>[{n}];
+             decl y: ubit<32>[{n}];
+             decl tmp: ubit<32>[{n}];
+             {i} {{
+               tmp[i] := 0;
+               ---
+               {j} {{
+                 let t: ubit<32> = a[i][j] * x[j];
+                 ---
+                 tmp[i] := tmp[i] + t;
+               }}
+             }}
+             ---
+             {i2} {{ {j2} {{
+               let t2: ubit<32> = a[i2][j2] * tmp[i2];
+               ---
+               y[j2] := y[j2] + t2;
+             }} }}",
+            i = hdr("i", n),
+            j = hdr("j", n),
+            i2 = hdr("i2", n),
+            j2 = hdr("j2", n)
+        )
+    } else {
+        format!(
+            "decl a: ubit<32>[{n}][{n}];
+             decl a2: ubit<32>[{n}][{n} bank {u}];
+             decl x: ubit<32>[{n}];
+             decl y: ubit<32>[{n} bank {u}];
+             decl tmp: ubit<32>[{n}];
+             {i} {{
+               tmp[i] := 0;
+               ---
+               {j} {{
+                 let t: ubit<32> = a[i][j] * x[j];
+                 ---
+                 tmp[i] := tmp[i] + t;
+               }}
+             }}
+             ---
+             {i2} {{
+               let tv: ubit<32> = tmp[i2];
+               ---
+               {ju} {{
+                 let t2: ubit<32> = a2[i2][j] * tv;
+                 ---
+                 y[j] := y[j] + t2;
+               }}
+             }}",
+            i = hdr("i", n),
+            j = hdr("j", n),
+            i2 = hdr("i2", n),
+            ju = hdru("j", n, u),
+        )
+    }
+}
+
+/// `bicg`: s = Aᵀ·r; q = A·p.
+pub fn bicg(n: u64, u: u64) -> String {
+    if u <= 1 {
+        format!(
+            "decl a: ubit<32>[{n}][{n}];
+             decl r: ubit<32>[{n}];
+             decl s: ubit<32>[{n}];
+             decl p: ubit<32>[{n}];
+             decl q: ubit<32>[{n}];
+             {i} {{ {j} {{
+               let t: ubit<32> = r[i] * a[i][j];
+               ---
+               s[j] := s[j] + t;
+             }} }}
+             ---
+             {i2} {{
+               q[i2] := 0;
+               ---
+               {j2} {{
+                 let t2: ubit<32> = a[i2][j2] * p[j2];
+                 ---
+                 q[i2] := q[i2] + t2;
+               }}
+             }}",
+            i = hdr("i", n),
+            j = hdr("j", n),
+            i2 = hdr("i2", n),
+            j2 = hdr("j2", n)
+        )
+    } else {
+        format!(
+            "decl a: ubit<32>[{n}][{n} bank {u}];
+             decl a2: ubit<32>[{n} bank {u}][{n}];
+             decl r: ubit<32>[{n}];
+             decl s: ubit<32>[{n} bank {u}];
+             decl p: ubit<32>[{n}];
+             decl q: ubit<32>[{n} bank {u}];
+             {i} {{
+               let rv: ubit<32> = r[i];
+               ---
+               {ju} {{
+                 let t: ubit<32> = rv * a[i][j];
+                 ---
+                 s[j] := s[j] + t;
+               }}
+             }}
+             ---
+             {j20} {{ {iu0} {{ q[i] := 0; }} }}
+             ---
+             {j2} {{
+               let pv: ubit<32> = p[j2];
+               ---
+               {iu} {{
+                 let t2: ubit<32> = a2[i][j2] * pv;
+                 ---
+                 q[i] := q[i] + t2;
+               }}
+             }}",
+            i = hdr("i", n),
+            ju = hdru("j", n, u),
+            j20 = hdr("j2", n),
+            iu0 = hdru("i", n, u),
+            j2 = hdr("j2", n),
+            iu = hdru("i", n, u),
+        )
+    }
+}
+
+/// `doitgen`: per (r, q) slice, `sum[p] = Σ_s A[r][q][s]·C4[s][p]`, then
+/// the slice is overwritten with `sum`.
+pub fn doitgen(n: u64, u: u64) -> String {
+    if u <= 1 {
+        format!(
+            "decl xa: ubit<32>[{n}][{n}][{n}];
+             decl c4: ubit<32>[{n}][{n}];
+             decl sum: ubit<32>[{n}];
+             {r} {{ {q} {{
+               {p} {{
+                 sum[p] := 0;
+                 ---
+                 {s} {{
+                   let t: ubit<32> = xa[rr][qq][s] * c4[s][p];
+                   ---
+                   sum[p] := sum[p] + t;
+                 }}
+               }}
+               ---
+               {p2} {{
+                 xa[rr][qq][p2] := sum[p2];
+               }}
+             }} }}",
+            r = hdr("rr", n),
+            q = hdr("qq", n),
+            p = hdr("p", n),
+            s = hdr("s", n),
+            p2 = hdr("p2", n)
+        )
+    } else {
+        format!(
+            "decl xain: ubit<32>[{n}][{n}][{n}];
+             decl xa: ubit<32>[{n}][{n}][{n} bank {u}];
+             decl c4: ubit<32>[{n}][{n} bank {u}];
+             decl sum: ubit<32>[{n} bank {u}];
+             {r} {{ {q} {{
+               {pu0} {{ sum[p] := 0; }}
+               ---
+               {s} {{
+                 let av: ubit<32> = xain[rr][qq][s];
+                 ---
+                 {pu} {{
+                   let t: ubit<32> = av * c4[s][p];
+                   ---
+                   sum[p] := sum[p] + t;
+                 }}
+               }}
+               ---
+               {pu2} {{ xa[rr][qq][p] := sum[p]; }}
+             }} }}",
+            r = hdr("rr", n),
+            q = hdr("qq", n),
+            pu0 = hdru("p", n, u),
+            s = hdr("s", n),
+            pu = hdru("p", n, u),
+            pu2 = hdru("p", n, u),
+        )
+    }
+}
+
+/// `mvt`: x1 += A·y1; x2 += Aᵀ·y2.
+pub fn mvt(n: u64, u: u64) -> String {
+    if u <= 1 {
+        format!(
+            "decl a: ubit<32>[{n}][{n}];
+             decl x1: ubit<32>[{n}];
+             decl x2: ubit<32>[{n}];
+             decl y1: ubit<32>[{n}];
+             decl y2: ubit<32>[{n}];
+             {i} {{ {j} {{
+               let t: ubit<32> = a[i][j] * y1[j];
+               ---
+               x1[i] := x1[i] + t;
+             }} }}
+             ---
+             {i2} {{ {j2} {{
+               let t2: ubit<32> = a[j2][i2] * y2[j2];
+               ---
+               x2[i2] := x2[i2] + t2;
+             }} }}",
+            i = hdr("i", n),
+            j = hdr("j", n),
+            i2 = hdr("i2", n),
+            j2 = hdr("j2", n)
+        )
+    } else {
+        format!(
+            "decl a: ubit<32>[{n} bank {u}][{n}];
+             decl a2: ubit<32>[{n}][{n} bank {u}];
+             decl x1: ubit<32>[{n} bank {u}];
+             decl x2: ubit<32>[{n} bank {u}];
+             decl y1: ubit<32>[{n}];
+             decl y2: ubit<32>[{n}];
+             {j} {{
+               let yv: ubit<32> = y1[j];
+               ---
+               {iu} {{
+                 let t: ubit<32> = a[i][j] * yv;
+                 ---
+                 x1[i] := x1[i] + t;
+               }}
+             }}
+             ---
+             {j2} {{
+               let y2v: ubit<32> = y2[j2];
+               ---
+               {iu2} {{
+                 let t2: ubit<32> = a2[j2][i] * y2v;
+                 ---
+                 x2[i] := x2[i] + t2;
+               }}
+             }}",
+            j = hdr("j", n),
+            iu = hdru("i", n, u),
+            j2 = hdr("j2", n),
+            iu2 = hdru("i", n, u),
+        )
+    }
+}
+
+/// `gemver`: A += u1·v1ᵀ + u2·v2ᵀ; x += 2·Aᵀ·y; x += z; w += 2·A·x.
+/// (Coefficients are powers of two, applied with shifts.)
+pub fn gemver(n: u64, _u: u64) -> String {
+    format!(
+        "decl a: ubit<32>[{n}][{n}];
+         decl u1: ubit<32>[{n}];
+         decl v1: ubit<32>[{n}];
+         decl u2: ubit<32>[{n}];
+         decl v2: ubit<32>[{n}];
+         decl x: ubit<32>[{n}];
+         decl y: ubit<32>[{n}];
+         decl z: ubit<32>[{n}];
+         decl w: ubit<32>[{n}];
+         {i} {{ {j} {{
+           let t1: ubit<32> = u1[i] * v1[j];
+           ---
+           let t2: ubit<32> = u2[i] * v2[j];
+           ---
+           a[i][j] := a[i][j] + t1 + t2;
+         }} }}
+         ---
+         {i2} {{ {j2} {{
+           let t3: ubit<32> = a[j2][i2] * y[j2];
+           ---
+           x[i2] := x[i2] + (t3 << 1);
+         }} }}
+         ---
+         {i3} {{
+           x[i3] := x[i3] + z[i3];
+         }}
+         ---
+         {i4} {{ {j4} {{
+           let t5: ubit<32> = a[i4][j4] * x[j4];
+           ---
+           w[i4] := w[i4] + (t5 << 1);
+         }} }}",
+        i = hdr("i", n),
+        j = hdr("j", n),
+        i2 = hdr("i2", n),
+        j2 = hdr("j2", n),
+        i3 = hdr("i3", n),
+        i4 = hdr("i4", n),
+        j4 = hdr("j4", n)
+    )
+}
+
+/// `gesummv`: y = 2·A·x + 3·B·x (shift-and-add coefficients).
+pub fn gesummv(n: u64, u: u64) -> String {
+    if u <= 1 {
+        format!(
+            "decl a: ubit<32>[{n}][{n}];
+             decl b: ubit<32>[{n}][{n}];
+             decl x: ubit<32>[{n}];
+             decl y: ubit<32>[{n}];
+             decl tmp: ubit<32>[{n}];
+             {i} {{
+               tmp[i] := 0;
+               y[i] := 0;
+               ---
+               {j} {{
+                 let t: ubit<32> = a[i][j] * x[j];
+                 ---
+                 tmp[i] := tmp[i] + t;
+                 ---
+                 let t2: ubit<32> = b[i][j] * x[j];
+                 ---
+                 y[i] := y[i] + t2;
+               }}
+               ---
+               y[i] := (tmp[i] << 1) + ((y[i] << 1) + y[i]);
+             }}",
+            i = hdr("i", n),
+            j = hdr("j", n)
+        )
+    } else {
+        format!(
+            "decl a: ubit<32>[{n} bank {u}][{n}];
+             decl b: ubit<32>[{n} bank {u}][{n}];
+             decl x: ubit<32>[{n}];
+             decl y: ubit<32>[{n} bank {u}];
+             decl tmp: ubit<32>[{n} bank {u}];
+             {i0} {{ {iu0} {{
+               tmp[i] := 0;
+               y[i] := 0;
+             }} }}
+             ---
+             {j} {{
+               let xv: ubit<32> = x[j];
+               ---
+               {iu} {{
+                 let t: ubit<32> = a[i][j] * xv;
+                 ---
+                 tmp[i] := tmp[i] + t;
+                 ---
+                 let t2: ubit<32> = b[i][j] * xv;
+                 ---
+                 y[i] := y[i] + t2;
+               }}
+             }}
+             ---
+             {i2} {{ {iu2} {{
+               y[i] := (tmp[i] << 1) + ((y[i] << 1) + y[i]);
+             }} }}",
+            i0 = "if (1 == 1)",
+            iu0 = hdru("i", n, u),
+            j = hdr("j", n),
+            iu = hdru("i", n, u),
+            i2 = "if (1 == 1)",
+            iu2 = hdru("i", n, u),
+        )
+    }
+}
+
+/// `symm`: C += B·A-symmetric interactions (integer PolyBench symm with
+/// alpha = beta = 1).
+pub fn symm(n: u64, _u: u64) -> String {
+    format!(
+        "decl a: ubit<32>[{n}][{n}];
+         decl b: ubit<32>[{n}][{n}];
+         decl c: ubit<32>[{n}][{n}];
+         let t2v: ubit<32> = 0;
+         ---
+         {i} {{ {j} {{
+           t2v := 0;
+           ---
+           let bij: ubit<32> = b[i][j];
+           ---
+           {k} {{
+             if (k < i) {{
+               let p1: ubit<32> = bij * a[i][k];
+               ---
+               c[k][j] := c[k][j] + p1;
+               ---
+               let p2: ubit<32> = b[k][j] * a[i][k];
+               ---
+               t2v := t2v + p2;
+             }}
+           }}
+           ---
+           let paa: ubit<32> = bij * a[i][i];
+           ---
+           c[i][j] := c[i][j] + paa + t2v;
+         }} }}",
+        i = hdr("i", n),
+        j = hdr("j", n),
+        k = hdr("k", n)
+    )
+}
+
+/// `syrk` (full-matrix variant): C += A·Aᵀ.
+pub fn syrk(n: u64, u: u64) -> String {
+    if u <= 1 {
+        format!(
+            "decl a: ubit<32>[{n}][{n}];
+             decl c: ubit<32>[{n}][{n}];
+             {i} {{ {j} {{ {k} {{
+               let av: ubit<32> = a[j][k];
+               ---
+               let t: ubit<32> = a[i][k] * av;
+               ---
+               c[i][j] := c[i][j] + t;
+             }} }} }}",
+            i = hdr("i", n),
+            j = hdr("j", n),
+            k = hdr("k", n)
+        )
+    } else {
+        format!(
+            "decl a: ubit<32>[{n} bank {u}][{n}];
+             decl a2: ubit<32>[{n}][{n}];
+             decl c: ubit<32>[{n} bank {u}][{n}];
+             {k} {{ {j} {{
+               let av: ubit<32> = a2[j][k];
+               ---
+               {iu} {{
+                 let t: ubit<32> = a[i][k] * av;
+                 ---
+                 c[i][j] := c[i][j] + t;
+               }}
+             }} }}",
+            k = hdr("k", n),
+            j = hdr("j", n),
+            iu = hdru("i", n, u),
+        )
+    }
+}
+
+/// `syr2k` (full-matrix variant): C += A·Bᵀ + B·Aᵀ.
+pub fn syr2k(n: u64, u: u64) -> String {
+    if u <= 1 {
+        format!(
+            "decl a: ubit<32>[{n}][{n}];
+             decl b: ubit<32>[{n}][{n}];
+             decl c: ubit<32>[{n}][{n}];
+             {i} {{ {j} {{ {k} {{
+               let a2v: ubit<32> = a[j][k];
+               ---
+               let b2v: ubit<32> = b[j][k];
+               ---
+               let t1: ubit<32> = a[i][k] * b2v;
+               ---
+               let t2: ubit<32> = b[i][k] * a2v;
+               ---
+               c[i][j] := c[i][j] + t1 + t2;
+             }} }} }}",
+            i = hdr("i", n),
+            j = hdr("j", n),
+            k = hdr("k", n)
+        )
+    } else {
+        format!(
+            "decl a: ubit<32>[{n} bank {u}][{n}];
+             decl a2: ubit<32>[{n}][{n}];
+             decl b: ubit<32>[{n} bank {u}][{n}];
+             decl b2: ubit<32>[{n}][{n}];
+             decl c: ubit<32>[{n} bank {u}][{n}];
+             {k} {{ {j} {{
+               let a2v: ubit<32> = a2[j][k];
+               ---
+               let b2v: ubit<32> = b2[j][k];
+               ---
+               {iu} {{
+                 let t1: ubit<32> = a[i][k] * b2v;
+                 ---
+                 let t2: ubit<32> = b[i][k] * a2v;
+                 ---
+                 c[i][j] := c[i][j] + t1 + t2;
+               }}
+             }} }}",
+            k = hdr("k", n),
+            j = hdr("j", n),
+            iu = hdru("i", n, u),
+        )
+    }
+}
+
+/// `trmm`: B += (strictly-lower A)ᵀ interactions (PolyBench trmm, alpha=1).
+pub fn trmm(n: u64, _u: u64) -> String {
+    format!(
+        "decl a: ubit<32>[{n}][{n}];
+         decl b: ubit<32>[{n}][{n}];
+         {i} {{ {j} {{ {k} {{
+           if (k > i) {{
+             let bv: ubit<32> = b[k][j];
+             ---
+             let t: ubit<32> = a[k][i] * bv;
+             ---
+             b[i][j] := b[i][j] + t;
+           }}
+         }} }} }}",
+        i = hdr("i", n),
+        j = hdr("j", n),
+        k = hdr("k", n)
+    )
+}
+
+/// `trisolv`: forward substitution x = L⁻¹·b.
+pub fn trisolv(n: u64, _u: u64) -> String {
+    format!(
+        "decl l: ubit<32>[{n}][{n}];
+         decl b: ubit<32>[{n}];
+         decl x: ubit<32>[{n}];
+         let acc: ubit<32> = 0;
+         ---
+         {i} {{
+           acc := b[i];
+           ---
+           {j} {{
+             if (j < i) {{
+               let t: ubit<32> = l[i][j] * x[j];
+               ---
+               acc := acc - t;
+             }}
+           }}
+           ---
+           let lii: ubit<32> = l[i][i];
+           ---
+           x[i] := acc / lii;
+         }}",
+        i = hdr("i", n),
+        j = hdr("j", n)
+    )
+}
+
+/// `cholesky`: in-place integer Cholesky-style factorization.
+pub fn cholesky(n: u64, _u: u64) -> String {
+    format!(
+        "decl a: ubit<32>[{n}][{n}];
+         let acc: ubit<32> = 0;
+         ---
+         {i} {{ {j} {{
+           if (j <= i) {{
+             acc := a[i][j];
+             ---
+             {k} {{
+               if (k < j) {{
+                 let ajk: ubit<32> = a[j][k];
+                 ---
+                 let t: ubit<32> = a[i][k] * ajk;
+                 ---
+                 acc := acc - t;
+               }}
+             }}
+             ---
+             if (j == i) {{
+               a[i][j] := sqrt(acc);
+             }} else {{
+               let ajj: ubit<32> = a[j][j];
+               ---
+               a[i][j] := acc / ajj;
+             }}
+           }}
+         }} }}",
+        i = hdr("i", n),
+        j = hdr("j", n),
+        k = hdr("k", n)
+    )
+}
+
+/// `lu`: in-place LU decomposition.
+pub fn lu(n: u64, _u: u64) -> String {
+    format!(
+        "decl a: ubit<32>[{n}][{n}];
+         let acc: ubit<32> = 0;
+         ---
+         {i} {{
+           {j} {{
+             if (j < i) {{
+               acc := a[i][j];
+               ---
+               {k} {{
+                 if (k < j) {{
+                   let akj: ubit<32> = a[k][j];
+                   ---
+                   let t: ubit<32> = a[i][k] * akj;
+                   ---
+                   acc := acc - t;
+                 }}
+               }}
+               ---
+               let ajj: ubit<32> = a[j][j];
+               ---
+               a[i][j] := acc / ajj;
+             }}
+           }}
+           ---
+           {j2} {{
+             if (j2 >= i) {{
+               acc := a[i][j2];
+               ---
+               {k2} {{
+                 if (k2 < i) {{
+                   let akj2: ubit<32> = a[k2][j2];
+                   ---
+                   let t2: ubit<32> = a[i][k2] * akj2;
+                   ---
+                   acc := acc - t2;
+                 }}
+               }}
+               ---
+               a[i][j2] := acc;
+             }}
+           }}
+         }}",
+        i = hdr("i", n),
+        j = hdr("j", n),
+        k = hdr("k", n),
+        j2 = hdr("j2", n),
+        k2 = hdr("k2", n)
+    )
+}
+
+/// `ludcmp`: LU factorization plus forward/backward substitution.
+pub fn ludcmp(n: u64, _u: u64) -> String {
+    let lu_part = lu(n, 1);
+    // Strip lu's decl (shared) and its scalar intro.
+    let lu_body = lu_part.split_once("---").map(|x| x.1)
+        .expect("lu has a body")
+        .to_string();
+    format!
+        (
+        "decl a: ubit<32>[{n}][{n}];
+         decl b: ubit<32>[{n}];
+         decl x: ubit<32>[{n}];
+         decl y: ubit<32>[{n}];
+         let acc: ubit<32> = 0;
+         ---
+         {lu_body}
+         ---
+         {i3} {{
+           acc := b[i3];
+           ---
+           {j3} {{
+             if (j3 < i3) {{
+               let t3: ubit<32> = a[i3][j3] * y[j3];
+               ---
+               acc := acc - t3;
+             }}
+           }}
+           ---
+           y[i3] := acc;
+         }}
+         ---
+         {i4} {{
+           let ri: ubit<8> = {nm1} - i4;
+           ---
+           acc := y[ri];
+           ---
+           {j4} {{
+             if (j4 > ri) {{
+               let t4: ubit<32> = a[ri][j4] * x[j4];
+               ---
+               acc := acc - t4;
+             }}
+           }}
+           ---
+           let aii: ubit<32> = a[ri][ri];
+           ---
+           x[ri] := acc / aii;
+         }}",
+        lu_body = lu_body,
+        i3 = hdr("i3", n),
+        j3 = hdr("j3", n),
+        i4 = hdr("i4", n),
+        j4 = hdr("j4", n),
+        nm1 = n - 1
+    )
+}
+
+/// `durbin`: Toeplitz system solver (integer adaptation).
+pub fn durbin(n: u64, _u: u64) -> String {
+    format!(
+        "decl r: ubit<32>[{n}];
+         decl y: ubit<32>[{n}];
+         decl z: ubit<32>[{n}];
+         let alpha: ubit<32> = 0;
+         let beta: ubit<32> = 1;
+         let sum: ubit<32> = 0;
+         ---
+         let r0: ubit<32> = r[0];
+         ---
+         y[0] := 0 - r0;
+         alpha := 0 - r0;
+         ---
+         {k} {{
+           let aa: ubit<32> = alpha * alpha;
+           ---
+           let onema: ubit<32> = 1 - aa;
+           ---
+           let nb: ubit<32> = onema * beta;
+           ---
+           beta := nb;
+           sum := 0;
+           ---
+           {i} {{
+             if (i < k) {{
+               let t: ubit<32> = r[k - i - 1] * y[i];
+               ---
+               sum := sum + t;
+             }}
+           }}
+           ---
+           let rk: ubit<32> = r[k];
+           ---
+           let num: ubit<32> = 0 - (rk + sum);
+           ---
+           let q: ubit<32> = num / beta;
+           ---
+           alpha := q;
+           ---
+           {i2} {{
+             if (i2 < k) {{
+               let ykk: ubit<32> = y[k - i2 - 1];
+               ---
+               let t2: ubit<32> = alpha * ykk;
+               ---
+               z[i2] := y[i2] + t2;
+             }}
+           }}
+           ---
+           {i3} {{
+             if (i3 < k) {{
+               y[i3] := z[i3];
+             }}
+           }}
+           ---
+           y[k] := alpha;
+         }}",
+        k = hdr_from("k", 1, n),
+        i = hdr("i", n),
+        i2 = hdr("i2", n),
+        i3 = hdr("i3", n)
+    )
+}
+
+/// `gramschmidt`: integer QR-style orthogonalization.
+pub fn gramschmidt(n: u64, _u: u64) -> String {
+    format!(
+        "decl a: ubit<32>[{n}][{n}];
+         decl q: ubit<32>[{n}][{n}];
+         decl r: ubit<32>[{n}][{n}];
+         let nrm: ubit<32> = 0;
+         let rsum: ubit<32> = 0;
+         ---
+         {k} {{
+           nrm := 0;
+           ---
+           {i} {{
+             let av: ubit<32> = a[i][k];
+             ---
+             let t: ubit<32> = av * av;
+             ---
+             nrm := nrm + t;
+           }}
+           ---
+           let rkk: ubit<32> = sqrt(nrm);
+           ---
+           r[k][k] := rkk;
+           ---
+           {i2} {{
+             q[i2][k] := a[i2][k] / rkk;
+           }}
+           ---
+           {j} {{
+             if (j > k) {{
+               rsum := 0;
+               ---
+               {i3} {{
+                 let t2: ubit<32> = q[i3][k] * a[i3][j];
+                 ---
+                 rsum := rsum + t2;
+               }}
+               ---
+               r[k][j] := rsum;
+               ---
+               {i4} {{
+                 let qv: ubit<32> = q[i4][k];
+                 ---
+                 let t3: ubit<32> = qv * rsum;
+                 ---
+                 a[i4][j] := a[i4][j] - t3;
+               }}
+             }}
+           }}
+         }}",
+        k = hdr("k", n),
+        i = hdr("i", n),
+        i2 = hdr("i2", n),
+        j = hdr("j", n),
+        i3 = hdr("i3", n),
+        i4 = hdr("i4", n)
+    )
+}

@@ -1,0 +1,29 @@
+//! Simulation infrastructure for Calyx programs.
+//!
+//! Two engines with different purposes:
+//!
+//! - [`rtl`]: a cycle-accurate simulator for *lowered* programs (flat
+//!   guarded assignments, no control). This is the repository's substitute
+//!   for Verilator: the lowered form corresponds 1:1 to the emitted
+//!   SystemVerilog, so the cycle counts reported here are the counts the
+//!   paper measures in §7. Each cycle performs a combinational settling pass
+//!   over a topologically-sorted dataflow graph (rejecting combinational
+//!   loops and multi-driver conflicts) followed by a synchronous state
+//!   update.
+//!
+//! - [`interp`]: a reference interpreter that executes the *control tree*
+//!   directly, before any lowering — an executable semantics for the IL in
+//!   the spirit of Calyx's Cider debugger. Cycle counts differ from RTL
+//!   (the interpreter has no FSM overhead), but architectural state
+//!   (memories, registers) must agree; the differential tests in
+//!   `tests/` exploit this as a compiler-correctness oracle.
+//!
+//! Both engines share the primitive behavioral models in [`prim`].
+
+pub mod error;
+pub mod interp;
+pub mod prim;
+pub mod rtl;
+
+pub use error::{SimError, SimResult};
+pub use rtl::{RunStats, Simulator};

@@ -1,0 +1,51 @@
+//! Printer/parser round-tripping: randomly generated programs print to
+//! text that parses back to a program printing identically, at every
+//! compilation stage.
+
+mod random_programs;
+
+use calyx::core::ir::{parse_context, Printer};
+use calyx::core::passes;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Frontend-level programs round-trip.
+    #[test]
+    fn generated_programs_roundtrip(spec in random_programs::program_spec()) {
+        let ctx = random_programs::build_program(&spec);
+        let printed = Printer::print_context(&ctx);
+        let reparsed = parse_context(&printed)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{printed}")))?;
+        prop_assert_eq!(Printer::print_context(&reparsed), printed);
+    }
+
+    /// Lowered (FSM-compiled, group-free) programs also round-trip: the
+    /// printer/parser cover the guard language the compiler emits.
+    #[test]
+    fn lowered_programs_roundtrip(spec in random_programs::program_spec()) {
+        let mut ctx = random_programs::build_program(&spec);
+        passes::lower_pipeline().run(&mut ctx).expect("lowers");
+        let printed = Printer::print_context(&ctx);
+        let reparsed = parse_context(&printed)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{printed}")))?;
+        prop_assert_eq!(Printer::print_context(&reparsed), printed);
+    }
+}
+
+#[test]
+fn polybench_sources_roundtrip_through_calyx() {
+    for def in calyx::polybench::KERNELS.iter().take(6) {
+        let (_, ctx) = calyx::polybench::compile_kernel(def, 4, 1).unwrap();
+        let printed = Printer::print_context(&ctx);
+        let reparsed = parse_context(&printed)
+            .unwrap_or_else(|e| panic!("{}: {e}", def.name));
+        assert_eq!(
+            Printer::print_context(&reparsed),
+            printed,
+            "{} did not round-trip",
+            def.name
+        );
+    }
+}
