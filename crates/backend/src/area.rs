@@ -184,13 +184,7 @@ fn wiring_area(comp: &Component) -> CalyxResult<Area> {
     let mut bool_nodes: u64 = 0;
     let mut cmp_luts: u64 = 0;
     for asgn in &comp.continuous {
-        count_guard(
-            &asgn.guard,
-            comp,
-            &mut seen,
-            &mut bool_nodes,
-            &mut cmp_luts,
-        )?;
+        count_guard(&asgn.guard, comp, &mut seen, &mut bool_nodes, &mut cmp_luts)?;
     }
     a.luts += ceil_div(bool_nodes, 3) + cmp_luts;
     Ok(a)
@@ -312,7 +306,9 @@ mod tests {
             }"#;
         let lower = |rs: bool| {
             let mut c = parse_context(src).unwrap();
-            passes::optimized_pipeline(rs, false, false).run(&mut c).unwrap();
+            passes::optimized_pipeline(rs, false, false)
+                .run(&mut c)
+                .unwrap();
             c
         };
         let baseline_ctx = lower(false);

@@ -178,8 +178,10 @@ fn print_fig9(quick: bool, what: &str) -> Result<(), ()> {
 
 fn print_stats(quick: bool) -> Result<(), ()> {
     println!("## Section 7.4: compilation statistics\n");
-    let gemver = stats::gemver_stats(if quick { 4 } else { 8 }).map_err(|e| eprintln!("stats: {e}"))?;
-    let systolic = stats::systolic_stats(if quick { 4 } else { 8 }).map_err(|e| eprintln!("stats: {e}"))?;
+    let gemver =
+        stats::gemver_stats(if quick { 4 } else { 8 }).map_err(|e| eprintln!("stats: {e}"))?;
+    let systolic =
+        stats::systolic_stats(if quick { 4 } else { 8 }).map_err(|e| eprintln!("stats: {e}"))?;
     println!("| design | cells | groups | control stmts | compile time | SV LOC |");
     println!("|--------|------:|-------:|--------------:|-------------:|-------:|");
     for s in [&gemver, &systolic] {

@@ -144,8 +144,7 @@ mod tests {
             assert!(row.calyx_static_cycles < row.hls_cycles, "{row:?}");
         }
         // Speedup grows with size (crossover direction).
-        let speedup =
-            |r: &Fig7Row| r.hls_cycles as f64 / r.calyx_static_cycles as f64;
+        let speedup = |r: &Fig7Row| r.hls_cycles as f64 / r.calyx_static_cycles as f64;
         assert!(speedup(&rows[1]) > speedup(&rows[0]), "{rows:?}");
         // LUTs are within a small factor of HLS (paper: 1.11x mean).
         let lut_factor = geomean(

@@ -89,7 +89,10 @@ mod tests {
         // optimized commercial toolchain.
         let row = run_kernel(kernel("gemm").unwrap(), 6, 1).unwrap();
         let slowdown = row.slowdown();
-        assert!(slowdown > 1.0, "HLS pipelines; Calyx pays FSM overhead: {row:?}");
+        assert!(
+            slowdown > 1.0,
+            "HLS pipelines; Calyx pays FSM overhead: {row:?}"
+        );
         assert!(slowdown < 12.0, "within an order of magnitude: {row:?}");
     }
 
@@ -110,6 +113,9 @@ mod tests {
             .map(|k| run_kernel(kernel(k).unwrap(), 4, 1).unwrap())
             .collect();
         let slow = geomean(rows.iter().map(Fig8Row::slowdown));
-        assert!(slow > 1.0 && slow < 15.0, "geomean slowdown {slow}: {rows:?}");
+        assert!(
+            slow > 1.0 && slow < 15.0,
+            "geomean slowdown {slow}: {rows:?}"
+        );
     }
 }

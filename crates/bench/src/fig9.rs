@@ -137,7 +137,11 @@ mod tests {
         // The paper's point: sharing's LUT effect is small and can go
         // either direction (mux overhead vs. unit savings).
         let row = run_kernel(kernel("mvt").unwrap(), 4).unwrap();
-        for f in [row.lut_factor_rs(), row.lut_factor_mr(), row.lut_factor_both()] {
+        for f in [
+            row.lut_factor_rs(),
+            row.lut_factor_mr(),
+            row.lut_factor_both(),
+        ] {
             assert!(f > 0.5 && f < 2.0, "LUT factor {f}: {row:?}");
         }
     }

@@ -78,10 +78,7 @@ mod tests {
     fn compilation_is_fast_like_the_paper() {
         // §7.4: Calyx compiles gemver in well under a second.
         let stats = gemver_stats(8).unwrap();
-        assert!(
-            stats.compile_time < Duration::from_secs(5),
-            "{stats:?}"
-        );
+        assert!(stats.compile_time < Duration::from_secs(5), "{stats:?}");
         assert!(stats.verilog_loc > 100, "{stats:?}");
     }
 

@@ -168,10 +168,8 @@ impl Interference {
                         self.visit(child, rw, &live.live_out[idx]);
                     }
                     // Registers touched in different children interfere.
-                    let touched: Vec<BTreeSet<Id>> = children
-                        .iter()
-                        .map(|c| touched_regs(c, rw))
-                        .collect();
+                    let touched: Vec<BTreeSet<Id>> =
+                        children.iter().map(|c| touched_regs(c, rw)).collect();
                     for i in 0..touched.len() {
                         for j in (i + 1)..touched.len() {
                             self.add_cross(&touched[i], &touched[j]);

@@ -133,7 +133,9 @@ mod tests {
 
     #[test]
     fn with_chains() {
-        let a = Attributes::new().with(attr::share(), 1).with(attr::static_(), 4);
+        let a = Attributes::new()
+            .with(attr::share(), 1)
+            .with(attr::static_(), 4);
         assert!(a.has(attr::share()));
         assert_eq!(a.get(attr::static_()), Some(4));
     }

@@ -6,9 +6,7 @@
 //! surface where they are made rather than at validation or simulation time.
 
 use super::cell::Group;
-use super::{
-    attr, Assignment, Atom, CellType, Component, Context, Control, Guard, Id, PortRef,
-};
+use super::{attr, Assignment, Atom, CellType, Component, Context, Control, Guard, Id, PortRef};
 
 /// Things that can name a port: a [`PortRef`], or `(cell, port)` pairs.
 pub trait IntoPortRef {
@@ -292,7 +290,10 @@ mod tests {
             b.asgn_const(two, (x, "in"), 2, 32);
             b.asgn_const(two, (x, "write_en"), 1, 1);
             b.group_done(two, (x, "done"));
-            b.set_control(Control::seq(vec![Control::enable(one), Control::enable(two)]));
+            b.set_control(Control::seq(vec![
+                Control::enable(one),
+                Control::enable(two),
+            ]));
         }
         assert_eq!(comp.cells.len(), 1);
         assert_eq!(comp.groups.len(), 2);
@@ -338,7 +339,10 @@ mod tests {
             let g = b.add_static_group("g", 3);
             assert_eq!(g.as_str(), "g");
         }
-        assert_eq!(comp.groups.get(Id::new("g")).unwrap().static_latency(), Some(3));
+        assert_eq!(
+            comp.groups.get(Id::new("g")).unwrap().static_latency(),
+            Some(3)
+        );
     }
 
     #[test]

@@ -361,11 +361,20 @@ mod tests {
 
     #[test]
     fn atom_constants_truncate() {
-        assert_eq!(Atom::constant(0x1ff, 8), Atom::Const { val: 0xff, width: 8 });
+        assert_eq!(
+            Atom::constant(0x1ff, 8),
+            Atom::Const {
+                val: 0xff,
+                width: 8
+            }
+        );
         assert_eq!(Atom::constant(5, 32), Atom::Const { val: 5, width: 32 });
         assert_eq!(
             Atom::constant(u64::MAX, 64),
-            Atom::Const { val: u64::MAX, width: 64 }
+            Atom::Const {
+                val: u64::MAX,
+                width: 64
+            }
         );
     }
 

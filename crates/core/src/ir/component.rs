@@ -326,7 +326,10 @@ mod tests {
     fn explicit_go_not_duplicated() {
         let comp = Component::new("main", vec![PortDef::new("go", 1, Direction::Input)]);
         assert_eq!(
-            comp.signature.iter().filter(|p| p.name.as_str() == "go").count(),
+            comp.signature
+                .iter()
+                .filter(|p| p.name.as_str() == "go")
+                .count(),
             1
         );
     }
@@ -397,7 +400,12 @@ mod tests {
         ctx.add_component(pe);
         let mut main = ctx.new_component("main");
         let cell = ctx
-            .make_cell("pe0", CellType::Component { name: Id::new("pe") })
+            .make_cell(
+                "pe0",
+                CellType::Component {
+                    name: Id::new("pe"),
+                },
+            )
             .unwrap();
         main.cells.insert(cell);
         ctx.add_component(main);

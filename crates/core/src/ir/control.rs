@@ -8,8 +8,7 @@
 use super::{Attributes, Id, PortRef};
 
 /// A control program.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Control {
     /// No-op. The control program of a fully lowered component.
     #[default]
@@ -239,7 +238,6 @@ impl Control {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,19 +248,18 @@ mod tests {
         Control::seq(vec![
             Control::enable("a"),
             Control::par(vec![Control::enable("b"), Control::enable("c")]),
-            Control::if_(
-                p,
-                Some(Id::new("g")),
-                Control::enable("d"),
-                Control::Empty,
-            ),
+            Control::if_(p, Some(Id::new("g")), Control::enable("d"), Control::Empty),
             Control::while_(p, Some(Id::new("g")), Control::enable("e")),
         ])
     }
 
     #[test]
     fn used_groups_includes_cond_groups() {
-        let groups: Vec<_> = sample().used_groups().into_iter().map(|g| g.as_str()).collect();
+        let groups: Vec<_> = sample()
+            .used_groups()
+            .into_iter()
+            .map(|g| g.as_str())
+            .collect();
         assert_eq!(groups, vec!["a", "b", "c", "d", "e", "g"]);
     }
 

@@ -308,7 +308,9 @@ mod tests {
     fn display_respects_precedence() {
         let g = Guard::port(p("a")).or(Guard::port(p("b")).and(Guard::port(p("c"))));
         assert_eq!(g.to_string(), "a.out | b.out & c.out");
-        let g2 = Guard::port(p("a")).or(Guard::port(p("b"))).and(Guard::port(p("c")));
+        let g2 = Guard::port(p("a"))
+            .or(Guard::port(p("b")))
+            .and(Guard::port(p("c")));
         assert_eq!(g2.to_string(), "(a.out | b.out) & c.out");
         let g3 = Guard::port(p("a")).and(Guard::port(p("b"))).not();
         assert_eq!(g3.to_string(), "!(a.out & b.out)");

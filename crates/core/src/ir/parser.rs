@@ -318,7 +318,9 @@ impl Parser {
         loop {
             let key = match self.next() {
                 Tok::Str(s) => Id::new(s),
-                other => return Err(self.err(format!("expected attribute string, found {other:?}"))),
+                other => {
+                    return Err(self.err(format!("expected attribute string, found {other:?}")))
+                }
             };
             self.expect(Tok::Eq, "`=`")?;
             let val = self.num("attribute value")?;
@@ -672,7 +674,11 @@ fn parse_extern(p: &mut Parser) -> CalyxResult<Vec<PrimitiveDef>> {
     p.keyword("extern")?;
     match p.next() {
         Tok::Str(_) => {}
-        other => return Err(p.err(format!("expected file string after `extern`, found {other:?}"))),
+        other => {
+            return Err(p.err(format!(
+                "expected file string after `extern`, found {other:?}"
+            )))
+        }
     }
     p.expect(Tok::LBrace, "`{`")?;
     let mut defs = Vec::new();
@@ -888,7 +894,10 @@ mod tests {
         let ctx = parse_context(src).unwrap();
         let main = ctx.component("main").unwrap();
         assert_eq!(main.continuous.len(), 3);
-        assert!(matches!(main.continuous[1].guard, Guard::Comp(CompOp::Lt, ..)));
+        assert!(matches!(
+            main.continuous[1].guard,
+            Guard::Comp(CompOp::Lt, ..)
+        ));
     }
 
     #[test]

@@ -81,7 +81,12 @@ impl PrimitiveDef {
                 params.len()
             )));
         }
-        let env: HashMap<Id, u64> = self.params.iter().copied().zip(params.iter().copied()).collect();
+        let env: HashMap<Id, u64> = self
+            .params
+            .iter()
+            .copied()
+            .zip(params.iter().copied())
+            .collect();
         self.ports
             .iter()
             .map(|p| {
@@ -155,7 +160,9 @@ impl Library {
         );
 
         // Combinational binary arithmetic/logic: left, right -> out.
-        for name in ["std_add", "std_sub", "std_and", "std_or", "std_xor", "std_lsh", "std_rsh"] {
+        for name in [
+            "std_add", "std_sub", "std_and", "std_or", "std_xor", "std_lsh", "std_rsh",
+        ] {
             lib.define(
                 Sig(name, &["WIDTH"]),
                 vec![("left", w, Input), ("right", w, Input), ("out", w, Output)],
@@ -180,7 +187,11 @@ impl Library {
         ] {
             lib.define(
                 Sig(name, &["WIDTH"]),
-                vec![("left", w, Input), ("right", w, Input), ("out", one, Output)],
+                vec![
+                    ("left", w, Input),
+                    ("right", w, Input),
+                    ("out", one, Output),
+                ],
                 Attributes::new().with(attr::share(), 1),
                 true,
             );
@@ -208,7 +219,9 @@ impl Library {
                 ("out", w, Output),
                 ("done", one, Output),
             ],
-            Attributes::new().with(attr::static_(), 4).with(attr::share(), 1),
+            Attributes::new()
+                .with(attr::static_(), 4)
+                .with(attr::share(), 1),
             false,
         );
         lib.define(
@@ -221,7 +234,9 @@ impl Library {
                 ("out_remainder", w, Output),
                 ("done", one, Output),
             ],
-            Attributes::new().with(attr::static_(), 4).with(attr::share(), 1),
+            Attributes::new()
+                .with(attr::static_(), 4)
+                .with(attr::share(), 1),
             false,
         );
 
@@ -242,16 +257,28 @@ impl Library {
         // Memories. Reads are combinational on the address ports; writes
         // commit on the clock edge with a registered `done`.
         let size = |n: &str| WidthSpec::Param(Id::new(n));
-        lib.define_mem("std_mem_d1", &["WIDTH", "SIZE", "IDX_SIZE"], vec![("addr0", size("IDX_SIZE"))]);
+        lib.define_mem(
+            "std_mem_d1",
+            &["WIDTH", "SIZE", "IDX_SIZE"],
+            vec![("addr0", size("IDX_SIZE"))],
+        );
         lib.define_mem(
             "std_mem_d2",
             &["WIDTH", "D0_SIZE", "D1_SIZE", "D0_IDX_SIZE", "D1_IDX_SIZE"],
-            vec![("addr0", size("D0_IDX_SIZE")), ("addr1", size("D1_IDX_SIZE"))],
+            vec![
+                ("addr0", size("D0_IDX_SIZE")),
+                ("addr1", size("D1_IDX_SIZE")),
+            ],
         );
         lib.define_mem(
             "std_mem_d3",
             &[
-                "WIDTH", "D0_SIZE", "D1_SIZE", "D2_SIZE", "D0_IDX_SIZE", "D1_IDX_SIZE",
+                "WIDTH",
+                "D0_SIZE",
+                "D1_SIZE",
+                "D2_SIZE",
+                "D0_IDX_SIZE",
+                "D1_IDX_SIZE",
                 "D2_IDX_SIZE",
             ],
             vec![
@@ -287,7 +314,12 @@ impl Library {
         self.prims.insert(def.name, def);
     }
 
-    fn define_mem(&mut self, name: &'static str, params: &'static [&'static str], addrs: Vec<(&str, WidthSpec)>) {
+    fn define_mem(
+        &mut self,
+        name: &'static str,
+        params: &'static [&'static str],
+        addrs: Vec<(&str, WidthSpec)>,
+    ) {
         use Direction::{Input, Output};
         let w = WidthSpec::Param(Id::new("WIDTH"));
         let one = WidthSpec::Const(1);
@@ -380,14 +412,23 @@ mod tests {
     #[test]
     fn latency_and_share_attributes() {
         let lib = Library::std();
-        assert_eq!(lib.expect(Id::new("std_reg")).unwrap().static_latency(), Some(1));
         assert_eq!(
-            lib.expect(Id::new("std_mult_pipe")).unwrap().static_latency(),
+            lib.expect(Id::new("std_reg")).unwrap().static_latency(),
+            Some(1)
+        );
+        assert_eq!(
+            lib.expect(Id::new("std_mult_pipe"))
+                .unwrap()
+                .static_latency(),
             Some(4)
         );
         assert!(lib.expect(Id::new("std_add")).unwrap().is_shareable());
         assert!(!lib.expect(Id::new("std_reg")).unwrap().is_shareable());
-        assert!(lib.expect(Id::new("std_sqrt")).unwrap().static_latency().is_none());
+        assert!(lib
+            .expect(Id::new("std_sqrt"))
+            .unwrap()
+            .static_latency()
+            .is_none());
     }
 
     #[test]

@@ -7,8 +7,7 @@
 
 use super::cell::Group;
 use super::{
-    attr, Assignment, Attributes, Cell, CellType, Component, Context, Control, Direction,
-    PortDef,
+    attr, Assignment, Attributes, Cell, CellType, Component, Context, Control, Direction, PortDef,
 };
 use std::fmt::Write;
 

@@ -112,7 +112,10 @@ mod tests {
         let mut rw = Rewriter::from_cells([(Id::new("a"), Id::new("b"))].into_iter().collect());
         rw.port_map
             .insert(PortRef::cell("a", "out"), PortRef::cell("c", "out"));
-        assert_eq!(rw.port(PortRef::cell("a", "out")), PortRef::cell("c", "out"));
+        assert_eq!(
+            rw.port(PortRef::cell("a", "out")),
+            PortRef::cell("c", "out")
+        );
         assert_eq!(rw.port(PortRef::cell("a", "in")), PortRef::cell("b", "in"));
     }
 

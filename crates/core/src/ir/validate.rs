@@ -71,9 +71,9 @@ fn writable(comp: &Component, port: &PortRef) -> CalyxResult<bool> {
                 .cells
                 .get(cell)
                 .ok_or_else(|| Error::undefined(format!("cell `{cell}`")))?;
-            let def = cell
-                .port(port.port)
-                .ok_or_else(|| Error::undefined(format!("port `{}` on `{}`", port.port, cell.name)))?;
+            let def = cell.port(port.port).ok_or_else(|| {
+                Error::undefined(format!("port `{}` on `{}`", port.port, cell.name))
+            })?;
             def.direction == Direction::Input
         }
         // The component's outputs are driven from the inside.

@@ -112,6 +112,59 @@ fn enable_guard(b: &mut Builder, child: Id, base: Guard) -> Guard {
     }
 }
 
+/// Is `child` a *static island*: a group scheduled by
+/// [`StaticTiming`](super::StaticTiming) (or honoring its contract) whose
+/// `done` rises combinationally in the very cycle its final writes commit?
+fn is_static_island(b: &mut Builder, child: Id) -> bool {
+    let is_static = b
+        .component()
+        .groups
+        .get(child)
+        .and_then(crate::ir::Group::static_latency)
+        .is_some();
+    is_static && !needs_done_protection(b, child)
+}
+
+/// Wire `child`'s `go` under `base` into compilation group `g` and return
+/// the guard the parent FSM must treat as the child's completion.
+///
+/// Dynamic children hand back their `done` hole directly: their registered
+/// done *pulses* one cycle after their final write commits, so the parent
+/// consumes the pulse cycle and the next sibling starts with all done
+/// signals quiescent. A static island instead asserts `done`
+/// combinationally *during* its commit cycle; advancing on it directly
+/// would start the next sibling exactly when the island's `reg.done` /
+/// `mem.done` pulses land, and a sibling sharing a done source would
+/// mistake the stale pulse for its own completion and be skipped entirely.
+/// A 1-bit saver (`sd_*`, the sequential analogue of `compile_par`'s
+/// `pd_*` savers) registers the island's completion, delaying the parent's
+/// view by the one cycle that lets the stale pulse pass.
+fn wire_child(b: &mut Builder, g: Id, child: Id, base: Guard) -> Guard {
+    if !is_static_island(b, child) {
+        let en = enable_guard(b, child, base);
+        b.asgn_const_guarded(g, PortRef::hole(child, "go"), 1, 1, en);
+        return done(child);
+    }
+    let sd = b.add_primitive(&format!("sd_{child}"), "std_reg", &[1]);
+    b.set_cell_attribute(sd, attr::fsm(), 1);
+    let sd_out = Guard::Port(PortRef::cell(sd, "out"));
+    // Run the island until its completion is recorded (also protects it
+    // from re-executing during the handoff cycle).
+    let en = base.clone().and(sd_out.clone().not());
+    b.asgn_const_guarded(g, PortRef::hole(child, "go"), 1, 1, en);
+    // Record the combinational done on the commit cycle (`!sd` keeps this
+    // disjoint from the consume write for constant-done islands)...
+    let record = base.clone().and(done(child)).and(sd_out.clone().not());
+    b.asgn_const_guarded(g, (sd, "in"), 1, 1, record.clone());
+    b.asgn_const_guarded(g, (sd, "write_en"), 1, 1, record);
+    // ...and consume it the cycle after, when the parent advances, so the
+    // saver is clear if the statement re-executes inside a loop.
+    let consume = base.and(sd_out.clone());
+    b.asgn_const_guarded(g, (sd, "in"), 0, 1, consume.clone());
+    b.asgn_const_guarded(g, (sd, "write_en"), 1, 1, consume);
+    sd_out
+}
+
 /// Compile one statement; returns the group that realizes it (or `None` for
 /// empty control).
 fn compile(b: &mut Builder, stmt: &Control) -> CalyxResult<Option<Id>> {
@@ -188,11 +241,9 @@ fn compile_seq(b: &mut Builder, children: &[Id]) -> Id {
 
     for (i, &child) in children.iter().enumerate() {
         let state = Guard::port_eq(fsm_out, i as u64, width);
-        // Enable the child while in its state.
-        let en = enable_guard(b, child, state.clone());
-        b.asgn_const_guarded(g, PortRef::hole(child, "go"), 1, 1, en);
-        // Advance when the child reports done.
-        let tick = state.and(done(child));
+        // Enable the child while in its state; advance when it completes.
+        let finished = wire_child(b, g, child, state.clone());
+        let tick = state.and(finished);
         b.asgn_const_guarded(g, (fsm, "in"), i as u64 + 1, width, tick.clone());
         b.asgn_const_guarded(g, (fsm, "write_en"), 1, 1, tick);
     }
@@ -301,9 +352,8 @@ fn compile_if(
         let selected = computed.clone().and(active);
         let finished = match branch {
             Some(child) => {
-                let en = enable_guard(b, child, selected.clone());
-                b.asgn_const_guarded(g, PortRef::hole(child, "go"), 1, 1, en);
-                selected.and(done(child))
+                let complete = wire_child(b, g, child, selected.clone());
+                selected.and(complete)
             }
             None => selected,
         };
@@ -415,9 +465,7 @@ mod tests {
             .unwrap();
         // Find the reset write: fsm.in = (fsm.out == 2) ? 0.
         let reset = seq_group.assignments.iter().any(|a| {
-            a.dst.port.as_str() == "in"
-                && a.src == Atom::constant(0, 2)
-                && !a.guard.is_true()
+            a.dst.port.as_str() == "in" && a.src == Atom::constant(0, 2) && !a.guard.is_true()
         });
         assert!(reset, "seq compilation group must reset its FSM");
     }
@@ -497,10 +545,77 @@ mod tests {
 
     #[test]
     fn empty_control_stays_empty() {
-        let ctx = compile_src(
-            r#"component main() -> () { cells {} wires {} control {} }"#,
-        );
+        let ctx = compile_src(r#"component main() -> () { cells {} wires {} control {} }"#);
         assert!(ctx.component("main").unwrap().control.is_empty());
+    }
+
+    /// Regression test: a *static island* (combinational done, asserted in
+    /// its commit cycle) under a dynamic seq must have its completion
+    /// registered through an `sd_*` saver. Advancing on the island's raw
+    /// done would start the next sibling exactly when the island's
+    /// registered write pulses (`mem.done`/`reg.done`) land; a sibling
+    /// whose done comes from the same source would then treat the stale
+    /// pulse as its own completion and be skipped without ever running
+    /// (observed as the static-timing differential divergence).
+    #[test]
+    fn static_island_completion_is_registered() {
+        let mut ctx = parse_context(
+            r#"component main() -> () {
+              cells { @external mem = std_mem_d1(8, 2, 1); }
+              wires {
+                group island<"static"=1> {
+                  mem.addr0 = 1'd0; mem.write_data = 8'd7; mem.write_en = 1'd1;
+                  island[done] = 1'd1;
+                }
+                group wr {
+                  mem.addr0 = 1'd1; mem.write_data = 8'd42; mem.write_en = 1'd1;
+                  wr[done] = mem.done;
+                }
+              }
+              control { seq { island; wr; } }
+            }"#,
+        )
+        .unwrap();
+        CompileControl.run(&mut ctx).unwrap();
+        let main = ctx.component("main").unwrap();
+        assert!(
+            main.cells.names().any(|n| n.as_str() == "sd_island"),
+            "a completion saver must be allocated for the static island"
+        );
+        let seq_group = main
+            .groups
+            .iter()
+            .find(|g| g.attributes.has(attr::generated()))
+            .unwrap();
+        let island_go = seq_group
+            .assignments
+            .iter()
+            .find(|a| a.dst == PortRef::hole("island", "go"))
+            .expect("island is enabled");
+        assert!(
+            format!("{}", island_go.guard).contains("!sd_island.out"),
+            "island must not re-execute during the handoff cycle: {}",
+            island_go.guard
+        );
+        // Every FSM advance out of the island's state must consult the
+        // saver, not the island's same-cycle combinational done.
+        let advance = seq_group
+            .assignments
+            .iter()
+            .filter(|a| {
+                a.dst.cell_parent().is_some_and(|c| c.as_str() == "fsm")
+                    && a.dst.port.as_str() == "in"
+                    && a.src == Atom::constant(1, 2)
+            })
+            .collect::<Vec<_>>();
+        assert!(!advance.is_empty(), "seq FSM advances past the island");
+        for asgn in advance {
+            assert!(
+                format!("{}", asgn.guard).contains("sd_island.out"),
+                "advance must wait for the registered completion: {}",
+                asgn.guard
+            );
+        }
     }
 
     #[test]
@@ -535,7 +650,13 @@ mod tests {
         // Static child: plain state guard. Dynamic child: state & !done.
         let a_guard = format!("{}", go_guard("a"));
         let b_guard = format!("{}", go_guard("b"));
-        assert!(!a_guard.contains("a[done]"), "static child guard: {a_guard}");
-        assert!(b_guard.contains("!b[done]"), "dynamic child guard: {b_guard}");
+        assert!(
+            !a_guard.contains("a[done]"),
+            "static child guard: {a_guard}"
+        );
+        assert!(
+            b_guard.contains("!b[done]"),
+            "dynamic child guard: {b_guard}"
+        );
     }
 }

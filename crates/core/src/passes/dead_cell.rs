@@ -100,7 +100,10 @@ mod tests {
         let main = ctx.component("main").unwrap();
         assert!(main.cells.contains(Id::new("used")));
         assert!(!main.cells.contains(Id::new("dead")));
-        assert!(main.cells.contains(Id::new("kept")), "@external cells survive");
+        assert!(
+            main.cells.contains(Id::new("kept")),
+            "@external cells survive"
+        );
     }
 
     #[test]
@@ -120,7 +123,11 @@ mod tests {
         )
         .unwrap();
         DeadCellRemoval.run(&mut ctx).unwrap();
-        assert!(ctx.component("main").unwrap().cells.contains(Id::new("flag")));
+        assert!(ctx
+            .component("main")
+            .unwrap()
+            .cells
+            .contains(Id::new("flag")));
     }
 
     #[test]

@@ -91,9 +91,14 @@ mod tests {
         )
         .unwrap();
         GoInsertion.run(&mut ctx).unwrap();
-        let g = ctx.component("main").unwrap().groups.get(Id::new("g")).unwrap();
-        let expected = Guard::Port(PortRef::hole("g", "go"))
-            .and(Guard::Port(PortRef::cell("cmp", "out")));
+        let g = ctx
+            .component("main")
+            .unwrap()
+            .groups
+            .get(Id::new("g"))
+            .unwrap();
+        let expected =
+            Guard::Port(PortRef::hole("g", "go")).and(Guard::Port(PortRef::cell("cmp", "out")));
         assert_eq!(g.assignments[0].guard, expected);
     }
 }

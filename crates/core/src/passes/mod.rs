@@ -82,7 +82,11 @@ pub fn lower_pipeline_static() -> PassManager {
 
 /// The full optimizing pipeline used for the paper's headline numbers:
 /// sharing optimizations followed by latency-sensitive lowering.
-pub fn optimized_pipeline(resource_sharing: bool, minimize_regs: bool, static_timing: bool) -> PassManager {
+pub fn optimized_pipeline(
+    resource_sharing: bool,
+    minimize_regs: bool,
+    static_timing: bool,
+) -> PassManager {
     let mut pm = PassManager::new();
     pm.register(WellFormed);
     pm.register(CollapseControl);

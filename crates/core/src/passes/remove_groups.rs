@@ -41,9 +41,7 @@ impl Pass for RemoveGroups {
                 other => {
                     return Err(Error::pass(
                         "remove-groups",
-                        format!(
-                            "expected compiled control (a single enable), found:\n{other}"
-                        ),
+                        format!("expected compiled control (a single enable), found:\n{other}"),
                     ))
                 }
             };
@@ -120,8 +118,7 @@ impl Pass for RemoveGroups {
             if let Some(top) = top {
                 let mut go_guard = Guard::Port(PortRef::this("go"));
                 if top_needs_protection {
-                    go_guard =
-                        go_guard.and(Guard::Port(PortRef::hole(top, "done")).not());
+                    go_guard = go_guard.and(Guard::Port(PortRef::hole(top, "done")).not());
                 }
                 repl.insert(PortRef::hole(top, "go"), go_guard);
             }
@@ -298,7 +295,10 @@ mod tests {
         for w in x_writes {
             let guard = format!("{}", w.guard);
             assert!(guard.contains("go"), "guard must mention go: {guard}");
-            assert!(guard.contains("fsm.out =="), "guard must mention fsm: {guard}");
+            assert!(
+                guard.contains("fsm.out =="),
+                "guard must mention fsm: {guard}"
+            );
         }
     }
 

@@ -57,10 +57,9 @@ impl Pass for ResourceSharing {
                 .iter()
                 .filter(|c| !pinned.contains(&c.name))
                 .filter(|c| match &c.prototype {
-                    CellType::Primitive { name, .. } => ctx
-                        .lib
-                        .get(*name)
-                        .is_some_and(|def| def.is_shareable()),
+                    CellType::Primitive { name, .. } => {
+                        ctx.lib.get(*name).is_some_and(|def| def.is_shareable())
+                    }
                     CellType::Component { name } => ctx
                         .components
                         .get(*name)
@@ -118,9 +117,10 @@ impl Pass for ResourceSharing {
                     let candidates = pool.entry(proto).or_default();
                     let mut chosen = None;
                     for &rep in candidates.iter() {
-                        let conflicts_with_rep = claims
-                            .get(&rep)
-                            .is_some_and(|gs| gs.iter().any(|&g| g == group || conflicts.conflict(g, group)));
+                        let conflicts_with_rep = claims.get(&rep).is_some_and(|gs| {
+                            gs.iter()
+                                .any(|&g| g == group || conflicts.conflict(g, group))
+                        });
                         // A representative already claimed by this same group
                         // holds a *different* value concurrently; skip it.
                         if !conflicts_with_rep {

@@ -23,9 +23,7 @@
 
 use super::traversal::{for_each_component, Pass};
 use crate::errors::CalyxResult;
-use crate::ir::{
-    attr, Atom, Builder, Component, Context, Control, Group, Guard, Id, PortRef,
-};
+use crate::ir::{attr, Atom, Builder, Component, Context, Control, Group, Guard, Id, PortRef};
 use crate::utils::bits_needed;
 
 /// Opportunistically compile control with latency-sensitive counter FSMs.
@@ -142,8 +140,16 @@ fn as_static_enable(b: &mut Builder, stmt: &Control) -> Option<(Option<Id>, u64)
 fn transform(b: &mut Builder, stmt: Control) -> Control {
     match stmt {
         Control::Empty => Control::Empty,
-        Control::Enable { group, mut attributes } => {
-            if let Some(l) = b.component().groups.get(group).and_then(Group::static_latency) {
+        Control::Enable {
+            group,
+            mut attributes,
+        } => {
+            if let Some(l) = b
+                .component()
+                .groups
+                .get(group)
+                .and_then(Group::static_latency)
+            {
                 attributes.insert(attr::static_(), l);
             }
             Control::Enable { group, attributes }
@@ -291,9 +297,7 @@ fn build_static_seq(b: &mut Builder, children: &[(Id, u64)]) -> (Id, u64) {
     let mut offset = 0;
     for &(child, latency) in children {
         let guard = match counter {
-            Some((fsm_out, width)) => {
-                window_guard(fsm_out, offset, offset + latency, total, width)
-            }
+            Some((fsm_out, width)) => window_guard(fsm_out, offset, offset + latency, total, width),
             None => Guard::True,
         };
         b.asgn_const_guarded(g, PortRef::hole(child, "go"), 1, 1, guard);
@@ -502,7 +506,10 @@ mod tests {
         let main = ctx.component("main").unwrap();
         // 1 (comb cond latch) + 2 (balanced branches).
         assert_eq!(main.control.static_latency(), Some(3));
-        let cs = main.cells.iter().find(|c| c.name.as_str().starts_with("cs"));
+        let cs = main
+            .cells
+            .iter()
+            .find(|c| c.name.as_str().starts_with("cs"));
         assert!(cs.is_some(), "condition-save register allocated");
     }
 
@@ -533,11 +540,7 @@ mod tests {
         let comp = ctx.component("main").unwrap();
         assert_eq!(stmt_latency(comp, &comp.control), Some(3));
         assert_eq!(stmt_latency(comp, &Control::Empty), Some(0));
-        let w = Control::while_(
-            PortRef::cell("x", "out"),
-            None,
-            Control::enable("one"),
-        );
+        let w = Control::while_(PortRef::cell("x", "out"), None, Control::enable("one"));
         assert_eq!(stmt_latency(comp, &w), None);
     }
 }

@@ -212,7 +212,10 @@ mod tests {
         assert_eq!(pm.timings()[0].name, "first");
         assert_eq!(pm.timings()[1].name, "second");
         assert_eq!(
-            ctx.component("main").unwrap().attributes.get(Id::new("count")),
+            ctx.component("main")
+                .unwrap()
+                .attributes
+                .get(Id::new("count")),
             Some(2)
         );
     }
@@ -224,10 +227,19 @@ mod tests {
         pm.register(Failing);
         pm.register(Marker("after", vec![]));
         let err = pm.run(&mut ctx).unwrap_err();
-        assert!(matches!(err, Error::Pass { pass: "failing", .. }));
+        assert!(matches!(
+            err,
+            Error::Pass {
+                pass: "failing",
+                ..
+            }
+        ));
         assert_eq!(pm.timings().len(), 0);
         assert_eq!(
-            ctx.component("main").unwrap().attributes.get(Id::new("count")),
+            ctx.component("main")
+                .unwrap()
+                .attributes
+                .get(Id::new("count")),
             None
         );
     }

@@ -47,17 +47,18 @@ fn guard_strategy() -> impl Strategy<Value = Guard> {
     let leaf = prop_oneof![
         Just(Guard::True),
         (0..4usize).prop_map(|i| Guard::Port(port(i))),
-        (comp_op(), 0..2usize, 0..16u64)
-            .prop_map(|(op, i, c)| Guard::Comp(op, Atom::Port(bus(i)), Atom::constant(c, 4))),
-        (comp_op(), 0..16u64, 0..16u64).prop_map(|(op, a, b)| {
-            Guard::Comp(op, Atom::constant(a, 4), Atom::constant(b, 4))
-        }),
+        (comp_op(), 0..2usize, 0..16u64).prop_map(|(op, i, c)| Guard::Comp(
+            op,
+            Atom::Port(bus(i)),
+            Atom::constant(c, 4)
+        )),
+        (comp_op(), 0..16u64, 0..16u64)
+            .prop_map(|(op, a, b)| { Guard::Comp(op, Atom::constant(a, 4), Atom::constant(b, 4)) }),
     ];
     leaf.prop_recursive(4, 32, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|g| Guard::Not(Box::new(g))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Guard::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Guard::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner).prop_map(|(a, b)| Guard::Or(Box::new(a), Box::new(b))),
         ]
     })

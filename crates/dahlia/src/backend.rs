@@ -13,9 +13,7 @@
 use crate::ast::{BinOp, Block, Expr, MemDecl, Program, Stmt};
 use crate::check::{expr_width, Env};
 use calyx_core::errors::{CalyxResult, Error};
-use calyx_core::ir::{
-    attr, Atom, Builder, Context, Control, Guard, Id, PortRef,
-};
+use calyx_core::ir::{attr, Atom, Builder, Context, Control, Guard, Id, PortRef};
 use calyx_core::utils::bits_needed;
 use std::collections::HashMap;
 
@@ -147,7 +145,11 @@ pub fn emit(p: &Program) -> CalyxResult<Context> {
                 };
                 let cell = b.add_primitive(name, prim, &params);
                 b.set_cell_attribute(cell, attr::external(), 1);
-                let bank = if decl.is_banked() { Some(i as u64) } else { None };
+                let bank = if decl.is_banked() {
+                    Some(i as u64)
+                } else {
+                    None
+                };
                 em.mem_cells.insert((decl.name, bank), cell);
             }
         }
@@ -199,10 +201,9 @@ impl Emitter {
     }
 
     fn mem_cell(&self, mem: Id, bank: Option<u64>) -> CalyxResult<Id> {
-        self.mem_cells
-            .get(&(mem, bank))
-            .copied()
-            .ok_or_else(|| Error::malformed(format!("unresolved memory access `{mem}` (bank {bank:?})")))
+        self.mem_cells.get(&(mem, bank)).copied().ok_or_else(|| {
+            Error::malformed(format!("unresolved memory access `{mem}` (bank {bank:?})"))
+        })
     }
 
     fn stmt_control(&mut self, b: &mut Builder, s: &Stmt) -> CalyxResult<Control> {
@@ -246,7 +247,9 @@ impl Emitter {
                 body,
             } => {
                 if *unroll != 1 {
-                    return Err(Error::malformed("unlowered unrolled loop reached the backend"));
+                    return Err(Error::malformed(
+                        "unlowered unrolled loop reached the backend",
+                    ));
                 }
                 if u64::from(bits_needed(*hi)) > u64::from(*width) {
                     return Err(Error::malformed(format!(
@@ -322,7 +325,13 @@ impl Emitter {
         let (atom, aw) = self.compile_expr(b, g, rhs, width, &mut gctx)?;
         let atom = adapt(b, g, self, atom, aw, width);
         drive(b, g, PortRef::cell(reg, "in"), atom);
-        self.finish_write(b, g, PortRef::cell(reg, "write_en"), PortRef::cell(reg, "done"), &gctx);
+        self.finish_write(
+            b,
+            g,
+            PortRef::cell(reg, "write_en"),
+            PortRef::cell(reg, "done"),
+            &gctx,
+        );
         Ok(Control::enable(g))
     }
 
@@ -431,7 +440,9 @@ impl Emitter {
             .into_iter()
             .nth(bank.unwrap_or(0) as usize)
             .map(|(_, dims)| dims)
-            .ok_or_else(|| Error::malformed(format!("bank {bank:?} out of range for `{}`", decl.name)))?;
+            .ok_or_else(|| {
+                Error::malformed(format!("bank {bank:?} out of range for `{}`", decl.name))
+            })?;
         for (d, idx) in indices.iter().enumerate() {
             let aw = addr_width(sizes[d]);
             let (atom, w) = self.compile_expr(b, g, idx, aw, gctx)?;
@@ -496,18 +507,11 @@ impl Emitter {
                             BinOp::Div => ("std_div_pipe", "out_quotient"),
                             _ => ("std_div_pipe", "out_remainder"),
                         };
-                        let unit =
-                            b.add_primitive(&self.fresh("unit"), prim, &[u64::from(opw)]);
+                        let unit = b.add_primitive(&self.fresh("unit"), prim, &[u64::from(opw)]);
                         drive(b, g, PortRef::cell(unit, "left"), la);
                         drive(b, g, PortRef::cell(unit, "right"), ra);
                         let done = PortRef::cell(unit, "done");
-                        b.asgn_const_guarded(
-                            g,
-                            (unit, "go"),
-                            1,
-                            1,
-                            Guard::Port(done).not(),
-                        );
+                        b.asgn_const_guarded(g, (unit, "go"), 1, 1, Guard::Port(done).not());
                         gctx.unit_dones.push(done);
                         (Atom::Port(PortRef::cell(unit, out_port)), opw)
                     }
@@ -697,7 +701,10 @@ mod tests {
         sim.run(1_000_000).unwrap();
         let out = join_banks(
             &decl,
-            &[sim.memory(&["b_b0"]).unwrap(), sim.memory(&["b_b1"]).unwrap()],
+            &[
+                sim.memory(&["b_b0"]).unwrap(),
+                sim.memory(&["b_b1"]).unwrap(),
+            ],
         );
         assert_eq!(out, (1..=8).collect::<Vec<u64>>());
     }

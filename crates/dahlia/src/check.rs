@@ -48,7 +48,10 @@ pub fn check(p: &Program) -> CalyxResult<()> {
         }
         for (size, banks) in &d.dims {
             if *size == 0 {
-                return Err(Error::malformed(format!("memory `{}` has a zero dimension", d.name)));
+                return Err(Error::malformed(format!(
+                    "memory `{}` has a zero dimension",
+                    d.name
+                )));
             }
             if *banks == 0 || size % banks != 0 {
                 return Err(Error::malformed(format!(
@@ -208,11 +211,10 @@ fn check_stmt(s: &Stmt, env: &mut Env) -> CalyxResult<()> {
         Stmt::Store {
             mem, indices, rhs, ..
         } => {
-            let decl = env
-                .mems
-                .get(mem)
-                .cloned()
-                .ok_or_else(|| Error::malformed(format!("store to undeclared memory `{mem}`")))?;
+            let decl =
+                env.mems.get(mem).cloned().ok_or_else(|| {
+                    Error::malformed(format!("store to undeclared memory `{mem}`"))
+                })?;
             if indices.len() != decl.dims.len() {
                 return Err(Error::malformed(format!(
                     "memory `{mem}` has {} dimension(s), indexed with {}",

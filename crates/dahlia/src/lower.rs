@@ -322,7 +322,9 @@ fn lane_expr(
             let (bank, indices) = match bank {
                 Some(b) => (Some(b), indices),
                 None => {
-                    let uses_var = indices.iter().any(|i| matches!(i, Expr::Var(v) if *v == var));
+                    let uses_var = indices
+                        .iter()
+                        .any(|i| matches!(i, Expr::Var(v) if *v == var));
                     if uses_var {
                         resolve_access(mem, indices, env, Some((var, lane, unroll)))?
                     } else {
@@ -337,7 +339,9 @@ fn lane_expr(
             lane_expr(*lhs, var, lane, unroll, renames, env)?,
             lane_expr(*rhs, var, lane, unroll, renames, env)?,
         ),
-        Expr::Sqrt(inner) => Expr::Sqrt(Box::new(lane_expr(*inner, var, lane, unroll, renames, env)?)),
+        Expr::Sqrt(inner) => Expr::Sqrt(Box::new(lane_expr(
+            *inner, var, lane, unroll, renames, env,
+        )?)),
     })
 }
 
@@ -359,7 +363,10 @@ fn resolve_access(
     };
     if !decl.is_banked() {
         if let Some((var, _, _)) = lane_ctx {
-            if indices.iter().any(|i| matches!(i, Expr::Var(v) if *v == var)) {
+            if indices
+                .iter()
+                .any(|i| matches!(i, Expr::Var(v) if *v == var))
+            {
                 return Err(Error::malformed(format!(
                     "memory `{mem}` is unbanked but indexed by unrolled variable `{var}`; \
                      bank it by the unroll factor or hoist the access"
@@ -710,7 +717,11 @@ mod tests {
         let mut n = usize::from(pred(s));
         match s {
             Stmt::If { then_, else_, .. } => {
-                n += then_.iter().chain(else_).map(|s| count_stmts(s, pred)).sum::<usize>();
+                n += then_
+                    .iter()
+                    .chain(else_)
+                    .map(|s| count_stmts(s, pred))
+                    .sum::<usize>();
             }
             Stmt::While { body, .. } | Stmt::For { body, .. } => {
                 n += body.iter().map(|s| count_stmts(s, pred)).sum::<usize>();
@@ -733,7 +744,9 @@ mod tests {
         );
         // The loop now runs 4 base iterations with a par of 2 lanes.
         match &p.body {
-            Stmt::For { hi, unroll, body, .. } => {
+            Stmt::For {
+                hi, unroll, body, ..
+            } => {
                 assert_eq!(*hi, 4);
                 assert_eq!(*unroll, 1);
                 match &body[0] {
@@ -766,7 +779,10 @@ mod tests {
                b[i] := t;
              }",
         );
-        let lets = count_stmts(&p.body, &|s| matches!(s, Stmt::Let { var, .. } if var.as_str().contains("__l")));
+        let lets = count_stmts(
+            &p.body,
+            &|s| matches!(s, Stmt::Let { var, .. } if var.as_str().contains("__l")),
+        );
         assert_eq!(lets, 2, "one renamed let per lane: {p:?}");
     }
 
@@ -808,9 +824,10 @@ mod tests {
         );
         // Two multiplies, at most one can stay at the root: at least one
         // temporary is introduced.
-        let temps = count_stmts(&p.body, &|s| {
-            matches!(s, Stmt::Let { var, .. } if var.as_str().starts_with("__t"))
-        });
+        let temps = count_stmts(
+            &p.body,
+            &|s| matches!(s, Stmt::Let { var, .. } if var.as_str().starts_with("__t")),
+        );
         assert!(temps >= 1, "{p:?}");
         // No statement has more than one sequential op afterwards.
         fn max_seq(s: &Stmt) -> usize {
@@ -818,12 +835,9 @@ mod tests {
                 Stmt::Let { init, .. } => init.sequential_ops(),
                 Stmt::AssignVar { rhs, .. } => rhs.sequential_ops(),
                 Stmt::Store { rhs, .. } => rhs.sequential_ops(),
-                Stmt::If { then_, else_, .. } => then_
-                    .iter()
-                    .chain(else_)
-                    .map(max_seq)
-                    .max()
-                    .unwrap_or(0),
+                Stmt::If { then_, else_, .. } => {
+                    then_.iter().chain(else_).map(max_seq).max().unwrap_or(0)
+                }
                 Stmt::While { body, .. } | Stmt::For { body, .. } => {
                     body.iter().map(max_seq).max().unwrap_or(0)
                 }
@@ -839,9 +853,10 @@ mod tests {
             "decl a: ubit<32>[8];
              let x: ubit<32> = a[0] + a[1];",
         );
-        let temps = count_stmts(&p.body, &|s| {
-            matches!(s, Stmt::Let { var, .. } if var.as_str().starts_with("__t"))
-        });
+        let temps = count_stmts(
+            &p.body,
+            &|s| matches!(s, Stmt::Let { var, .. } if var.as_str().starts_with("__t")),
+        );
         assert_eq!(temps, 1, "{p:?}");
     }
 
@@ -854,9 +869,10 @@ mod tests {
              ---
              a[i] := a[i] + 1;",
         );
-        let temps = count_stmts(&p.body, &|s| {
-            matches!(s, Stmt::Let { var, .. } if var.as_str().starts_with("__t"))
-        });
+        let temps = count_stmts(
+            &p.body,
+            &|s| matches!(s, Stmt::Let { var, .. } if var.as_str().starts_with("__t")),
+        );
         assert_eq!(temps, 0, "{p:?}");
     }
 
@@ -866,9 +882,10 @@ mod tests {
             "decl a: ubit<32>[8];
              a[0] := a[1] + 1;",
         );
-        let temps = count_stmts(&p.body, &|s| {
-            matches!(s, Stmt::Let { var, .. } if var.as_str().starts_with("__t"))
-        });
+        let temps = count_stmts(
+            &p.body,
+            &|s| matches!(s, Stmt::Let { var, .. } if var.as_str().starts_with("__t")),
+        );
         assert_eq!(temps, 1, "{p:?}");
     }
 }

@@ -649,7 +649,12 @@ mod tests {
             Stmt::Seq(chunks) => {
                 assert!(matches!(
                     chunks[0],
-                    Stmt::For { unroll: 2, lo: 0, hi: 8, .. }
+                    Stmt::For {
+                        unroll: 2,
+                        lo: 0,
+                        hi: 8,
+                        ..
+                    }
                 ));
                 assert!(matches!(chunks[1], Stmt::While { .. }));
             }
@@ -662,7 +667,11 @@ mod tests {
         let p = parse("let x: ubit<32> = 1 + 2 * 3;").unwrap();
         match p.body {
             Stmt::Let { init, .. } => match init {
-                Expr::Binop { op: BinOp::Add, rhs, .. } => {
+                Expr::Binop {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(*rhs, Expr::Binop { op: BinOp::Mul, .. }));
                 }
                 other => panic!("expected add at root, got {other:?}"),

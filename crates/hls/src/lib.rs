@@ -476,7 +476,10 @@ mod tests {
                for (let i: ubit<8> = 0..8) { a[i] := 1; }
              }",
         );
-        assert!(nested.cycles > 3 * single.cycles, "{nested:?} vs {single:?}");
+        assert!(
+            nested.cycles > 3 * single.cycles,
+            "{nested:?} vs {single:?}"
+        );
     }
 
     #[test]

@@ -883,11 +883,12 @@ pub fn lu(n: u64, _u: u64) -> String {
 pub fn ludcmp(n: u64, _u: u64) -> String {
     let lu_part = lu(n, 1);
     // Strip lu's decl (shared) and its scalar intro.
-    let lu_body = lu_part.split_once("---").map(|x| x.1)
+    let lu_body = lu_part
+        .split_once("---")
+        .map(|x| x.1)
         .expect("lu has a body")
         .to_string();
-    format!
-        (
+    format!(
         "decl a: ubit<32>[{n}][{n}];
          decl b: ubit<32>[{n}];
          decl x: ubit<32>[{n}];

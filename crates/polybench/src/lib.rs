@@ -43,7 +43,9 @@ pub struct KernelDef {
 
 impl std::fmt::Debug for KernelDef {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("KernelDef").field("name", &self.name).finish()
+        f.debug_struct("KernelDef")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -61,25 +63,158 @@ pub fn logical_of(physical: &str) -> String {
 
 /// The 19-kernel registry, in the paper's figure order.
 pub const KERNELS: &[KernelDef] = &[
-    KernelDef { name: "2mm", abbrev: "2mm", unrollable: true, source: kernels::two_mm, reference: ref_2mm, outputs: &["tmp", "d"] },
-    KernelDef { name: "3mm", abbrev: "3mm", unrollable: true, source: kernels::three_mm, reference: ref_3mm, outputs: &["e", "f", "g"] },
-    KernelDef { name: "atax", abbrev: "ata", unrollable: true, source: kernels::atax, reference: ref_atax, outputs: &["tmp", "y"] },
-    KernelDef { name: "doitgen", abbrev: "dtg", unrollable: true, source: kernels::doitgen, reference: ref_doitgen, outputs: &["xa"] },
-    KernelDef { name: "gemm", abbrev: "gmm", unrollable: true, source: kernels::gemm, reference: ref_gemm, outputs: &["c"] },
-    KernelDef { name: "gemver", abbrev: "gmv", unrollable: false, source: kernels::gemver, reference: ref_gemver, outputs: &["a", "x", "w"] },
-    KernelDef { name: "gesummv", abbrev: "gev", unrollable: true, source: kernels::gesummv, reference: ref_gesummv, outputs: &["y"] },
-    KernelDef { name: "gramschmidt", abbrev: "gmt", unrollable: false, source: kernels::gramschmidt, reference: ref_gramschmidt, outputs: &["a", "q", "r"] },
-    KernelDef { name: "mvt", abbrev: "mvt", unrollable: true, source: kernels::mvt, reference: ref_mvt, outputs: &["x1", "x2"] },
-    KernelDef { name: "syr2k", abbrev: "s2k", unrollable: true, source: kernels::syr2k, reference: ref_syr2k, outputs: &["c"] },
-    KernelDef { name: "syrk", abbrev: "sk", unrollable: true, source: kernels::syrk, reference: ref_syrk, outputs: &["c"] },
-    KernelDef { name: "bicg", abbrev: "bcg", unrollable: true, source: kernels::bicg, reference: ref_bicg, outputs: &["s", "q"] },
-    KernelDef { name: "cholesky", abbrev: "cky", unrollable: false, source: kernels::cholesky, reference: ref_cholesky, outputs: &["a"] },
-    KernelDef { name: "durbin", abbrev: "dbn", unrollable: false, source: kernels::durbin, reference: ref_durbin, outputs: &["y"] },
-    KernelDef { name: "lu", abbrev: "lu", unrollable: false, source: kernels::lu, reference: ref_lu, outputs: &["a"] },
-    KernelDef { name: "ludcmp", abbrev: "lcp", unrollable: false, source: kernels::ludcmp, reference: ref_ludcmp, outputs: &["a", "y", "x"] },
-    KernelDef { name: "symm", abbrev: "sym", unrollable: false, source: kernels::symm, reference: ref_symm, outputs: &["c"] },
-    KernelDef { name: "trisolv", abbrev: "tsv", unrollable: false, source: kernels::trisolv, reference: ref_trisolv, outputs: &["x"] },
-    KernelDef { name: "trmm", abbrev: "trm", unrollable: false, source: kernels::trmm, reference: ref_trmm, outputs: &["b"] },
+    KernelDef {
+        name: "2mm",
+        abbrev: "2mm",
+        unrollable: true,
+        source: kernels::two_mm,
+        reference: ref_2mm,
+        outputs: &["tmp", "d"],
+    },
+    KernelDef {
+        name: "3mm",
+        abbrev: "3mm",
+        unrollable: true,
+        source: kernels::three_mm,
+        reference: ref_3mm,
+        outputs: &["e", "f", "g"],
+    },
+    KernelDef {
+        name: "atax",
+        abbrev: "ata",
+        unrollable: true,
+        source: kernels::atax,
+        reference: ref_atax,
+        outputs: &["tmp", "y"],
+    },
+    KernelDef {
+        name: "doitgen",
+        abbrev: "dtg",
+        unrollable: true,
+        source: kernels::doitgen,
+        reference: ref_doitgen,
+        outputs: &["xa"],
+    },
+    KernelDef {
+        name: "gemm",
+        abbrev: "gmm",
+        unrollable: true,
+        source: kernels::gemm,
+        reference: ref_gemm,
+        outputs: &["c"],
+    },
+    KernelDef {
+        name: "gemver",
+        abbrev: "gmv",
+        unrollable: false,
+        source: kernels::gemver,
+        reference: ref_gemver,
+        outputs: &["a", "x", "w"],
+    },
+    KernelDef {
+        name: "gesummv",
+        abbrev: "gev",
+        unrollable: true,
+        source: kernels::gesummv,
+        reference: ref_gesummv,
+        outputs: &["y"],
+    },
+    KernelDef {
+        name: "gramschmidt",
+        abbrev: "gmt",
+        unrollable: false,
+        source: kernels::gramschmidt,
+        reference: ref_gramschmidt,
+        outputs: &["a", "q", "r"],
+    },
+    KernelDef {
+        name: "mvt",
+        abbrev: "mvt",
+        unrollable: true,
+        source: kernels::mvt,
+        reference: ref_mvt,
+        outputs: &["x1", "x2"],
+    },
+    KernelDef {
+        name: "syr2k",
+        abbrev: "s2k",
+        unrollable: true,
+        source: kernels::syr2k,
+        reference: ref_syr2k,
+        outputs: &["c"],
+    },
+    KernelDef {
+        name: "syrk",
+        abbrev: "sk",
+        unrollable: true,
+        source: kernels::syrk,
+        reference: ref_syrk,
+        outputs: &["c"],
+    },
+    KernelDef {
+        name: "bicg",
+        abbrev: "bcg",
+        unrollable: true,
+        source: kernels::bicg,
+        reference: ref_bicg,
+        outputs: &["s", "q"],
+    },
+    KernelDef {
+        name: "cholesky",
+        abbrev: "cky",
+        unrollable: false,
+        source: kernels::cholesky,
+        reference: ref_cholesky,
+        outputs: &["a"],
+    },
+    KernelDef {
+        name: "durbin",
+        abbrev: "dbn",
+        unrollable: false,
+        source: kernels::durbin,
+        reference: ref_durbin,
+        outputs: &["y"],
+    },
+    KernelDef {
+        name: "lu",
+        abbrev: "lu",
+        unrollable: false,
+        source: kernels::lu,
+        reference: ref_lu,
+        outputs: &["a"],
+    },
+    KernelDef {
+        name: "ludcmp",
+        abbrev: "lcp",
+        unrollable: false,
+        source: kernels::ludcmp,
+        reference: ref_ludcmp,
+        outputs: &["a", "y", "x"],
+    },
+    KernelDef {
+        name: "symm",
+        abbrev: "sym",
+        unrollable: false,
+        source: kernels::symm,
+        reference: ref_symm,
+        outputs: &["c"],
+    },
+    KernelDef {
+        name: "trisolv",
+        abbrev: "tsv",
+        unrollable: false,
+        source: kernels::trisolv,
+        reference: ref_trisolv,
+        outputs: &["x"],
+    },
+    KernelDef {
+        name: "trmm",
+        abbrev: "trm",
+        unrollable: false,
+        source: kernels::trmm,
+        reference: ref_trmm,
+        outputs: &["b"],
+    },
 ];
 
 /// Look up a kernel by name or abbreviation.
@@ -92,7 +227,9 @@ pub fn kernel(name: &str) -> Option<&'static KernelDef> {
 pub fn input_data(kernel: &str, logical: &str, len: usize) -> Vec<u64> {
     let mut seed: u64 = 0x9e37_79b9_7f4a_7c15;
     for b in kernel.bytes().chain(logical.bytes()) {
-        seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(u64::from(b));
+        seed = seed
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(u64::from(b));
     }
     (0..len)
         .map(|_| {
@@ -173,8 +310,8 @@ pub fn simulate(
     passes::optimized_pipeline(cfg.resource_sharing, cfg.minimize_regs, cfg.static_timing)
         .run(&mut ctx)?;
 
-    let mut sim = Simulator::new(&ctx, "main")
-        .map_err(|e| Error::malformed(format!("{}: {e}", def.name)))?;
+    let mut sim =
+        Simulator::new(&ctx, "main").map_err(|e| Error::malformed(format!("{}: {e}", def.name)))?;
 
     // Deterministic logical data, shared between the design and the
     // reference run.
@@ -716,8 +853,7 @@ mod tests {
     fn all_sources_parse_and_check() {
         for k in KERNELS {
             let src = (k.source)(4, 1);
-            let p = calyx_dahlia::parse(&src)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{src}", k.name));
+            let p = calyx_dahlia::parse(&src).unwrap_or_else(|e| panic!("{}: {e}\n{src}", k.name));
             calyx_dahlia::check::check(&p).unwrap_or_else(|e| panic!("{}: {e}", k.name));
         }
     }
@@ -726,8 +862,7 @@ mod tests {
     fn unrolled_sources_parse_and_check() {
         for k in KERNELS.iter().filter(|k| k.unrollable) {
             let src = (k.source)(4, 2);
-            let p = calyx_dahlia::parse(&src)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{src}", k.name));
+            let p = calyx_dahlia::parse(&src).unwrap_or_else(|e| panic!("{}: {e}\n{src}", k.name));
             calyx_dahlia::check::check(&p).unwrap_or_else(|e| panic!("{}: {e}", k.name));
         }
     }

@@ -17,9 +17,7 @@
 
 use crate::error::{SimError, SimResult};
 use crate::prim::{mask, CombOp, PrimState, UnitOp};
-use calyx_core::ir::{
-    Assignment, Atom, CellType, Component, Context, Control, Guard, Id, PortRef,
-};
+use calyx_core::ir::{Assignment, Atom, CellType, Component, Context, Control, Guard, Id, PortRef};
 use std::collections::{HashMap, HashSet};
 
 /// Per-cycle port valuation.
@@ -98,10 +96,7 @@ impl Interpreter {
                 CellType::Primitive { name, params } => {
                     let width = params.first().copied().unwrap_or(1) as u32;
                     if let Some(op) = CombOp::from_name(name.as_str()) {
-                        let out_width = cell
-                            .port(Id::new("out"))
-                            .map(|p| p.width)
-                            .unwrap_or(width);
+                        let out_width = cell.port(Id::new("out")).map(|p| p.width).unwrap_or(width);
                         kinds.insert(cell.name, CellKind::Comb(op, width, out_width));
                     } else {
                         match name.as_str() {
@@ -233,7 +228,9 @@ impl Interpreter {
             }
             self.step()?;
         }
-        Ok(crate::rtl::RunStats { cycles: self.cycles })
+        Ok(crate::rtl::RunStats {
+            cycles: self.cycles,
+        })
     }
 
     /// Execute one cycle: settle, advance the control tree, tick state.
@@ -305,7 +302,11 @@ impl Interpreter {
                     values.insert(PortRef::cell(*cell, "done"), u64::from(*done));
                 }
                 PrimState::Unit {
-                    op, out, out2, done, ..
+                    op,
+                    out,
+                    out2,
+                    done,
+                    ..
                 } => {
                     let out_port = if *op == UnitOp::Div {
                         "out_quotient"
@@ -421,16 +422,21 @@ impl Interpreter {
                 Some(CellKind::Reg) => {
                     let input = get(values, PortRef::cell(cell, "in"));
                     let we = get(values, PortRef::cell(cell, "write_en")) != 0;
-                    self.states.get_mut(&cell).expect("state").tick_reg(input, we);
+                    self.states
+                        .get_mut(&cell)
+                        .expect("state")
+                        .tick_reg(input, we);
                 }
                 Some(CellKind::Mem) => {
                     let addrs = self.mem_addrs(cell, values);
                     let wd = get(values, PortRef::cell(cell, "write_data"));
                     let we = get(values, PortRef::cell(cell, "write_en")) != 0;
-                    self.states
-                        .get_mut(&cell)
-                        .expect("state")
-                        .tick_mem(&addrs, wd, we, cell.as_str())?;
+                    self.states.get_mut(&cell).expect("state").tick_mem(
+                        &addrs,
+                        wd,
+                        we,
+                        cell.as_str(),
+                    )?;
                 }
                 Some(CellKind::Unit) => {
                     let op = match &self.states[&cell] {
@@ -447,7 +453,10 @@ impl Interpreter {
                         )
                     };
                     let go = get(values, PortRef::cell(cell, "go")) != 0;
-                    self.states.get_mut(&cell).expect("state").tick_unit(l, r, go);
+                    self.states
+                        .get_mut(&cell)
+                        .expect("state")
+                        .tick_unit(l, r, go);
                 }
                 _ => {}
             }

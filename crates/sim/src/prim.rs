@@ -84,7 +84,10 @@ impl CombOp {
 
     /// Is this a two-operand operator (`left`/`right` rather than `in`)?
     pub fn is_binary(self) -> bool {
-        !matches!(self, CombOp::Not | CombOp::Slice | CombOp::Pad | CombOp::Wire)
+        !matches!(
+            self,
+            CombOp::Not | CombOp::Slice | CombOp::Pad | CombOp::Wire
+        )
     }
 
     /// Evaluate with operand width `w` and output width `ow`.

@@ -17,9 +17,7 @@
 
 use crate::error::{SimError, SimResult};
 use crate::prim::{mask, CombOp, PrimState, UnitOp};
-use calyx_core::ir::{
-    Atom, CellType, CompOp, Context, Guard, Id, PortParent, PortRef,
-};
+use calyx_core::ir::{Atom, CellType, CompOp, Context, Guard, Id, PortParent, PortRef};
 use std::collections::HashMap;
 
 /// An elaborated atom: a port slot or a constant.
@@ -151,9 +149,11 @@ impl<'a> Elaborator<'a> {
         this_ports: &HashMap<Id, usize>,
         prefix: &str,
     ) -> SimResult<()> {
-        let comp = self.ctx.components.get(name).ok_or_else(|| {
-            SimError::Elaboration(format!("undefined component `{name}`"))
-        })?;
+        let comp = self
+            .ctx
+            .components
+            .get(name)
+            .ok_or_else(|| SimError::Elaboration(format!("undefined component `{name}`")))?;
         if !comp.groups.is_empty() || !comp.control.is_empty() {
             return Err(SimError::Elaboration(format!(
                 "component `{name}` still has groups/control; run the lowering \
@@ -186,25 +186,24 @@ impl<'a> Elaborator<'a> {
         }
 
         // Resolve assignments.
-        let resolve = |port: &PortRef,
-                       cell_ports: &HashMap<Id, HashMap<Id, usize>>|
-         -> SimResult<usize> {
-            match port.parent {
-                PortParent::Cell(c) => cell_ports
-                    .get(&c)
-                    .and_then(|m| m.get(&port.port))
-                    .copied()
-                    .ok_or_else(|| {
-                        SimError::Elaboration(format!("unresolved port `{port}` in `{name}`"))
+        let resolve =
+            |port: &PortRef, cell_ports: &HashMap<Id, HashMap<Id, usize>>| -> SimResult<usize> {
+                match port.parent {
+                    PortParent::Cell(c) => cell_ports
+                        .get(&c)
+                        .and_then(|m| m.get(&port.port))
+                        .copied()
+                        .ok_or_else(|| {
+                            SimError::Elaboration(format!("unresolved port `{port}` in `{name}`"))
+                        }),
+                    PortParent::This => this_ports.get(&port.port).copied().ok_or_else(|| {
+                        SimError::Elaboration(format!("unresolved this-port `{port}` in `{name}`"))
                     }),
-                PortParent::This => this_ports.get(&port.port).copied().ok_or_else(|| {
-                    SimError::Elaboration(format!("unresolved this-port `{port}` in `{name}`"))
-                }),
-                PortParent::Group(_) => Err(SimError::Elaboration(format!(
-                    "hole `{port}` survives in lowered component `{name}`"
-                ))),
-            }
-        };
+                    PortParent::Group(_) => Err(SimError::Elaboration(format!(
+                        "hole `{port}` survives in lowered component `{name}`"
+                    ))),
+                }
+            };
         for asgn in &comp.continuous {
             let dst = resolve(&asgn.dst, &cell_ports)?;
             let src = match &asgn.src {
@@ -212,7 +211,10 @@ impl<'a> Elaborator<'a> {
                 Atom::Const { val, .. } => EAtom::Const(*val),
             };
             let guard = self.elaborate_guard(&asgn.guard, &cell_ports, this_ports, name)?;
-            self.drivers.entry(dst).or_default().push(EAssign { src, guard });
+            self.drivers
+                .entry(dst)
+                .or_default()
+                .push(EAssign { src, guard });
         }
         Ok(())
     }
@@ -250,9 +252,9 @@ impl<'a> Elaborator<'a> {
         Ok(match guard {
             Guard::True => EGuard::True,
             Guard::Port(p) => EGuard::Port(resolve(p)?),
-            Guard::Not(g) => EGuard::Not(Box::new(self.elaborate_guard(
-                g, cell_ports, this_ports, name,
-            )?)),
+            Guard::Not(g) => EGuard::Not(Box::new(
+                self.elaborate_guard(g, cell_ports, this_ports, name)?,
+            )),
             Guard::And(a, b) => EGuard::And(
                 Box::new(self.elaborate_guard(a, cell_ports, this_ports, name)?),
                 Box::new(self.elaborate_guard(b, cell_ports, this_ports, name)?),
@@ -340,9 +342,7 @@ impl<'a> Elaborator<'a> {
                 }
                 "std_mult_pipe" | "std_div_pipe" | "std_sqrt" => {
                     let (op, left, right, out, out2) = match prim {
-                        "std_mult_pipe" => {
-                            (UnitOp::Mult, p("left")?, p("right")?, p("out")?, None)
-                        }
+                        "std_mult_pipe" => (UnitOp::Mult, p("left")?, p("right")?, p("out")?, None),
                         "std_div_pipe" => (
                             UnitOp::Div,
                             p("left")?,
@@ -644,8 +644,7 @@ impl Simulator {
                         addrs, read_data, ..
                     } = &self.prims[*i].kind
                     {
-                        let addr_vals: Vec<u64> =
-                            addrs.iter().map(|&a| self.values[a]).collect();
+                        let addr_vals: Vec<u64> = addrs.iter().map(|&a| self.values[a]).collect();
                         self.values[*read_data] = self.states[*i].mem_read(&addr_vals);
                     }
                 }
@@ -711,11 +710,7 @@ impl Simulator {
 
 /// Kahn's algorithm over evaluation nodes; reports a combinational loop by
 /// listing the ports still unresolved.
-fn topo_sort(
-    nodes: &[Node],
-    prims: &[PrimInstance],
-    ports: &[PortInfo],
-) -> SimResult<Vec<usize>> {
+fn topo_sort(nodes: &[Node], prims: &[PrimInstance], ports: &[PortInfo]) -> SimResult<Vec<usize>> {
     // Which node produces each port?
     let mut producer: HashMap<usize, usize> = HashMap::new();
     for (i, node) in nodes.iter().enumerate() {

@@ -167,14 +167,22 @@ pub fn generate(cfg: &SystolicConfig) -> Context {
         // Input memories and their index counters.
         let t_mems: Vec<Id> = (0..cfg.cols)
             .map(|c| {
-                let m = b.add_primitive(&format!("t{c}"), "std_mem_d1", &[w, k, u64::from(idx_width)]);
+                let m = b.add_primitive(
+                    &format!("t{c}"),
+                    "std_mem_d1",
+                    &[w, k, u64::from(idx_width)],
+                );
                 b.set_cell_attribute(m, attr::external(), 1);
                 m
             })
             .collect();
         let l_mems: Vec<Id> = (0..cfg.rows)
             .map(|r| {
-                let m = b.add_primitive(&format!("l{r}"), "std_mem_d1", &[w, k, u64::from(idx_width)]);
+                let m = b.add_primitive(
+                    &format!("l{r}"),
+                    "std_mem_d1",
+                    &[w, k, u64::from(idx_width)],
+                );
                 b.set_cell_attribute(m, attr::external(), 1);
                 m
             })
@@ -239,7 +247,11 @@ pub fn generate(cfg: &SystolicConfig) -> Context {
             b.group_done(g, (grid.top_regs[0][c], "done"));
             feed_groups_t.push(g);
 
-            let add = b.add_primitive(&format!("incr_add_t{c}"), "std_add", &[u64::from(idx_width)]);
+            let add = b.add_primitive(
+                &format!("incr_add_t{c}"),
+                "std_add",
+                &[u64::from(idx_width)],
+            );
             let ig = b.add_group(&format!("incr_t{c}"));
             b.asgn(ig, (add, "left"), (idx_t[c], "out"));
             b.asgn_const(ig, (add, "right"), 1, idx_width);
@@ -256,7 +268,11 @@ pub fn generate(cfg: &SystolicConfig) -> Context {
             b.group_done(g, (grid.left_regs[r][0], "done"));
             feed_groups_l.push(g);
 
-            let add = b.add_primitive(&format!("incr_add_l{r}"), "std_add", &[u64::from(idx_width)]);
+            let add = b.add_primitive(
+                &format!("incr_add_l{r}"),
+                "std_add",
+                &[u64::from(idx_width)],
+            );
             let ig = b.add_group(&format!("incr_l{r}"));
             b.asgn(ig, (add, "left"), (idx_l[r], "out"));
             b.asgn_const(ig, (add, "right"), 1, idx_width);
@@ -270,7 +286,11 @@ pub fn generate(cfg: &SystolicConfig) -> Context {
         for r in 1..cfg.rows {
             for c in 0..cfg.cols {
                 let g = b.add_group(&format!("down_{r}_{c}"));
-                b.asgn(g, (grid.top_regs[r][c], "in"), (grid.top_regs[r - 1][c], "out"));
+                b.asgn(
+                    g,
+                    (grid.top_regs[r][c], "in"),
+                    (grid.top_regs[r - 1][c], "out"),
+                );
                 b.asgn_const(g, (grid.top_regs[r][c], "write_en"), 1, 1);
                 b.group_done(g, (grid.top_regs[r][c], "done"));
                 down_groups[r][c] = Some(g);
@@ -279,7 +299,11 @@ pub fn generate(cfg: &SystolicConfig) -> Context {
         for r in 0..cfg.rows {
             for c in 1..cfg.cols {
                 let g = b.add_group(&format!("right_{r}_{c}"));
-                b.asgn(g, (grid.left_regs[r][c], "in"), (grid.left_regs[r][c - 1], "out"));
+                b.asgn(
+                    g,
+                    (grid.left_regs[r][c], "in"),
+                    (grid.left_regs[r][c - 1], "out"),
+                );
                 b.asgn_const(g, (grid.left_regs[r][c], "write_en"), 1, 1);
                 b.group_done(g, (grid.left_regs[r][c], "done"));
                 right_groups[r][c] = Some(g);
@@ -314,9 +338,7 @@ pub fn generate(cfg: &SystolicConfig) -> Context {
 
     // The wavefront schedule (paper Fig. 6): at step t, PE (r, c) processes
     // element k = t - r - c, valid while 0 <= k < inner.
-    let active = |r: usize, c: usize, t: usize| -> bool {
-        t >= r + c && t < r + c + cfg.inner
-    };
+    let active = |r: usize, c: usize, t: usize| -> bool { t >= r + c && t < r + c + cfg.inner };
     let mut schedule: Vec<Control> = Vec::new();
     for t in 0..cfg.steps() {
         let mut moves: Vec<Control> = Vec::new();
@@ -410,7 +432,12 @@ mod tests {
     use calyx_core::passes;
     use calyx_sim::rtl::Simulator;
 
-    fn run_array(cfg: &SystolicConfig, a: &[Vec<u64>], bm: &[Vec<u64>], static_: bool) -> (Vec<u64>, u64) {
+    fn run_array(
+        cfg: &SystolicConfig,
+        a: &[Vec<u64>],
+        bm: &[Vec<u64>],
+        static_: bool,
+    ) -> (Vec<u64>, u64) {
         let mut ctx = generate(cfg);
         validate::validate_context(&ctx).expect("generated design is well-formed");
         if static_ {
@@ -454,7 +481,10 @@ mod tests {
     fn static_and_dynamic_agree_and_static_is_faster() {
         let cfg = SystolicConfig::square(3);
         let (a, bm) = sample(3);
-        let expected: Vec<u64> = reference_matmul(&a, &bm, 3, 32).into_iter().flatten().collect();
+        let expected: Vec<u64> = reference_matmul(&a, &bm, 3, 32)
+            .into_iter()
+            .flatten()
+            .collect();
         let (dyn_out, dyn_cycles) = run_array(&cfg, &a, &bm, false);
         let (st_out, st_cycles) = run_array(&cfg, &a, &bm, true);
         assert_eq!(dyn_out, expected);
@@ -474,13 +504,11 @@ mod tests {
             width: 32,
         };
         let a: Vec<Vec<u64>> = vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]];
-        let bm: Vec<Vec<u64>> = vec![
-            vec![1, 0, 2],
-            vec![0, 1, 2],
-            vec![3, 1, 0],
-            vec![1, 1, 1],
-        ];
-        let expected: Vec<u64> = reference_matmul(&a, &bm, 4, 32).into_iter().flatten().collect();
+        let bm: Vec<Vec<u64>> = vec![vec![1, 0, 2], vec![0, 1, 2], vec![3, 1, 0], vec![1, 1, 1]];
+        let expected: Vec<u64> = reference_matmul(&a, &bm, 4, 32)
+            .into_iter()
+            .flatten()
+            .collect();
         let (got, _) = run_array(&cfg, &a, &bm, false);
         assert_eq!(got, expected);
     }
@@ -507,7 +535,11 @@ mod tests {
         let large = generate(&SystolicConfig::square(4));
         let count = |ctx: &Context| {
             let main = ctx.component("main").unwrap();
-            (main.cells.len(), main.groups.len(), main.control.statement_count())
+            (
+                main.cells.len(),
+                main.groups.len(),
+                main.control.statement_count(),
+            )
         };
         let (sc, sg, ss) = count(&small);
         let (lc, lg, ls) = count(&large);

@@ -62,11 +62,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dot: u64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
     let expected = (dot as f64).sqrt() as u64;
     let got = sim.memory(&["out"])?[0];
-    println!("\nsqrt(a . b) = sqrt({dot}) = {got} in {} cycles", stats.cycles);
+    println!(
+        "\nsqrt(a . b) = sqrt({dot}) = {got} in {} cycles",
+        stats.cycles
+    );
     assert_eq!(got, expected);
 
     // Back end: SystemVerilog.
     let sv = verilog::emit(&ctx)?;
-    println!("emitted {} lines of SystemVerilog", verilog::line_count(&sv));
+    println!(
+        "emitted {} lines of SystemVerilog",
+        verilog::line_count(&sv)
+    );
     Ok(())
 }

@@ -39,7 +39,10 @@ fn run(n: usize, static_timing: bool) -> Result<(u64, u64), Box<dyn std::error::
     let stats = sim.run(1_000_000)?;
 
     // Verify against the reference matrix multiply.
-    let expected: Vec<u64> = reference_matmul(&a, &b, n, 32).into_iter().flatten().collect();
+    let expected: Vec<u64> = reference_matmul(&a, &b, n, 32)
+        .into_iter()
+        .flatten()
+        .collect();
     assert_eq!(sim.memory(&["out"])?, expected, "systolic result is exact");
 
     let luts = area::estimate(&ctx, "main")?.luts;

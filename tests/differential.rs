@@ -20,9 +20,11 @@ fn run_interp(spec: &ProgramSpec) -> Vec<(String, Vec<u64>)> {
     let ctx = build_program(spec);
     let mut interp = Interpreter::new(&ctx, "main").expect("interpretable");
     interp.run(200_000).expect("interpreter terminates");
-    observable_state(spec, |cell| interp.register_value(cell).ok().map(|v| vec![v]), |cell| {
-        interp.memory(cell).ok()
-    })
+    observable_state(
+        spec,
+        |cell| interp.register_value(cell).ok().map(|v| vec![v]),
+        |cell| interp.memory(cell).ok(),
+    )
 }
 
 /// Final state via lowering + RTL simulation.

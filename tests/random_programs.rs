@@ -58,6 +58,19 @@ impl Action {
         }
     }
 
+    fn reads_regs(&self, out: &mut std::collections::BTreeSet<usize>) {
+        match self {
+            Action::SetConst { .. } | Action::Load { .. } => {}
+            Action::AddConst { src, .. } | Action::Store { src, .. } => {
+                out.insert(*src);
+            }
+            Action::AddRegs { a, b, .. } => {
+                out.insert(*a);
+                out.insert(*b);
+            }
+        }
+    }
+
     fn touches_mem(&self) -> bool {
         matches!(self, Action::Store { .. } | Action::Load { .. })
     }
@@ -105,6 +118,28 @@ impl Node {
         }
     }
 
+    /// Registers this node may read, including `if` condition registers.
+    /// (Loop counters live in a dedicated register pool and cannot
+    /// interfere with the data registers tracked here.)
+    fn reg_reads(&self, out: &mut std::collections::BTreeSet<usize>) {
+        match self {
+            Node::Leaf(a) => a.reads_regs(out),
+            Node::Seq(ns) | Node::Par(ns) => {
+                for n in ns {
+                    n.reg_reads(out);
+                }
+            }
+            Node::If {
+                reg, then_, else_, ..
+            } => {
+                out.insert(*reg);
+                then_.reg_reads(out);
+                else_.reg_reads(out);
+            }
+            Node::While { body, .. } => body.reg_reads(out),
+        }
+    }
+
     fn touches_mem(&self) -> bool {
         match self {
             Node::Leaf(a) => a.touches_mem(),
@@ -134,8 +169,11 @@ pub struct ProgramSpec {
 fn action_strategy() -> impl Strategy<Value = Action> {
     prop_oneof![
         (0..REGS, 0..256u64).prop_map(|(dst, value)| Action::SetConst { dst, value }),
-        (0..REGS, 0..REGS, 1..16u64)
-            .prop_map(|(dst, src, value)| Action::AddConst { dst, src, value }),
+        (0..REGS, 0..REGS, 1..16u64).prop_map(|(dst, src, value)| Action::AddConst {
+            dst,
+            src,
+            value
+        }),
         (0..REGS, 0..REGS, 0..REGS).prop_map(|(dst, a, b)| Action::AddRegs { dst, a, b }),
         (0..MEM_SIZE, 0..REGS).prop_map(|(addr, src)| Action::Store { addr, src }),
         (0..REGS, 0..MEM_SIZE).prop_map(|(dst, addr)| Action::Load { dst, addr }),
@@ -150,14 +188,14 @@ fn node_strategy() -> impl Strategy<Value = Node> {
             // Par: filter to disjoint register writes and single-branch
             // memory use after generation.
             prop::collection::vec(inner.clone(), 2..4).prop_map(make_par_sound),
-            (0..REGS, 0..256u64, inner.clone(), inner.clone()).prop_map(
-                |(reg, konst, t, e)| Node::If {
+            (0..REGS, 0..256u64, inner.clone(), inner.clone()).prop_map(|(reg, konst, t, e)| {
+                Node::If {
                     reg,
                     konst,
                     then_: Box::new(t),
                     else_: Box::new(e),
                 }
-            ),
+            }),
             (1..4u64, inner).prop_map(|(trips, body)| Node::While {
                 loop_idx: 0, // reassigned by `number_loops`
                 trips,
@@ -167,19 +205,32 @@ fn node_strategy() -> impl Strategy<Value = Node> {
     })
 }
 
-/// Make a candidate `par` sound: drop children that overlap earlier
-/// children's register writes or duplicate memory use.
+/// Make a candidate `par` sound: drop children that *interfere* with
+/// earlier children. Two branches interfere when either writes a register
+/// the other reads or writes, or when both touch the memory. Write/write
+/// disjointness alone is not enough: a branch observing a register while a
+/// sibling writes it is a data race, and the paper leaves the semantics of
+/// interfering `par` undefined — dynamic and static schedules may then
+/// legally disagree, which is exactly what differential testing must not
+/// count as a compiler bug.
 fn make_par_sound(children: Vec<Node>) -> Node {
-    let mut taken: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    let mut taken_writes: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    let mut taken_reads: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
     let mut mem_used = false;
     let mut kept = Vec::new();
     for child in children {
         let mut writes = std::collections::BTreeSet::new();
+        let mut reads = std::collections::BTreeSet::new();
         child.reg_writes(&mut writes);
-        let disjoint = writes.iter().all(|r| !taken.contains(r));
+        child.reg_reads(&mut reads);
+        let writes_ok = writes
+            .iter()
+            .all(|r| !taken_writes.contains(r) && !taken_reads.contains(r));
+        let reads_ok = reads.iter().all(|r| !taken_writes.contains(r));
         let mem_ok = !child.touches_mem() || !mem_used;
-        if disjoint && mem_ok {
-            taken.extend(writes);
+        if writes_ok && reads_ok && mem_ok {
+            taken_writes.extend(writes);
+            taken_reads.extend(reads);
             mem_used |= child.touches_mem();
             kept.push(child);
         }
@@ -390,7 +441,8 @@ impl Gen<'_, '_> {
                 let cname = self.fresh("wcond");
                 let cond = self.b.add_group(&cname);
                 self.b.asgn(cond, (wlt, "left"), (w, "out"));
-                self.b.asgn_const(cond, (wlt, "right"), *trips, WIDTH as u32);
+                self.b
+                    .asgn_const(cond, (wlt, "right"), *trips, WIDTH as u32);
                 self.b.group_done_const(cond, 1);
 
                 // increment
@@ -432,6 +484,64 @@ pub fn observable_state(
 // `unused` warnings when only part of the API is exercised.
 #[allow(dead_code)]
 fn _unused() {}
+
+/// Regression test: `par` branches must be pairwise interference-free —
+/// no branch may write a register a sibling reads *or* writes, and at most
+/// one branch may touch the memory. The original `make_par_sound` only
+/// enforced write/write disjointness, so a branch could observe a register
+/// mid-update by a sibling (e.g. an `if` whose condition register a
+/// sibling `seq` was rewriting); such races made the static-timing
+/// differential test flag a divergence that was really undefined behavior
+/// in the generated program.
+#[test]
+fn par_branches_never_interfere() {
+    fn footprint(n: &Node) -> (BTreeSet<usize>, BTreeSet<usize>, bool) {
+        let mut writes = BTreeSet::new();
+        let mut reads = BTreeSet::new();
+        n.reg_writes(&mut writes);
+        n.reg_reads(&mut reads);
+        (writes, reads, n.touches_mem())
+    }
+    fn check(n: &Node) {
+        match n {
+            Node::Leaf(_) => {}
+            Node::Seq(ns) => ns.iter().for_each(check),
+            Node::Par(ns) => {
+                for (i, a) in ns.iter().enumerate() {
+                    let (wa, ra, ma) = footprint(a);
+                    for b in &ns[i + 1..] {
+                        let (wb, rb, mb) = footprint(b);
+                        assert!(
+                            wa.intersection(&wb).count() == 0
+                                && wa.intersection(&rb).count() == 0
+                                && wb.intersection(&ra).count() == 0,
+                            "par branches interfere: {a:?} vs {b:?}"
+                        );
+                        assert!(!(ma && mb), "two par branches touch memory: {a:?} vs {b:?}");
+                    }
+                }
+                ns.iter().for_each(check);
+            }
+            Node::If { then_, else_, .. } => {
+                check(then_);
+                check(else_);
+            }
+            Node::While { body, .. } => check(body),
+        }
+    }
+
+    use proptest::strategy::{Strategy, ValueTree};
+    use proptest::test_runner::TestRunner;
+    use std::collections::BTreeSet;
+    let mut runner = TestRunner::default();
+    for _ in 0..256 {
+        let spec = program_spec()
+            .new_tree(&mut runner)
+            .expect("strategy works")
+            .current();
+        check(&spec.root);
+    }
+}
 
 #[test]
 fn generator_produces_valid_programs() {

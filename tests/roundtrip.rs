@@ -39,8 +39,7 @@ fn polybench_sources_roundtrip_through_calyx() {
     for def in calyx::polybench::KERNELS.iter().take(6) {
         let (_, ctx) = calyx::polybench::compile_kernel(def, 4, 1).unwrap();
         let printed = Printer::print_context(&ctx);
-        let reparsed = parse_context(&printed)
-            .unwrap_or_else(|e| panic!("{}: {e}", def.name));
+        let reparsed = parse_context(&printed).unwrap_or_else(|e| panic!("{}: {e}", def.name));
         assert_eq!(
             Printer::print_context(&reparsed),
             printed,

@@ -1,0 +1,326 @@
+//! Offline shim for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of criterion's API the workspace's benches use:
+//! benchmark groups, per-input benchmarks, and timed `iter` loops. Instead
+//! of criterion's statistical analysis, each benchmark runs a fixed,
+//! configurable number of samples and reports min/mean/max wall-clock time
+//! per iteration on stdout — enough to eyeball regressions and to keep the
+//! bench targets compiling and runnable without the real crate.
+//!
+//! Respects the CLI arguments cargo passes to bench binaries: a positional
+//! filter selects benchmarks by substring, `--test` runs every benchmark
+//! exactly once (used by `cargo test --benches`), and the remaining
+//! criterion flags (`--bench`, `--noplot`, ...) are accepted and ignored.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            test_mode: false,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse the CLI arguments cargo passes to bench binaries.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags with a value that we accept and ignore.
+                "--sample-size" | "--measurement-time" | "--warm-up-time" | "--save-baseline"
+                | "--baseline" | "--profile-time" | "--output-format" | "--color" => {
+                    let _ = args.next();
+                }
+                // Valueless flags we accept and ignore.
+                s if s.starts_with("--") => {}
+                // The first free argument is the benchmark name filter.
+                s if self.filter.is_none() => self.filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Override the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.default_sample_size = n;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a standalone benchmark (group of one).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.run(&id, f);
+        group.finish();
+        self
+    }
+
+    fn should_run(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.run(&id.full_name(), f);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        self.run(&id.full_name(), |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full_id = format!("{}/{}", self.name, id);
+        if !self.criterion.should_run(&full_id) {
+            return;
+        }
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size
+                .unwrap_or(self.criterion.default_sample_size)
+        };
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(samples),
+            sample_budget: samples,
+        };
+        f(&mut bencher);
+        bencher.report(&full_id, self.criterion.test_mode);
+    }
+
+    /// Finish the group. (The shim reports incrementally, so this is a
+    /// no-op kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with an attached parameter, e.g. `name/4`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier `name` specialized with `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier carrying only a parameter (criterion renders these under
+    /// the group name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match (&self.name, &self.parameter) {
+            (n, Some(p)) if n.is_empty() => p.clone(),
+            (n, Some(p)) => format!("{n}/{p}"),
+            (n, None) => n.clone(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], accepted wherever criterion takes
+/// `impl Into<BenchmarkId>`-like ids.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self,
+            parameter: None,
+        }
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_budget: usize,
+}
+
+impl Bencher {
+    /// Run `routine` once per sample, timing each run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_budget {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str, test_mode: bool) {
+        if test_mode {
+            println!("test {id} ... ok");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("bench {id:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("nonempty");
+        let max = self.samples.iter().max().expect("nonempty");
+        println!(
+            "bench {id:<40} samples={} min={min:?} mean={mean:?} max={max:?}",
+            self.samples.len()
+        );
+    }
+}
+
+/// Define a function running a list of benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render() {
+        assert_eq!(BenchmarkId::new("calyx", 4).full_name(), "calyx/4");
+        assert_eq!(BenchmarkId::from_parameter(8).full_name(), "8");
+        assert_eq!("plain".into_benchmark_id().full_name(), "plain");
+    }
+
+    #[test]
+    fn groups_run_and_sample() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_with_input(BenchmarkId::new("f", 1), &2, |b, &n| {
+                b.iter(|| {
+                    runs += 1;
+                    n * n
+                });
+            });
+            group.finish();
+        }
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn filter_skips_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            ..Criterion::default()
+        };
+        let mut runs = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+}

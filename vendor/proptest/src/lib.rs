@@ -1,0 +1,298 @@
+//! Offline shim for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Provides the subset of proptest's API this workspace uses, built around
+//! a **deterministic** SplitMix64 generator: every test derives its seed
+//! from its fully-qualified name (overridable with the `PROPTEST_SEED`
+//! environment variable), so CI runs are reproducible by construction.
+//! Case counts come from [`test_runner::Config::cases`] and can be capped
+//! globally with `PROPTEST_CASES`.
+//!
+//! Shrinking is intentionally not implemented: on failure the harness
+//! reports the case number and seed, which reproduce the exact input.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable API surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, ValueTree};
+    pub use crate::test_runner::{
+        Config as ProptestConfig, TestCaseError, TestCaseResult, TestRunner,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of the `prop` module alias exposed by proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Run a list of property tests, mirroring proptest's macro of the same
+/// name.
+///
+/// Each test runs `config.cases` deterministic cases; generated inputs are
+/// bound with `pattern in strategy` syntax. The body may use the
+/// `prop_assert*` macros and `?` over [`test_runner::TestCaseError`].
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg_pat:pat in $arg_strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                let mut runner =
+                    $crate::test_runner::TestRunner::new_for_test(config, test_name);
+                let cases = runner.config.effective_cases();
+                let seed = runner.seed();
+                for case in 0..cases {
+                    $(
+                        let $arg_pat =
+                            $crate::strategy::Strategy::gen_value(&($arg_strat), runner.rng_mut());
+                    )+
+                    let outcome = (|| -> $crate::test_runner::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err(e) => panic!(
+                            "[proptest] {} failed at case {}/{} (seed 0x{:016x}): {}",
+                            test_name,
+                            case + 1,
+                            cases,
+                            seed,
+                            e
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg_pat:pat in $arg_strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg_pat in $arg_strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fail the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fail the current test case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                            l, r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                            l,
+                            r,
+                            format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fail the current test case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                            l, r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                            l,
+                            r,
+                            format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Config, TestRng, TestRunner};
+
+    #[test]
+    fn ranges_are_in_bounds_and_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..1000 {
+            let x = (3..17u64).gen_value(&mut a);
+            assert!((3..17).contains(&x));
+            assert_eq!(x, (3..17u64).gen_value(&mut b));
+        }
+    }
+
+    #[test]
+    fn one_of_and_map_compose() {
+        let strat = prop_oneof![
+            (0..4usize).prop_map(|n| n * 10),
+            crate::strategy::Just(99usize),
+        ];
+        let mut rng = TestRng::new(42);
+        let mut saw_just = false;
+        let mut saw_mapped = false;
+        for _ in 0..200 {
+            match strat.gen_value(&mut rng) {
+                99 => saw_just = true,
+                n if n % 10 == 0 && n < 40 => saw_mapped = true,
+                other => panic!("value {other} outside strategy range"),
+            }
+        }
+        assert!(saw_just && saw_mapped, "both arms should be exercised");
+    }
+
+    #[test]
+    fn recursion_depth_is_bounded() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::new(1);
+        for _ in 0..100 {
+            // Depth budget 3 plus the root layer.
+            assert!(depth(&strat.gen_value(&mut rng)) <= 4);
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_range() {
+        let exact = crate::collection::vec(0..2u64, 4);
+        let ranged = crate::collection::vec(0..2u64, 1..4);
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            assert_eq!(exact.gen_value(&mut rng).len(), 4);
+            let n = ranged.gen_value(&mut rng).len();
+            assert!((1..4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn new_tree_current_matches_runner_rng() {
+        let mut runner = TestRunner::default();
+        let tree = (0..100u64).new_tree(&mut runner).expect("infallible");
+        let v = tree.current();
+        assert_eq!(v, tree.current(), "current() is stable");
+        assert!(v < 100);
+    }
+
+    #[test]
+    fn seeds_differ_by_test_name_but_are_stable() {
+        let a = TestRunner::new_for_test(Config::default(), "mod::test_a");
+        let a2 = TestRunner::new_for_test(Config::default(), "mod::test_a");
+        let b = TestRunner::new_for_test(Config::default(), "mod::test_b");
+        assert_eq!(a.seed(), a2.seed());
+        assert_ne!(a.seed(), b.seed());
+    }
+
+    proptest! {
+        #![proptest_config(Config { cases: 16, ..Config::default() })]
+
+        /// The proptest! macro itself: bindings, config, and assertions.
+        #[test]
+        fn macro_binds_and_asserts(x in 0..50u64, v in prop::collection::vec(0..10u64, 2..5)) {
+            prop_assert!(x < 50);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(v.len(), 0, "vec sizes start at {}", 2);
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::{TestRng, TestRunner};
+use std::cell::{Cell, RefCell};
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest, generation is direct (no shrink trees): a
+/// strategy maps an RNG to a value. [`Strategy::new_tree`] provides the
+/// upstream entry point, returning a non-shrinking [`ValueTree`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, and `recurse`
+    /// receives a handle generating subtrees whose nesting is capped at
+    /// `depth`. (`desired_size` and `expected_branch_size` are accepted
+    /// for upstream signature compatibility; the depth cap alone bounds
+    /// the shim's output.)
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: FnOnce(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let data = Rc::new(RecursiveData {
+            leaf: Rc::new(self) as Rc<dyn Strategy<Value = Self::Value>>,
+            branch: RefCell::new(None),
+            remaining: Cell::new(0),
+            depth,
+        });
+        let inner = BoxedStrategy(Rc::new(RecursiveInner(Rc::clone(&data))));
+        let branch = recurse(inner);
+        *data.branch.borrow_mut() = Some(Rc::new(branch) as Rc<dyn Strategy<Value = Self::Value>>);
+        BoxedStrategy(Rc::new(RecursiveRoot(data)))
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Generate a value tree from the runner's RNG (upstream-compatible
+    /// entry point; the tree does not shrink).
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<NoShrink<Self::Value>, String>
+    where
+        Self: Sized,
+        Self::Value: Clone,
+    {
+        Ok(NoShrink(self.gen_value(runner.rng_mut())))
+    }
+}
+
+/// A generated value plus (vestigial) shrinking hooks.
+pub trait ValueTree {
+    /// The type of the held value.
+    type Value;
+
+    /// The current value.
+    fn current(&self) -> Self::Value;
+
+    /// Attempt to make the value simpler. The shim never shrinks.
+    fn simplify(&mut self) -> bool {
+        false
+    }
+
+    /// Undo the last `simplify`. The shim never shrinks.
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+/// The shim's only [`ValueTree`]: a plain value.
+#[derive(Debug, Clone)]
+pub struct NoShrink<T>(pub(crate) T);
+
+impl<T: Clone> ValueTree for NoShrink<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.0.gen_value(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.gen_value(rng))
+    }
+}
+
+/// Uniform choice among strategies of one value type; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Choose uniformly among `arms`.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].gen_value(rng)
+    }
+}
+
+/// Shared state of a recursive strategy. `remaining` is the depth budget
+/// of the generation currently in flight; entering a branch decrements
+/// it, and exhaustion falls back to the leaf strategy.
+struct RecursiveData<T> {
+    leaf: Rc<dyn Strategy<Value = T>>,
+    branch: RefCell<Option<Rc<dyn Strategy<Value = T>>>>,
+    remaining: Cell<u32>,
+    depth: u32,
+}
+
+impl<T> RecursiveData<T> {
+    fn branch(&self) -> Rc<dyn Strategy<Value = T>> {
+        self.branch
+            .borrow()
+            .as_ref()
+            .expect("recursive strategy used before prop_recursive returned")
+            .clone()
+    }
+}
+
+/// The handle passed to `prop_recursive`'s closure.
+struct RecursiveInner<T>(Rc<RecursiveData<T>>);
+
+impl<T> Strategy for RecursiveInner<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let remaining = self.0.remaining.get();
+        if remaining == 0 {
+            return self.0.leaf.gen_value(rng);
+        }
+        self.0.remaining.set(remaining - 1);
+        let value = self.0.branch().gen_value(rng);
+        self.0.remaining.set(remaining);
+        value
+    }
+}
+
+/// The strategy `prop_recursive` returns: resets the depth budget, then
+/// generates from the branch.
+struct RecursiveRoot<T>(Rc<RecursiveData<T>>);
+
+impl<T> Strategy for RecursiveRoot<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.0.remaining.set(self.0.depth);
+        self.0.branch().gen_value(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range {}..{} used as a strategy",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range used as a strategy");
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-domain u64 range; take the raw output.
+                        return rng.next_u64() as $t;
+                    }
+                    start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<char> {
+    type Value = char;
+
+    fn gen_value(&self, rng: &mut TestRng) -> char {
+        assert!(self.start < self.end, "empty char range used as a strategy");
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        // Re-draw on the surrogate gap; the bands adjoining it are
+        // non-empty whenever the range is valid.
+        loop {
+            let candidate = lo + rng.below(u64::from(hi - lo)) as u32;
+            if let Some(c) = char::from_u32(candidate) {
+                return c;
+            }
+        }
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range used as a strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = TestRng::new(5);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..500 {
+            match (0..=3u8).gen_value(&mut rng) {
+                0 => lo = true,
+                3 => hi = true,
+                1 | 2 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn signed_ranges_straddle_zero() {
+        let mut rng = TestRng::new(6);
+        for _ in 0..500 {
+            let v = (-5..5i32).gen_value(&mut rng);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuples_generate_elementwise() {
+        let mut rng = TestRng::new(8);
+        let (a, b, c) = (0..4u8, 10..14u64, Just("x")).gen_value(&mut rng);
+        assert!(a < 4);
+        assert!((10..14).contains(&b));
+        assert_eq!(c, "x");
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let v = (0.0..2.5f64).gen_value(&mut rng);
+            assert!((0.0..2.5).contains(&v));
+        }
+    }
+}

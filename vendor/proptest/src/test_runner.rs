@@ -1,0 +1,206 @@
+//! Deterministic test execution: RNG, configuration, and error types.
+
+use std::fmt;
+
+/// A SplitMix64 generator: tiny, fast, and deterministic. Good enough
+/// statistical quality for generating test inputs, and trivially seedable
+/// for reproducibility.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        // Lemire's multiply-shift bounded sampling without the rejection
+        // loop: bias is at most 2^-64 relative, irrelevant for tests.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// FNV-1a over a test's fully-qualified name: stable across runs and
+/// platforms, distinct per test.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("[proptest] ignoring unparseable {var}={raw:?}");
+            None
+        }
+    }
+}
+
+/// Test-suite configuration, mirroring `proptest::test_runner::Config`
+/// for the fields this workspace sets.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Upper bound on shrink iterations. The shim performs no shrinking;
+    /// the field exists for source compatibility.
+    pub max_shrink_iters: u32,
+    /// Verbosity of generated-value reporting (0 = quiet). Accepted for
+    /// source compatibility; the shim reports only failures.
+    pub verbose: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_shrink_iters: 1024,
+            verbose: 0,
+        }
+    }
+}
+
+impl Config {
+    /// The case count to actually run: `cases`, capped by the
+    /// `PROPTEST_CASES` environment variable when set.
+    pub fn effective_cases(&self) -> u32 {
+        match env_u64("PROPTEST_CASES") {
+            Some(cap) => self.cases.min(cap.min(u64::from(u32::MAX)) as u32),
+            None => self.cases,
+        }
+    }
+}
+
+/// Drives value generation for one test.
+#[derive(Debug)]
+pub struct TestRunner {
+    /// The active configuration.
+    pub config: Config,
+    seed: u64,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Runner with an explicit configuration and the default seed policy.
+    pub fn new(config: Config) -> Self {
+        Self::new_for_test(config, "proptest::test_runner::TestRunner")
+    }
+
+    /// Runner whose seed derives from `test_name` (or from the
+    /// `PROPTEST_SEED` environment variable when set), making every test's
+    /// input stream deterministic and independent of its neighbors.
+    pub fn new_for_test(config: Config, test_name: &str) -> Self {
+        let seed = env_u64("PROPTEST_SEED").unwrap_or_else(|| fnv1a(test_name));
+        TestRunner {
+            config,
+            seed,
+            rng: TestRng::new(seed),
+        }
+    }
+
+    /// The seed in use, for failure reports.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Mutable access to the generator.
+    pub fn rng_mut(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        TestRunner::new(Config::default())
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The input violated the property.
+    Fail(String),
+    /// The input was rejected (e.g. by a filter); not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Outcome of a single test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_is_uniform_enough_and_in_bounds() {
+        let mut rng = TestRng::new(99);
+        let mut counts = [0usize; 5];
+        for _ in 0..5000 {
+            counts[rng.below(5) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 700, "bucket {i} starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fnv_distinguishes_names() {
+        assert_ne!(fnv1a("a::b"), fnv1a("a::c"));
+        assert_eq!(fnv1a("same"), fnv1a("same"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(TestCaseError::fail("boom").to_string(), "boom");
+        assert!(TestCaseError::reject("nope").to_string().contains("nope"));
+    }
+}
