@@ -1,0 +1,86 @@
+//! Criterion bench for the pass framework's zero-clone traversal: full
+//! `opt`-pipeline compile time on the largest PolyBench kernel (gemver, the
+//! §7.4 compile-time outlier), with and without the old clone-per-pass
+//! traversal cost.
+//!
+//! The "clone-per-pass" baseline emulates the pre-visitor traversal
+//! exactly: `for_each_component` used to deep-clone every component once
+//! per pass before editing it, so the wrapper pass performs that clone and
+//! then runs the real (zero-clone) pass.
+
+use calyx_core::errors::CalyxResult;
+use calyx_core::ir::{Context, Id};
+use calyx_core::passes::{Pass, PassManager, PassRegistry, ALIAS_OPT};
+use calyx_polybench::{compile_kernel, kernel};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Wraps a pass with the old traversal's per-pass cost: one deep clone of
+/// every component (the clone replaces the original in the context, so the
+/// drop of the old copy is paid too, exactly as before).
+struct ClonePerPass(Box<dyn Pass>);
+
+impl Pass for ClonePerPass {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn description(&self) -> &'static str {
+        self.0.description()
+    }
+    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+        let names: Vec<Id> = ctx.components.names().collect();
+        for name in names {
+            let comp = ctx
+                .components
+                .get(name)
+                .expect("names come from the map")
+                .clone();
+            ctx.components.insert(comp);
+        }
+        self.0.run(ctx)
+    }
+}
+
+fn clone_per_pass_manager() -> PassManager {
+    let registry = PassRegistry::default();
+    let mut pm = PassManager::new();
+    for name in ALIAS_OPT {
+        let entry = registry
+            .passes()
+            .iter()
+            .find(|p| p.name == *name)
+            .expect("opt alias names registered passes");
+        pm.register(ClonePerPass((entry.construct)()));
+    }
+    pm
+}
+
+fn bench_pass_framework(c: &mut Criterion) {
+    let def = kernel("gemver").expect("gemver is registered");
+    let (_ast, ctx) = compile_kernel(def, 8, 1).expect("gemver compiles");
+
+    let mut group = c.benchmark_group("pass_framework");
+    group.sample_size(10);
+    group.bench_function("gemver_opt/zero_clone", |b| {
+        b.iter(|| {
+            let mut ctx = ctx.clone();
+            PassManager::from_names(&["opt"])
+                .expect("opt alias exists")
+                .run(&mut ctx)
+                .expect("pipeline succeeds");
+            ctx
+        });
+    });
+    group.bench_function("gemver_opt/clone_per_pass", |b| {
+        b.iter(|| {
+            let mut ctx = ctx.clone();
+            clone_per_pass_manager()
+                .run(&mut ctx)
+                .expect("pipeline succeeds");
+            ctx
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pass_framework);
+criterion_main!(benches);

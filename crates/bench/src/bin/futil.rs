@@ -1,18 +1,20 @@
 //! A `futil`-style command-line driver for the Calyx compiler, mirroring
 //! the artifact's binary (paper appendix A): read a textual Calyx program,
-//! run a chosen pass pipeline, and print the result, emit SystemVerilog,
-//! or simulate.
+//! run a pass pipeline built from `-p` flags, and print the result, emit
+//! SystemVerilog, or simulate.
 //!
 //! ```text
 //! futil <file.futil> [flags]
-//!   -p lower            latency-insensitive lowering (default)
-//!   -p lower-static     latency inference + static compilation + lowering
-//!   -p opt              full optimizing pipeline (sharing + static)
-//!   -p none             parse + validate only
+//!   -p <pass-or-alias>  append a pass or pipeline alias (repeatable;
+//!                       default: lower). Aliases: none, lower,
+//!                       lower-static, opt, all.
 //!   -b calyx            print Calyx (default)
 //!   -b verilog          emit SystemVerilog
 //!   -b sim              simulate and report cycles + final state
 //!   --cycles N          simulation budget (default 1_000_000)
+//!   --time              report per-pass wall-clock timings on stderr
+//!   --list-passes       list registered passes and aliases, then exit
+//!   -h, --help          print usage and exit
 //! ```
 //!
 //! Example:
@@ -28,42 +30,108 @@
 
 use calyx_backend::verilog;
 use calyx_core::ir::{parse_context, Printer};
-use calyx_core::passes;
+use calyx_core::passes::{PassManager, PassRegistry};
 use calyx_sim::rtl::Simulator;
 use std::process::exit;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: futil <file.futil> [-p none|lower|lower-static|opt] \
-         [-b calyx|verilog|sim] [--cycles N]"
-    );
+const USAGE: &str = "usage: futil <file.futil> [flags]
+  -p <pass-or-alias>  append a pass or pipeline alias to the pipeline
+                      (repeatable; default: lower). Run --list-passes
+                      for the full registry.
+  -b calyx|verilog|sim
+                      backend: print Calyx (default), emit SystemVerilog,
+                      or simulate
+  --cycles N          simulation budget (default 1_000_000)
+  --time              report per-pass wall-clock timings on stderr
+  --list-passes       list registered passes and aliases, then exit
+  -h, --help          print this message and exit
+";
+
+const BACKENDS: &[&str] = &["calyx", "verilog", "sim"];
+
+/// A *user error* in the invocation (not in the input program): print the
+/// message and the usage text to stderr and exit 2.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("futil: {msg}");
+    eprint!("{USAGE}");
     exit(2);
+}
+
+fn list_passes() {
+    let registry = PassRegistry::default();
+    println!("passes:");
+    for pass in registry.passes() {
+        println!("  {:<22}{}", pass.name, pass.description);
+    }
+    println!("\naliases:");
+    for (alias, expansion) in registry.aliases() {
+        println!("  {:<22}{}", alias, expansion.join(" -> "));
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file = None;
-    let mut pipeline = "lower".to_string();
+    let mut pipeline: Vec<String> = Vec::new();
     let mut backend = "calyx".to_string();
     let mut cycles: u64 = 1_000_000;
+    let mut time = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "-p" => pipeline = it.next().unwrap_or_else(|| usage()),
-            "-b" => backend = it.next().unwrap_or_else(|| usage()),
+            "-p" => match it.next() {
+                Some(p) => pipeline.push(p),
+                None => usage_error("`-p` expects a pass or alias name"),
+            },
+            "-b" => match it.next() {
+                Some(b) => backend = b,
+                None => usage_error("`-b` expects a backend name"),
+            },
             "--cycles" => {
-                cycles = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage())
+                cycles = match it.next().map(|s| s.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => usage_error("`--cycles` expects a number"),
+                }
             }
-            "-h" | "--help" => usage(),
+            "--time" => time = true,
+            "--list-passes" => {
+                list_passes();
+                exit(0);
+            }
+            // Help is not an error: print to stdout and exit 0.
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                exit(0);
+            }
             f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
-            _ => usage(),
+            other => usage_error(&format!("unexpected argument `{other}`")),
         }
     }
-    let Some(file) = file else { usage() };
+    let Some(file) = file else {
+        usage_error("no input file");
+    };
+    // Unknown backends get a distinct message listing the valid choices.
+    if !BACKENDS.contains(&backend.as_str()) {
+        eprintln!(
+            "futil: unknown backend `{backend}`; valid backends: {}",
+            BACKENDS.join(", ")
+        );
+        exit(2);
+    }
+    if pipeline.is_empty() {
+        pipeline.push("lower".to_string());
+    }
+    let names: Vec<&str> = pipeline.iter().map(String::as_str).collect();
+    // Unknown passes/aliases get the registry's message, which lists every
+    // valid pass and alias.
+    let mut pm = match PassManager::from_names(&names) {
+        Ok(pm) => pm,
+        Err(e) => {
+            eprintln!("futil: {e}");
+            exit(2);
+        }
+    };
 
     let src = match std::fs::read_to_string(&file) {
         Ok(s) => s,
@@ -80,21 +148,16 @@ fn main() {
         }
     };
 
-    let mut pm = match pipeline.as_str() {
-        "none" => {
-            let mut pm = passes::PassManager::new();
-            pm.register(passes::WellFormed);
-            pm
+    let result = pm.run(&mut ctx);
+    if time {
+        // Timings include every pass that ran — also on failing pipelines.
+        eprintln!("pass timings:");
+        for t in pm.timings() {
+            eprintln!("  {:<22}{:>10.3?}", t.name, t.duration);
         }
-        "lower" => passes::lower_pipeline(),
-        "lower-static" => passes::lower_pipeline_static(),
-        "opt" => passes::optimized_pipeline(true, true, true),
-        other => {
-            eprintln!("futil: unknown pipeline `{other}`");
-            exit(2);
-        }
-    };
-    if let Err(e) = pm.run(&mut ctx) {
+        eprintln!("  {:<22}{:>10.3?}", "total", pm.total_time());
+    }
+    if let Err(e) = result {
         eprintln!("futil: {e}");
         exit(1);
     }
@@ -137,9 +200,6 @@ fn main() {
                 }
             }
         }
-        other => {
-            eprintln!("futil: unknown backend `{other}`");
-            exit(2);
-        }
+        _ => unreachable!("backend validated above"),
     }
 }

@@ -1,8 +1,8 @@
 //! Control-program normalization.
 
-use super::traversal::{for_each_component, Pass};
+use super::visitor::{Action, Visitor};
 use crate::errors::CalyxResult;
-use crate::ir::{Attributes, Context, Control};
+use crate::ir::{Attributes, Component, Context, Control};
 
 /// Flattens directly nested `seq`-in-`seq` and `par`-in-`par`, removes
 /// [`Control::Empty`] children, and unwraps single-statement blocks.
@@ -10,10 +10,14 @@ use crate::ir::{Attributes, Context, Control};
 /// Frontends generate deeply nested control; normalizing it shrinks the
 /// FSMs `CompileControl` emits and makes the conflict analyses (§5.1–5.2)
 /// more precise.
+///
+/// The pass is a bottom-up [`Visitor`]: by the time a block's post hook
+/// runs, its children are already collapsed, so flattening is a single
+/// non-recursive splice.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CollapseControl;
 
-impl Pass for CollapseControl {
+impl Visitor for CollapseControl {
     fn name(&self) -> &'static str {
         "collapse-control"
     }
@@ -22,12 +26,32 @@ impl Pass for CollapseControl {
         "flatten nested seq/par blocks and drop empty statements"
     }
 
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
-        for_each_component(ctx, |comp, _| {
-            let control = std::mem::take(&mut comp.control);
-            comp.control = collapse(control);
-            Ok(())
-        })
+    fn finish_seq(
+        &mut self,
+        stmts: &mut Vec<Control>,
+        attributes: &mut Attributes,
+        _comp: &mut Component,
+        _ctx: &Context,
+    ) -> CalyxResult<Action> {
+        Ok(Action::Change(collapse_block(
+            std::mem::take(stmts),
+            std::mem::take(attributes),
+            BlockKind::Seq,
+        )))
+    }
+
+    fn finish_par(
+        &mut self,
+        stmts: &mut Vec<Control>,
+        attributes: &mut Attributes,
+        _comp: &mut Component,
+        _ctx: &Context,
+    ) -> CalyxResult<Action> {
+        Ok(Action::Change(collapse_block(
+            std::mem::take(stmts),
+            std::mem::take(attributes),
+            BlockKind::Par,
+        )))
     }
 }
 
@@ -37,42 +61,11 @@ enum BlockKind {
     Par,
 }
 
-fn collapse(control: Control) -> Control {
-    match control {
-        Control::Empty | Control::Enable { .. } => control,
-        Control::Seq { stmts, attributes } => collapse_block(stmts, attributes, BlockKind::Seq),
-        Control::Par { stmts, attributes } => collapse_block(stmts, attributes, BlockKind::Par),
-        Control::If {
-            port,
-            cond,
-            tbranch,
-            fbranch,
-            attributes,
-        } => Control::If {
-            port,
-            cond,
-            tbranch: Box::new(collapse(*tbranch)),
-            fbranch: Box::new(collapse(*fbranch)),
-            attributes,
-        },
-        Control::While {
-            port,
-            cond,
-            body,
-            attributes,
-        } => Control::While {
-            port,
-            cond,
-            body: Box::new(collapse(*body)),
-            attributes,
-        },
-    }
-}
-
+/// Flatten one block whose children are already collapsed.
 fn collapse_block(stmts: Vec<Control>, attributes: Attributes, kind: BlockKind) -> Control {
     let mut flat = Vec::new();
     for stmt in stmts {
-        match (kind, collapse(stmt)) {
+        match (kind, stmt) {
             (_, Control::Empty) => {}
             // A nested block of the same kind imposes no constraint the
             // outer block does not already impose, so its children can be
@@ -104,6 +97,17 @@ fn collapse_block(stmts: Vec<Control>, attributes: Attributes, kind: BlockKind) 
 mod tests {
     use super::*;
     use crate::ir::PortRef;
+    use crate::passes::Pass;
+
+    /// Run the pass over a bare control tree.
+    fn collapse(control: Control) -> Control {
+        let mut ctx = Context::new();
+        let mut comp = ctx.new_component("main");
+        comp.control = control;
+        ctx.add_component(comp);
+        CollapseControl.run(&mut ctx).unwrap();
+        std::mem::take(&mut ctx.component_mut("main").unwrap().control)
+    }
 
     #[test]
     fn flattens_nested_seq() {

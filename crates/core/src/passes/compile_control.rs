@@ -22,16 +22,22 @@
 //! it, so the `!done` term is omitted for children carrying a `"static"`
 //! attribute.
 
-use super::traversal::{for_each_component, Pass};
+use super::visitor::{Action, Visitor};
 use crate::errors::{CalyxResult, Error};
-use crate::ir::{attr, Builder, Context, Control, Guard, Id, PortRef};
+use crate::ir::{attr, Attributes, Builder, Component, Context, Control, Guard, Id, PortRef};
 use crate::utils::bits_needed;
 
 /// Compiles `seq`/`par`/`if`/`while` into latency-insensitive FSMs.
+///
+/// A bottom-up [`Visitor`]: every post hook sees children that earlier
+/// hooks have already folded into single group enables (or `Empty`), builds
+/// the compilation group realizing this statement, and replaces the
+/// statement with an enable of it. After the pass, each component's control
+/// program is a single group enable.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CompileControl;
 
-impl Pass for CompileControl {
+impl Visitor for CompileControl {
     fn name(&self) -> &'static str {
         "compile-control"
     }
@@ -40,18 +46,105 @@ impl Pass for CompileControl {
         "structurally realize control statements with latency-insensitive FSMs"
     }
 
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
-        for_each_component(ctx, |comp, ctx| {
-            let control = std::mem::take(&mut comp.control);
-            let mut b = Builder::new(comp, ctx);
-            let top = compile(&mut b, &control)?;
-            comp.control = match top {
-                Some(group) => Control::enable(group),
-                None => Control::Empty,
-            };
-            Ok(())
+    fn enable(
+        &mut self,
+        group: &mut Id,
+        _attributes: &mut Attributes,
+        comp: &mut Component,
+        _ctx: &Context,
+    ) -> CalyxResult<Action> {
+        if !comp.groups.contains(*group) {
+            return Err(Error::pass(
+                "compile-control",
+                format!("control enables undefined group `{group}`"),
+            ));
+        }
+        Ok(Action::Continue)
+    }
+
+    fn finish_seq(
+        &mut self,
+        stmts: &mut Vec<Control>,
+        _attributes: &mut Attributes,
+        comp: &mut Component,
+        ctx: &Context,
+    ) -> CalyxResult<Action> {
+        let children = child_groups(stmts);
+        Ok(match children.len() {
+            0 => Action::Change(Control::Empty),
+            1 => Action::Change(Control::enable(children[0])),
+            _ => {
+                let mut b = Builder::new(comp, ctx);
+                Action::Change(Control::enable(compile_seq(&mut b, &children)))
+            }
         })
     }
+
+    fn finish_par(
+        &mut self,
+        stmts: &mut Vec<Control>,
+        _attributes: &mut Attributes,
+        comp: &mut Component,
+        ctx: &Context,
+    ) -> CalyxResult<Action> {
+        let children = child_groups(stmts);
+        Ok(match children.len() {
+            0 => Action::Change(Control::Empty),
+            1 => Action::Change(Control::enable(children[0])),
+            _ => {
+                let mut b = Builder::new(comp, ctx);
+                Action::Change(Control::enable(compile_par(&mut b, &children)))
+            }
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_if(
+        &mut self,
+        port: &mut PortRef,
+        cond: &mut Option<Id>,
+        tbranch: &mut Control,
+        fbranch: &mut Control,
+        _attributes: &mut Attributes,
+        comp: &mut Component,
+        ctx: &Context,
+    ) -> CalyxResult<Action> {
+        let t = compiled_child(tbranch);
+        let f = compiled_child(fbranch);
+        let mut b = Builder::new(comp, ctx);
+        let g = compile_if(&mut b, *port, *cond, t, f);
+        Ok(Action::Change(Control::enable(g)))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_while(
+        &mut self,
+        port: &mut PortRef,
+        cond: &mut Option<Id>,
+        body: &mut Control,
+        _attributes: &mut Attributes,
+        comp: &mut Component,
+        ctx: &Context,
+    ) -> CalyxResult<Action> {
+        let body = compiled_child(body);
+        let mut b = Builder::new(comp, ctx);
+        let g = compile_while(&mut b, *port, *cond, body);
+        Ok(Action::Change(Control::enable(g)))
+    }
+}
+
+/// The single group an already-compiled child statement reduces to (`None`
+/// for empty control).
+fn compiled_child(stmt: &Control) -> Option<Id> {
+    match stmt {
+        Control::Enable { group, .. } => Some(*group),
+        _ => None,
+    }
+}
+
+/// The groups of a block's already-compiled children, empties dropped.
+fn child_groups(stmts: &[Control]) -> Vec<Id> {
+    stmts.iter().filter_map(compiled_child).collect()
 }
 
 /// `group[go]` as a guard.
@@ -163,68 +256,6 @@ fn wire_child(b: &mut Builder, g: Id, child: Id, base: Guard) -> Guard {
     b.asgn_const_guarded(g, (sd, "in"), 0, 1, consume.clone());
     b.asgn_const_guarded(g, (sd, "write_en"), 1, 1, consume);
     sd_out
-}
-
-/// Compile one statement; returns the group that realizes it (or `None` for
-/// empty control).
-fn compile(b: &mut Builder, stmt: &Control) -> CalyxResult<Option<Id>> {
-    match stmt {
-        Control::Empty => Ok(None),
-        Control::Enable { group, .. } => {
-            if !b.component().groups.contains(*group) {
-                return Err(Error::pass(
-                    "compile-control",
-                    format!("control enables undefined group `{group}`"),
-                ));
-            }
-            Ok(Some(*group))
-        }
-        Control::Seq { stmts, .. } => {
-            let children: Vec<Id> = stmts
-                .iter()
-                .map(|s| compile(b, s))
-                .collect::<CalyxResult<Vec<_>>>()?
-                .into_iter()
-                .flatten()
-                .collect();
-            match children.len() {
-                0 => Ok(None),
-                1 => Ok(Some(children[0])),
-                _ => Ok(Some(compile_seq(b, &children))),
-            }
-        }
-        Control::Par { stmts, .. } => {
-            let children: Vec<Id> = stmts
-                .iter()
-                .map(|s| compile(b, s))
-                .collect::<CalyxResult<Vec<_>>>()?
-                .into_iter()
-                .flatten()
-                .collect();
-            match children.len() {
-                0 => Ok(None),
-                1 => Ok(Some(children[0])),
-                _ => Ok(Some(compile_par(b, &children))),
-            }
-        }
-        Control::If {
-            port,
-            cond,
-            tbranch,
-            fbranch,
-            ..
-        } => {
-            let t = compile(b, tbranch)?;
-            let f = compile(b, fbranch)?;
-            Ok(Some(compile_if(b, *port, *cond, t, f)))
-        }
-        Control::While {
-            port, cond, body, ..
-        } => {
-            let body = compile(b, body)?;
-            Ok(Some(compile_while(b, *port, *cond, body)))
-        }
-    }
 }
 
 /// Paper Fig. 2c: one state per child plus a final state; each child's
@@ -406,6 +437,7 @@ fn compile_while(b: &mut Builder, port: PortRef, cond: Option<Id>, body: Option<
 mod tests {
     use super::*;
     use crate::ir::{parse_context, validate, Atom};
+    use crate::passes::Pass;
 
     fn compile_src(src: &str) -> crate::ir::Context {
         let mut ctx = parse_context(src).unwrap();

@@ -1,8 +1,8 @@
 //! Remove completely unreferenced cells.
 
-use super::traversal::{for_each_component, Pass};
+use super::visitor::{Action, Visitor};
 use crate::errors::CalyxResult;
-use crate::ir::{attr, Context, Control, Id, PortRef};
+use crate::ir::{attr, Attributes, Component, Context, Control, Id, PortRef};
 use std::collections::BTreeSet;
 
 /// Deletes cells that no assignment or control statement references at all.
@@ -12,10 +12,24 @@ use std::collections::BTreeSet;
 /// what turns those rewrites into actual area savings. Cells marked
 /// `@external` are always kept: their state is the component's observable
 /// interface (e.g. result memories).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct DeadCellRemoval;
+///
+/// A stateful [`Visitor`]: `start_component` marks cells referenced by
+/// assignments, the `start_if`/`start_while` hooks mark condition-port
+/// cells, and `finish_component` sweeps the rest.
+#[derive(Debug, Clone, Default)]
+pub struct DeadCellRemoval {
+    used: BTreeSet<Id>,
+}
 
-impl Pass for DeadCellRemoval {
+impl DeadCellRemoval {
+    fn mark(&mut self, port: &PortRef) {
+        if let Some(c) = port.cell_parent() {
+            self.used.insert(c);
+        }
+    }
+}
+
+impl Visitor for DeadCellRemoval {
     fn name(&self) -> &'static str {
         "dead-cell-removal"
     }
@@ -24,54 +38,54 @@ impl Pass for DeadCellRemoval {
         "remove cells with no references"
     }
 
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
-        for_each_component(ctx, |comp, _| {
-            let mut used: BTreeSet<Id> = BTreeSet::new();
-            let mut mark = |p: &PortRef| {
+    fn start_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<Action> {
+        self.used.clear();
+        for asgn in comp.all_assignments() {
+            if let Some(c) = asgn.dst.cell_parent() {
+                self.used.insert(c);
+            }
+            for p in asgn.reads() {
                 if let Some(c) = p.cell_parent() {
-                    used.insert(c);
-                }
-            };
-            for asgn in comp.all_assignments() {
-                mark(&asgn.dst);
-                for p in asgn.reads() {
-                    mark(&p);
+                    self.used.insert(c);
                 }
             }
-            mark_control(&comp.control, &mut used);
-            comp.cells
-                .retain(|c| used.contains(&c.name) || c.attributes.has(attr::external()));
-            Ok(())
-        })
+        }
+        Ok(Action::Continue)
     }
-}
 
-fn mark_control(control: &Control, used: &mut BTreeSet<Id>) {
-    match control {
-        Control::Empty | Control::Enable { .. } => {}
-        Control::Seq { stmts, .. } | Control::Par { stmts, .. } => {
-            for s in stmts {
-                mark_control(s, used);
-            }
-        }
-        Control::If {
-            port,
-            tbranch,
-            fbranch,
-            ..
-        } => {
-            if let Some(c) = port.cell_parent() {
-                used.insert(c);
-            }
-            mark_control(tbranch, used);
-            mark_control(fbranch, used);
-        }
-        Control::While { port, body, .. } => {
-            if let Some(c) = port.cell_parent() {
-                used.insert(c);
-            }
-            mark_control(body, used);
-        }
+    #[allow(clippy::too_many_arguments)]
+    fn start_if(
+        &mut self,
+        port: &mut PortRef,
+        _cond: &mut Option<Id>,
+        _tbranch: &mut Control,
+        _fbranch: &mut Control,
+        _attributes: &mut Attributes,
+        _comp: &mut Component,
+        _ctx: &Context,
+    ) -> CalyxResult<Action> {
+        self.mark(port);
+        Ok(Action::Continue)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_while(
+        &mut self,
+        port: &mut PortRef,
+        _cond: &mut Option<Id>,
+        _body: &mut Control,
+        _attributes: &mut Attributes,
+        _comp: &mut Component,
+        _ctx: &Context,
+    ) -> CalyxResult<Action> {
+        self.mark(port);
+        Ok(Action::Continue)
+    }
+
+    fn finish_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<()> {
+        comp.cells
+            .retain(|c| self.used.contains(&c.name) || c.attributes.has(attr::external()));
+        Ok(())
     }
 }
 
@@ -79,6 +93,7 @@ fn mark_control(control: &Control, used: &mut BTreeSet<Id>) {
 mod tests {
     use super::*;
     use crate::ir::parse_context;
+    use crate::passes::Pass;
 
     #[test]
     fn removes_unreferenced_cells() {
@@ -96,7 +111,7 @@ mod tests {
             }"#,
         )
         .unwrap();
-        DeadCellRemoval.run(&mut ctx).unwrap();
+        DeadCellRemoval::default().run(&mut ctx).unwrap();
         let main = ctx.component("main").unwrap();
         assert!(main.cells.contains(Id::new("used")));
         assert!(!main.cells.contains(Id::new("dead")));
@@ -122,7 +137,7 @@ mod tests {
             }"#,
         )
         .unwrap();
-        DeadCellRemoval.run(&mut ctx).unwrap();
+        DeadCellRemoval::default().run(&mut ctx).unwrap();
         assert!(ctx
             .component("main")
             .unwrap()
@@ -143,7 +158,7 @@ mod tests {
             }"#,
         )
         .unwrap();
-        DeadCellRemoval.run(&mut ctx).unwrap();
+        DeadCellRemoval::default().run(&mut ctx).unwrap();
         assert!(ctx.component("main").unwrap().cells.contains(Id::new("lt")));
     }
 }

@@ -1,16 +1,22 @@
 //! Remove groups not reachable from the control program.
 
-use super::traversal::{for_each_component, Pass};
+use super::visitor::{Action, Visitor};
 use crate::errors::CalyxResult;
-use crate::ir::Context;
+use crate::ir::{Attributes, Component, Context, Control, Id, PortRef};
+use std::collections::BTreeSet;
 
 /// Deletes groups that the control program never enables (directly or as a
 /// `with` condition group). Dead groups otherwise survive into lowering and
 /// cost area for no behavior.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct DeadGroupRemoval;
+///
+/// A stateful [`Visitor`]: the `enable`/`start_if`/`start_while` hooks
+/// collect the live set, and `finish_component` sweeps the rest.
+#[derive(Debug, Clone, Default)]
+pub struct DeadGroupRemoval {
+    used: BTreeSet<Id>,
+}
 
-impl Pass for DeadGroupRemoval {
+impl Visitor for DeadGroupRemoval {
     fn name(&self) -> &'static str {
         "dead-group-removal"
     }
@@ -19,19 +25,62 @@ impl Pass for DeadGroupRemoval {
         "remove groups unused by the control program"
     }
 
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
-        for_each_component(ctx, |comp, _| {
-            let used = comp.control.used_groups();
-            comp.groups.retain(|g| used.contains(&g.name));
-            Ok(())
-        })
+    fn start_component(&mut self, _comp: &mut Component, _ctx: &Context) -> CalyxResult<Action> {
+        self.used.clear();
+        Ok(Action::Continue)
+    }
+
+    fn enable(
+        &mut self,
+        group: &mut Id,
+        _attributes: &mut Attributes,
+        _comp: &mut Component,
+        _ctx: &Context,
+    ) -> CalyxResult<Action> {
+        self.used.insert(*group);
+        Ok(Action::Continue)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_if(
+        &mut self,
+        _port: &mut PortRef,
+        cond: &mut Option<Id>,
+        _tbranch: &mut Control,
+        _fbranch: &mut Control,
+        _attributes: &mut Attributes,
+        _comp: &mut Component,
+        _ctx: &Context,
+    ) -> CalyxResult<Action> {
+        self.used.extend(*cond);
+        Ok(Action::Continue)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_while(
+        &mut self,
+        _port: &mut PortRef,
+        cond: &mut Option<Id>,
+        _body: &mut Control,
+        _attributes: &mut Attributes,
+        _comp: &mut Component,
+        _ctx: &Context,
+    ) -> CalyxResult<Action> {
+        self.used.extend(*cond);
+        Ok(Action::Continue)
+    }
+
+    fn finish_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<()> {
+        comp.groups.retain(|g| self.used.contains(&g.name));
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::{parse_context, Id};
+    use crate::ir::parse_context;
+    use crate::passes::Pass;
 
     #[test]
     fn removes_unreferenced_groups() {
@@ -46,7 +95,7 @@ mod tests {
             }"#,
         )
         .unwrap();
-        DeadGroupRemoval.run(&mut ctx).unwrap();
+        DeadGroupRemoval::default().run(&mut ctx).unwrap();
         let main = ctx.component("main").unwrap();
         assert!(main.groups.contains(Id::new("live")));
         assert!(!main.groups.contains(Id::new("dead")));
@@ -65,7 +114,36 @@ mod tests {
             }"#,
         )
         .unwrap();
-        DeadGroupRemoval.run(&mut ctx).unwrap();
+        DeadGroupRemoval::default().run(&mut ctx).unwrap();
         assert_eq!(ctx.component("main").unwrap().groups.len(), 2);
+    }
+
+    /// The live set must reset between components, or component B would
+    /// keep groups only used by component A (or drop ones A doesn't use).
+    #[test]
+    fn live_set_is_per_component() {
+        let mut ctx = parse_context(
+            r#"component helper() -> () {
+                cells { r = std_reg(8); }
+                wires {
+                  group g { r.in = 8'd1; r.write_en = 1'd1; g[done] = r.done; }
+                }
+                control { g; }
+            }
+            component main() -> () {
+                cells { r = std_reg(8); }
+                wires {
+                  group g { r.in = 8'd2; r.write_en = 1'd1; g[done] = r.done; }
+                  group dead { r.in = 8'd3; r.write_en = 1'd1; dead[done] = r.done; }
+                }
+                control { g; }
+            }"#,
+        )
+        .unwrap();
+        DeadGroupRemoval::default().run(&mut ctx).unwrap();
+        assert_eq!(ctx.component("helper").unwrap().groups.len(), 1);
+        let main = ctx.component("main").unwrap();
+        assert!(main.groups.contains(Id::new("g")));
+        assert!(!main.groups.contains(Id::new("dead")));
     }
 }

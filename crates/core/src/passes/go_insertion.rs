@@ -1,8 +1,8 @@
 //! The `GoInsertion` pass (paper §4.2, Fig. 2b).
 
-use super::traversal::{for_each_component, Pass};
+use super::visitor::{Action, Visitor};
 use crate::errors::CalyxResult;
-use crate::ir::{Context, Guard, PortRef};
+use crate::ir::{Component, Context, Guard, PortRef};
 
 /// Guards every assignment inside a group with the group's `go` interface
 /// signal.
@@ -16,7 +16,7 @@ use crate::ir::{Context, Guard, PortRef};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GoInsertion;
 
-impl Pass for GoInsertion {
+impl Visitor for GoInsertion {
     fn name(&self) -> &'static str {
         "go-insertion"
     }
@@ -25,20 +25,19 @@ impl Pass for GoInsertion {
         "guard group assignments with the group's go signal"
     }
 
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
-        for_each_component(ctx, |comp, _| {
-            for group in comp.groups.iter_mut() {
-                let go = Guard::Port(PortRef::hole(group.name, "go"));
-                let done_hole = PortRef::hole(group.name, "done");
-                for asgn in &mut group.assignments {
-                    if asgn.dst != done_hole {
-                        let guard = std::mem::replace(&mut asgn.guard, Guard::True);
-                        asgn.guard = go.clone().and(guard);
-                    }
+    fn start_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<Action> {
+        for group in comp.groups.iter_mut() {
+            let go = Guard::Port(PortRef::hole(group.name, "go"));
+            let done_hole = PortRef::hole(group.name, "done");
+            for asgn in &mut group.assignments {
+                if asgn.dst != done_hole {
+                    let guard = std::mem::replace(&mut asgn.guard, Guard::True);
+                    asgn.guard = go.clone().and(guard);
                 }
             }
-            Ok(())
-        })
+        }
+        // A structural pass over wires only: the control tree is untouched.
+        Ok(Action::SkipChildren)
     }
 }
 
@@ -46,6 +45,7 @@ impl Pass for GoInsertion {
 mod tests {
     use super::*;
     use crate::ir::{parse_context, Id};
+    use crate::passes::Pass;
 
     #[test]
     fn guards_assignments_with_go() {

@@ -1,8 +1,8 @@
 //! Boolean simplification of guards.
 
-use super::traversal::{for_each_component, Pass};
+use super::visitor::{Action, Visitor};
 use crate::errors::CalyxResult;
-use crate::ir::{Atom, CompOp, Context, Guard};
+use crate::ir::{Atom, CompOp, Component, Context, Guard};
 
 /// Simplifies guard expressions after interface-signal inlining:
 /// double negations, `x & x` / `x | x` idempotence, constant comparisons,
@@ -15,7 +15,7 @@ use crate::ir::{Atom, CompOp, Context, Guard};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GuardSimplify;
 
-impl Pass for GuardSimplify {
+impl Visitor for GuardSimplify {
     fn name(&self) -> &'static str {
         "guard-simplify"
     }
@@ -24,20 +24,19 @@ impl Pass for GuardSimplify {
         "boolean simplification of assignment guards"
     }
 
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
-        for_each_component(ctx, |comp, _| {
-            for group in comp.groups.iter_mut() {
-                for asgn in &mut group.assignments {
-                    let g = std::mem::replace(&mut asgn.guard, Guard::True);
-                    asgn.guard = simplify(g);
-                }
-            }
-            for asgn in &mut comp.continuous {
+    fn start_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<Action> {
+        for group in comp.groups.iter_mut() {
+            for asgn in &mut group.assignments {
                 let g = std::mem::replace(&mut asgn.guard, Guard::True);
                 asgn.guard = simplify(g);
             }
-            Ok(())
-        })
+        }
+        for asgn in &mut comp.continuous {
+            let g = std::mem::replace(&mut asgn.guard, Guard::True);
+            asgn.guard = simplify(g);
+        }
+        // Guards live in the wires section; the control tree is untouched.
+        Ok(Action::SkipChildren)
     }
 }
 

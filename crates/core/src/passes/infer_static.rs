@@ -26,15 +26,19 @@
 //! systolic array whose PE declares a latency becomes fully static.
 
 use super::static_timing::stmt_latency;
-use super::traversal::{for_each_component_topological, Pass};
+use super::visitor::{Action, Order, Visitor};
 use crate::errors::CalyxResult;
 use crate::ir::{attr, Atom, Cell, CellType, Component, Context, Group, Guard, Id, PortRef};
 
 /// Infer `"static"` latencies for groups and components.
+///
+/// A [`Visitor`] with [`Order::Topological`] component order: instantiated
+/// components are inferred before their instantiators, so component-level
+/// latencies compose bottom-up across the design.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct InferStaticTiming;
 
-impl Pass for InferStaticTiming {
+impl Visitor for InferStaticTiming {
     fn name(&self) -> &'static str {
         "infer-static-timing"
     }
@@ -43,36 +47,40 @@ impl Pass for InferStaticTiming {
         "conservatively infer static latencies of groups and components"
     }
 
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
-        for_each_component_topological(ctx, |comp, ctx| {
-            let group_names: Vec<Id> = comp.groups.names().collect();
-            for name in group_names {
-                let group = comp.groups.get(name).expect("stable names");
-                if group.static_latency().is_some() {
-                    continue;
-                }
-                if let Some(latency) = infer_group(comp, ctx, group) {
-                    comp.groups
-                        .get_mut(name)
-                        .expect("stable names")
-                        .attributes
-                        .insert(attr::static_(), latency);
+    fn component_order(&self) -> Order {
+        Order::Topological
+    }
+
+    fn start_component(&mut self, comp: &mut Component, ctx: &Context) -> CalyxResult<Action> {
+        let group_names: Vec<Id> = comp.groups.names().collect();
+        for name in group_names {
+            let group = comp.groups.get(name).expect("stable names");
+            if group.static_latency().is_some() {
+                continue;
+            }
+            if let Some(latency) = infer_group(comp, ctx, group) {
+                comp.groups
+                    .get_mut(name)
+                    .expect("stable names")
+                    .attributes
+                    .insert(attr::static_(), latency);
+            }
+        }
+        // Component-level latency from the (possibly annotated) control
+        // tree. Like the paper's Sensitive pass, this is only meaningful
+        // when StaticTiming subsequently compiles the schedule; the two
+        // passes are always registered together.
+        if comp.static_latency().is_none() && !comp.control.is_empty() {
+            let control = comp.control.clone();
+            if let Some(latency) = stmt_latency(comp, &control) {
+                if latency > 0 {
+                    comp.attributes.insert(attr::static_(), latency);
                 }
             }
-            // Component-level latency from the (possibly annotated) control
-            // tree. Like the paper's Sensitive pass, this is only meaningful
-            // when StaticTiming subsequently compiles the schedule; the two
-            // passes are always registered together.
-            if comp.static_latency().is_none() && !comp.control.is_empty() {
-                let control = comp.control.clone();
-                if let Some(latency) = stmt_latency(comp, &control) {
-                    if latency > 0 {
-                        comp.attributes.insert(attr::static_(), latency);
-                    }
-                }
-            }
-            Ok(())
-        })
+        }
+        // Inference reads groups and the control tree as data; there is
+        // nothing to do per control statement.
+        Ok(Action::SkipChildren)
     }
 }
 
@@ -202,6 +210,7 @@ fn infer_group(comp: &Component, ctx: &Context, group: &Group) -> Option<u64> {
 mod tests {
     use super::*;
     use crate::ir::parse_context;
+    use crate::passes::Pass;
 
     fn latency_of(src: &str, group: &str) -> Option<u64> {
         let mut ctx = parse_context(src).unwrap();

@@ -13,19 +13,19 @@
 //!    sharing, the substitution is global, since register names appear in
 //!    many groups).
 
-use super::traversal::{for_each_component, Pass};
+use super::visitor::{Action, Visitor};
 use crate::analysis::liveness::Interference;
 use crate::analysis::pcfg::Pcfg;
 use crate::analysis::read_write::ReadWriteSets;
 use crate::errors::CalyxResult;
-use crate::ir::{Context, Control, Id, Rewriter};
+use crate::ir::{Component, Context, Control, Id, Rewriter};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Merge registers with non-overlapping live ranges.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MinimizeRegs;
 
-impl Pass for MinimizeRegs {
+impl Visitor for MinimizeRegs {
     fn name(&self) -> &'static str {
         "minimize-regs"
     }
@@ -34,96 +34,96 @@ impl Pass for MinimizeRegs {
         "share registers whose live ranges do not overlap"
     }
 
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
-        for_each_component(ctx, |comp, _| {
-            let rw = ReadWriteSets::analyze(comp);
-            let pcfg = Pcfg::from_control(&comp.control);
+    fn start_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<Action> {
+        let rw = ReadWriteSets::analyze(comp);
+        let pcfg = Pcfg::from_control(&comp.control);
 
-            // Registers observable outside the schedule stay live forever:
-            // anything read by continuous assignments or referenced directly
-            // as an `if`/`while` condition port.
-            let mut boundary: BTreeSet<Id> = BTreeSet::new();
-            for asgn in &comp.continuous {
-                for p in asgn.reads() {
-                    if let Some(c) = p.cell_parent() {
-                        boundary.insert(c);
-                    }
+        // Registers observable outside the schedule stay live forever:
+        // anything read by continuous assignments or referenced directly
+        // as an `if`/`while` condition port.
+        let mut boundary: BTreeSet<Id> = BTreeSet::new();
+        for asgn in &comp.continuous {
+            for p in asgn.reads() {
+                if let Some(c) = p.cell_parent() {
+                    boundary.insert(c);
                 }
-                boundary.extend(asgn.dst.cell_parent());
             }
-            collect_condition_cells(&comp.control, &mut boundary);
-            let boundary: BTreeSet<Id> = boundary
-                .into_iter()
-                .filter(|c| comp.cells.get(*c).is_some_and(|c| c.is_register()))
-                .collect();
+            boundary.extend(asgn.dst.cell_parent());
+        }
+        collect_condition_cells(&comp.control, &mut boundary);
+        let boundary: BTreeSet<Id> = boundary
+            .into_iter()
+            .filter(|c| comp.cells.get(*c).is_some_and(|c| c.is_register()))
+            .collect();
 
-            let interference = Interference::build(&pcfg, &rw, &boundary);
+        let interference = Interference::build(&pcfg, &rw, &boundary);
 
-            // Registers in deterministic order, grouped by width.
-            let registers: Vec<(Id, u64)> = comp
-                .cells
-                .iter()
-                .filter(|c| c.is_register())
-                .map(|c| {
-                    let width = c.primitive_params().expect("std_reg is a primitive")[0];
-                    (c.name, width)
-                })
-                .collect();
+        // Registers in deterministic order, grouped by width.
+        let registers: Vec<(Id, u64)> = comp
+            .cells
+            .iter()
+            .filter(|c| c.is_register())
+            .map(|c| {
+                let width = c.primitive_params().expect("std_reg is a primitive")[0];
+                (c.name, width)
+            })
+            .collect();
 
-            // Greedy coloring: colors are representative registers.
-            let mut color_of: HashMap<Id, Id> = HashMap::new();
-            let mut members: BTreeMap<Id, Vec<Id>> = BTreeMap::new(); // color -> regs
-            let mut colors_by_width: BTreeMap<u64, Vec<Id>> = BTreeMap::new();
-            for &(reg, width) in &registers {
-                if boundary.contains(&reg) {
-                    // Pinned: gets (and keeps) its own color.
-                    color_of.insert(reg, reg);
-                    members.entry(reg).or_default().push(reg);
-                    colors_by_width.entry(width).or_default().push(reg);
-                    continue;
+        // Greedy coloring: colors are representative registers.
+        let mut color_of: HashMap<Id, Id> = HashMap::new();
+        let mut members: BTreeMap<Id, Vec<Id>> = BTreeMap::new(); // color -> regs
+        let mut colors_by_width: BTreeMap<u64, Vec<Id>> = BTreeMap::new();
+        for &(reg, width) in &registers {
+            if boundary.contains(&reg) {
+                // Pinned: gets (and keeps) its own color.
+                color_of.insert(reg, reg);
+                members.entry(reg).or_default().push(reg);
+                colors_by_width.entry(width).or_default().push(reg);
+                continue;
+            }
+            let mut chosen = None;
+            for &color in colors_by_width.entry(width).or_default().iter() {
+                if boundary.contains(&color) {
+                    continue; // never merge into a pinned register
                 }
-                let mut chosen = None;
-                for &color in colors_by_width.entry(width).or_default().iter() {
-                    if boundary.contains(&color) {
-                        continue; // never merge into a pinned register
-                    }
-                    let clash = members[&color]
-                        .iter()
-                        .any(|&other| interference.conflict(reg, other));
-                    if !clash {
-                        chosen = Some(color);
-                        break;
-                    }
+                let clash = members[&color]
+                    .iter()
+                    .any(|&other| interference.conflict(reg, other));
+                if !clash {
+                    chosen = Some(color);
+                    break;
                 }
-                let color = chosen.unwrap_or(reg);
-                if color == reg {
-                    colors_by_width.entry(width).or_default().push(reg);
-                }
-                color_of.insert(reg, color);
-                members.entry(color).or_default().push(reg);
             }
+            let color = chosen.unwrap_or(reg);
+            if color == reg {
+                colors_by_width.entry(width).or_default().push(reg);
+            }
+            color_of.insert(reg, color);
+            members.entry(color).or_default().push(reg);
+        }
 
-            // Build and apply the global renaming.
-            let cell_map: HashMap<Id, Id> = color_of
-                .iter()
-                .filter(|(reg, color)| reg != color)
-                .map(|(reg, color)| (*reg, *color))
-                .collect();
-            if cell_map.is_empty() {
-                return Ok(());
-            }
-            let rewriter = Rewriter::from_cells(cell_map);
-            for group in comp.groups.iter_mut() {
-                rewriter.group(group);
-            }
-            for asgn in &mut comp.continuous {
-                rewriter.assignment(asgn);
-            }
-            let mut control = std::mem::take(&mut comp.control);
-            rewriter.control(&mut control);
-            comp.control = control;
-            Ok(())
-        })
+        // Build and apply the global renaming.
+        let cell_map: HashMap<Id, Id> = color_of
+            .iter()
+            .filter(|(reg, color)| reg != color)
+            .map(|(reg, color)| (*reg, *color))
+            .collect();
+        if cell_map.is_empty() {
+            return Ok(Action::SkipChildren);
+        }
+        let rewriter = Rewriter::from_cells(cell_map);
+        for group in comp.groups.iter_mut() {
+            rewriter.group(group);
+        }
+        for asgn in &mut comp.continuous {
+            rewriter.assignment(asgn);
+        }
+        let mut control = std::mem::take(&mut comp.control);
+        rewriter.control(&mut control);
+        comp.control = control;
+        // The rewrite already visited the control tree through the
+        // analyses; no per-statement work remains.
+        Ok(Action::SkipChildren)
     }
 }
 
@@ -156,6 +156,7 @@ fn collect_condition_cells(control: &Control, out: &mut BTreeSet<Id>) {
 mod tests {
     use super::*;
     use crate::ir::{parse_context, PortRef};
+    use crate::passes::Pass;
 
     /// Two temporaries with back-to-back disjoint lifetimes collapse into
     /// one register.
@@ -184,7 +185,9 @@ mod tests {
         "#;
         let mut ctx = parse_context(src).unwrap();
         MinimizeRegs.run(&mut ctx).unwrap();
-        super::super::DeadCellRemoval.run(&mut ctx).unwrap();
+        super::super::DeadCellRemoval::default()
+            .run(&mut ctx)
+            .unwrap();
         let main = ctx.component("main").unwrap();
         let regs = main.cells.iter().filter(|c| c.is_register()).count();
         assert_eq!(regs, 1, "t0 and t1 should share one register");

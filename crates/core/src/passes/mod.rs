@@ -1,6 +1,41 @@
-//! Compiler passes.
+//! Compiler passes: the visitor framework, the named pass registry, and
+//! the standard pipelines.
 //!
-//! The paper's primary compilation pipeline (§4.2) is
+//! Passes implement [`Visitor`] (structural traversal with [`Action`]
+//! steering — see the [`visitor`] module docs for the contract) and are
+//! composed by [`PassManager`]. Pipelines are *data*: every pass has a
+//! kebab-case name in the [`PassRegistry`], aliases name standard
+//! pipelines, and [`PassManager::from_names`] builds any mix of the two —
+//! the same surface the `futil -p` CLI exposes.
+//!
+//! # Pass table
+//!
+//! | Name | Description | In aliases |
+//! |------|-------------|------------|
+//! | `well-formed` | validate structural invariants of the program | `none`, `lower`, `lower-static`, `opt`, `all` |
+//! | `collapse-control` | flatten nested seq/par blocks and drop empty statements | `lower`, `lower-static`, `opt`, `all` |
+//! | `dead-group-removal` | remove groups unused by the control program | `lower`, `lower-static`, `opt`, `all` |
+//! | `dead-cell-removal` | remove cells with no references | `lower`, `lower-static`, `opt`, `all` |
+//! | `infer-static-timing` | conservatively infer static latencies of groups and components | `lower-static`, `opt`, `all` |
+//! | `static-timing` | compile statically-timed control with counter FSMs (the paper's Sensitive pass) | `lower-static`, `opt`, `all` |
+//! | `compile-control` | structurally realize control statements with latency-insensitive FSMs | `lower`, `lower-static`, `opt`, `all` |
+//! | `go-insertion` | guard group assignments with the group's go signal | `lower`, `lower-static`, `opt`, `all` |
+//! | `remove-groups` | inline interface signals and erase group boundaries | `lower`, `lower-static`, `opt`, `all` |
+//! | `guard-simplify` | boolean simplification of assignment guards | `lower`, `lower-static`, `opt`, `all` |
+//! | `resource-sharing` | share combinational cells between groups that never run in parallel | `opt`, `all` |
+//! | `minimize-regs` | share registers whose live ranges do not overlap | `opt`, `all` |
+//!
+//! # Aliases
+//!
+//! | Alias | Pipeline |
+//! |-------|----------|
+//! | `none` | validation only (`well-formed`) |
+//! | `lower` | the paper's §4.2 latency-insensitive lowering |
+//! | `lower-static` | `lower` with latency inference + static compilation (§4.4, §5.3) |
+//! | `opt` | the full optimizing pipeline (§5.1–§5.3 + static lowering) |
+//! | `all` | same as `opt` (the artifact's name for the full pipeline) |
+//!
+//! The paper-facing mapping: the primary compilation pipeline (§4.2) is
 //! [`GoInsertion`] → [`CompileControl`] → [`RemoveGroups`]; code generation
 //! (`Lower`) lives in the backend crate. [`StaticTiming`] is the
 //! latency-sensitive `Sensitive` pass (§4.4) and [`InferStaticTiming`] is
@@ -23,10 +58,12 @@ mod go_insertion;
 mod guard_simplify;
 mod infer_static;
 mod minimize_regs;
+mod registry;
 mod remove_groups;
 mod resource_sharing;
 mod static_timing;
 mod traversal;
+mod visitor;
 mod well_formed;
 
 pub use collapse_control::CollapseControl;
@@ -37,74 +74,64 @@ pub use go_insertion::GoInsertion;
 pub use guard_simplify::{simplify, GuardSimplify};
 pub use infer_static::InferStaticTiming;
 pub use minimize_regs::MinimizeRegs;
+pub use registry::{
+    PassRegistry, RegisteredPass, ALIAS_LOWER, ALIAS_LOWER_STATIC, ALIAS_NONE, ALIAS_OPT,
+};
 pub use remove_groups::RemoveGroups;
 pub use resource_sharing::ResourceSharing;
 pub use static_timing::StaticTiming;
-pub use traversal::{Pass, PassManager, PassTiming};
+pub use traversal::{
+    for_each_component, for_each_component_topological, Pass, PassManager, PassTiming,
+};
+pub use visitor::{Action, Order, Visitor};
 pub use well_formed::WellFormed;
 
 /// The standard lowering pipeline: validate, clean up, insert `go` guards,
 /// compile control to FSMs, and inline interface signals.
 ///
-/// This is the latency-*insensitive* pipeline; see
+/// A thin wrapper over the registry alias `lower`; see
 /// [`lower_pipeline_static`] for the variant that first applies latency
 /// inference and static compilation.
 pub fn lower_pipeline() -> PassManager {
-    let mut pm = PassManager::new();
-    pm.register(WellFormed);
-    pm.register(CollapseControl);
-    pm.register(DeadGroupRemoval);
-    pm.register(CompileControl);
-    pm.register(GoInsertion);
-    pm.register(RemoveGroups);
-    pm.register(GuardSimplify);
-    pm.register(DeadCellRemoval);
-    pm
+    PassManager::from_names(&["lower"]).expect("`lower` alias is registered")
 }
 
 /// The lowering pipeline with latency-sensitive compilation enabled:
 /// latencies are inferred (§5.3) and statically schedulable control is
 /// compiled with counter FSMs (§4.4) before the dynamic fallback runs.
+///
+/// A thin wrapper over the registry alias `lower-static`.
 pub fn lower_pipeline_static() -> PassManager {
-    let mut pm = PassManager::new();
-    pm.register(WellFormed);
-    pm.register(CollapseControl);
-    pm.register(DeadGroupRemoval);
-    pm.register(InferStaticTiming);
-    pm.register(StaticTiming);
-    pm.register(CompileControl);
-    pm.register(GoInsertion);
-    pm.register(RemoveGroups);
-    pm.register(GuardSimplify);
-    pm.register(DeadCellRemoval);
-    pm
+    PassManager::from_names(&["lower-static"]).expect("`lower-static` alias is registered")
 }
 
 /// The full optimizing pipeline used for the paper's headline numbers:
 /// sharing optimizations followed by latency-sensitive lowering.
+///
+/// With all three flags on, this is the registry alias `opt` (= `all`);
+/// the flags drop individual optimizations for the §7.3 ablations.
 pub fn optimized_pipeline(
     resource_sharing: bool,
     minimize_regs: bool,
     static_timing: bool,
 ) -> PassManager {
-    let mut pm = PassManager::new();
-    pm.register(WellFormed);
-    pm.register(CollapseControl);
-    pm.register(DeadGroupRemoval);
+    let mut names = vec!["well-formed", "collapse-control", "dead-group-removal"];
     if resource_sharing {
-        pm.register(ResourceSharing);
+        names.push("resource-sharing");
     }
     if minimize_regs {
-        pm.register(MinimizeRegs);
+        names.push("minimize-regs");
     }
     if static_timing {
-        pm.register(InferStaticTiming);
-        pm.register(StaticTiming);
+        names.push("infer-static-timing");
+        names.push("static-timing");
     }
-    pm.register(CompileControl);
-    pm.register(GoInsertion);
-    pm.register(RemoveGroups);
-    pm.register(GuardSimplify);
-    pm.register(DeadCellRemoval);
-    pm
+    names.extend([
+        "compile-control",
+        "go-insertion",
+        "remove-groups",
+        "guard-simplify",
+        "dead-cell-removal",
+    ]);
+    PassManager::from_names(&names).expect("optimized pipeline passes are registered")
 }

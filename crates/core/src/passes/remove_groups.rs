@@ -15,16 +15,16 @@
 //! The result is a control-free component: a flat list of guarded
 //! assignments ready for RTL code generation.
 
-use super::traversal::{for_each_component, Pass};
+use super::visitor::{Action, Visitor};
 use crate::errors::{CalyxResult, Error};
-use crate::ir::{Assignment, Atom, Context, Control, Guard, PortRef};
+use crate::ir::{Assignment, Atom, Component, Context, Control, Guard, PortRef};
 use std::collections::HashMap;
 
 /// Inlines `go`/`done` interface signals and erases all groups.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RemoveGroups;
 
-impl Pass for RemoveGroups {
+impl Visitor for RemoveGroups {
     fn name(&self) -> &'static str {
         "remove-groups"
     }
@@ -33,54 +33,41 @@ impl Pass for RemoveGroups {
         "inline interface signals and erase group boundaries"
     }
 
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
-        for_each_component(ctx, |comp, _| {
-            let top = match std::mem::take(&mut comp.control) {
-                Control::Empty => None,
-                Control::Enable { group, .. } => Some(group),
-                other => {
-                    return Err(Error::pass(
-                        "remove-groups",
-                        format!("expected compiled control (a single enable), found:\n{other}"),
-                    ))
-                }
-            };
-
-            // Does the top group need `!done` re-execution protection? A
-            // group whose done is a registered pulse (`reg.done`/`mem.done`)
-            // would fire again during its done cycle if `go` stayed high —
-            // inner enables get this term from their parent FSM
-            // (compile-control), but the top-level enable has no parent, so
-            // the component's own go wiring must supply it.
-            let top_needs_protection = top
-                .and_then(|t| comp.groups.get(t))
-                .map(|g| {
-                    g.done_writes().any(|asgn| match &asgn.src {
-                        Atom::Port(p) if p.port.as_str() == "done" => p
-                            .cell_parent()
-                            .and_then(|c| comp.cells.get(c))
-                            .is_some_and(|cell| cell.is_register() || cell.is_memory()),
-                        _ => false,
-                    })
-                })
-                .unwrap_or(false);
-
-            // Gather hole definitions, removing the defining assignments.
-            let mut writes: HashMap<PortRef, Vec<(Guard, Atom)>> = HashMap::new();
-            for group in comp.groups.iter_mut() {
-                group.assignments.retain(|asgn| {
-                    if asgn.dst.is_hole() {
-                        writes
-                            .entry(asgn.dst)
-                            .or_default()
-                            .push((asgn.guard.clone(), asgn.src));
-                        false
-                    } else {
-                        true
-                    }
-                });
+    fn start_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<Action> {
+        let top = match std::mem::take(&mut comp.control) {
+            Control::Empty => None,
+            Control::Enable { group, .. } => Some(group),
+            other => {
+                return Err(Error::pass(
+                    "remove-groups",
+                    format!("expected compiled control (a single enable), found:\n{other}"),
+                ))
             }
-            comp.continuous.retain(|asgn| {
+        };
+
+        // Does the top group need `!done` re-execution protection? A
+        // group whose done is a registered pulse (`reg.done`/`mem.done`)
+        // would fire again during its done cycle if `go` stayed high —
+        // inner enables get this term from their parent FSM
+        // (compile-control), but the top-level enable has no parent, so
+        // the component's own go wiring must supply it.
+        let top_needs_protection = top
+            .and_then(|t| comp.groups.get(t))
+            .map(|g| {
+                g.done_writes().any(|asgn| match &asgn.src {
+                    Atom::Port(p) if p.port.as_str() == "done" => p
+                        .cell_parent()
+                        .and_then(|c| comp.cells.get(c))
+                        .is_some_and(|cell| cell.is_register() || cell.is_memory()),
+                    _ => false,
+                })
+            })
+            .unwrap_or(false);
+
+        // Gather hole definitions, removing the defining assignments.
+        let mut writes: HashMap<PortRef, Vec<(Guard, Atom)>> = HashMap::new();
+        for group in comp.groups.iter_mut() {
+            group.assignments.retain(|asgn| {
                 if asgn.dst.is_hole() {
                     writes
                         .entry(asgn.dst)
@@ -91,136 +78,148 @@ impl Pass for RemoveGroups {
                     true
                 }
             });
-
-            // Each hole's replacement: OR over its writes of (guard & src).
-            let mut repl: HashMap<PortRef, Guard> = HashMap::new();
-            for (hole, defs) in writes {
-                let mut guard: Option<Guard> = None;
-                for (g, src) in defs {
-                    let contribution = match src {
-                        Atom::Const { val: 0, .. } => continue,
-                        Atom::Const { .. } => g,
-                        Atom::Port(p) if p.is_hole() => g.and(Guard::Port(p)),
-                        Atom::Port(p) => g.and(Guard::Port(p)),
-                    };
-                    guard = Some(match guard {
-                        Some(acc) => acc.or(contribution),
-                        None => contribution,
-                    });
-                }
-                // A hole that is never written (or only written 0) is never
-                // high.
-                repl.insert(hole, guard.unwrap_or_else(|| Guard::True.not()));
+        }
+        comp.continuous.retain(|asgn| {
+            if asgn.dst.is_hole() {
+                writes
+                    .entry(asgn.dst)
+                    .or_default()
+                    .push((asgn.guard.clone(), asgn.src));
+                false
+            } else {
+                true
             }
+        });
 
-            // The top group is started by the component's own go port (with
-            // re-execution protection when its done is a registered pulse).
-            if let Some(top) = top {
-                let mut go_guard = Guard::Port(PortRef::this("go"));
-                if top_needs_protection {
-                    go_guard = go_guard.and(Guard::Port(PortRef::hole(top, "done")).not());
-                }
-                repl.insert(PortRef::hole(top, "go"), go_guard);
+        // Each hole's replacement: OR over its writes of (guard & src).
+        let mut repl: HashMap<PortRef, Guard> = HashMap::new();
+        for (hole, defs) in writes {
+            let mut guard: Option<Guard> = None;
+            for (g, src) in defs {
+                let contribution = match src {
+                    Atom::Const { val: 0, .. } => continue,
+                    Atom::Const { .. } => g,
+                    Atom::Port(p) if p.is_hole() => g.and(Guard::Port(p)),
+                    Atom::Port(p) => g.and(Guard::Port(p)),
+                };
+                guard = Some(match guard {
+                    Some(acc) => acc.or(contribution),
+                    None => contribution,
+                });
             }
+            // A hole that is never written (or only written 0) is never
+            // high.
+            repl.insert(hole, guard.unwrap_or_else(|| Guard::True.not()));
+        }
 
-            // Resolve hole references inside replacements to a fixpoint. The
-            // dependency structure follows the control tree (a child's go
-            // mentions its parent's go and sibling dones), so this
-            // terminates in O(nesting depth) rounds.
-            let holes: Vec<PortRef> = repl.keys().copied().collect();
-            for round in 0.. {
-                let mut changed = false;
-                for hole in &holes {
-                    let mut guard = repl[hole].clone();
-                    let reads: Vec<PortRef> =
-                        guard.ports().into_iter().filter(PortRef::is_hole).collect();
-                    if reads.is_empty() {
-                        continue;
-                    }
-                    for read in reads {
-                        let replacement = repl.get(&read).cloned().ok_or_else(|| {
-                            Error::pass(
-                                "remove-groups",
-                                format!("hole `{read}` is read but never written"),
-                            )
-                        })?;
-                        guard.substitute(read, &replacement);
-                        changed = true;
-                    }
-                    repl.insert(*hole, guard);
-                }
-                if !changed {
-                    break;
-                }
-                if round > 256 {
-                    return Err(Error::pass(
-                        "remove-groups",
-                        "interface-signal substitution did not converge (cyclic holes?)",
-                    ));
-                }
+        // The top group is started by the component's own go port (with
+        // re-execution protection when its done is a registered pulse).
+        if let Some(top) = top {
+            let mut go_guard = Guard::Port(PortRef::this("go"));
+            if top_needs_protection {
+                go_guard = go_guard.and(Guard::Port(PortRef::hole(top, "done")).not());
             }
+            repl.insert(PortRef::hole(top, "go"), go_guard);
+        }
 
-            // Substitute hole reads in every remaining assignment.
-            let substitute_in = |guard: &mut Guard| -> CalyxResult<()> {
-                loop {
-                    let reads: Vec<PortRef> =
-                        guard.ports().into_iter().filter(PortRef::is_hole).collect();
-                    if reads.is_empty() {
-                        return Ok(());
-                    }
-                    for read in reads {
-                        let replacement = repl.get(&read).cloned().ok_or_else(|| {
-                            Error::pass(
-                                "remove-groups",
-                                format!("hole `{read}` is read but never written"),
-                            )
-                        })?;
-                        guard.substitute(read, &replacement);
-                    }
+        // Resolve hole references inside replacements to a fixpoint. The
+        // dependency structure follows the control tree (a child's go
+        // mentions its parent's go and sibling dones), so this
+        // terminates in O(nesting depth) rounds.
+        let holes: Vec<PortRef> = repl.keys().copied().collect();
+        for round in 0.. {
+            let mut changed = false;
+            for hole in &holes {
+                let mut guard = repl[hole].clone();
+                let reads: Vec<PortRef> =
+                    guard.ports().into_iter().filter(PortRef::is_hole).collect();
+                if reads.is_empty() {
+                    continue;
                 }
-            };
-
-            let mut flattened: Vec<Assignment> = Vec::new();
-            let group_names: Vec<_> = comp.groups.names().collect();
-            for gname in group_names {
-                let group = comp.groups.remove(gname).expect("name from iteration");
-                for mut asgn in group.assignments {
-                    if matches!(asgn.src, Atom::Port(p) if p.is_hole()) {
-                        return Err(Error::pass(
-                            "remove-groups",
-                            format!("hole used as assignment source in `{}`", asgn.dst),
-                        ));
-                    }
-                    substitute_in(&mut asgn.guard)?;
-                    flattened.push(asgn);
-                }
-            }
-            for asgn in &mut comp.continuous {
-                substitute_in(&mut asgn.guard)?;
-            }
-            comp.continuous.extend(flattened);
-
-            // Wire the component's done port.
-            let done_guard = match top {
-                Some(top) => repl
-                    .get(&PortRef::hole(top, "done"))
-                    .cloned()
-                    .ok_or_else(|| {
+                for read in reads {
+                    let replacement = repl.get(&read).cloned().ok_or_else(|| {
                         Error::pass(
                             "remove-groups",
-                            format!("top-level group `{top}` never writes its done hole"),
+                            format!("hole `{read}` is read but never written"),
                         )
-                    })?,
-                // An empty component finishes as soon as it is started.
-                None => Guard::Port(PortRef::this("go")),
-            };
-            comp.continuous.push(Assignment::guarded(
-                PortRef::this("done"),
-                Atom::constant(1, 1),
-                done_guard,
-            ));
-            Ok(())
-        })
+                    })?;
+                    guard.substitute(read, &replacement);
+                    changed = true;
+                }
+                repl.insert(*hole, guard);
+            }
+            if !changed {
+                break;
+            }
+            if round > 256 {
+                return Err(Error::pass(
+                    "remove-groups",
+                    "interface-signal substitution did not converge (cyclic holes?)",
+                ));
+            }
+        }
+
+        // Substitute hole reads in every remaining assignment.
+        let substitute_in = |guard: &mut Guard| -> CalyxResult<()> {
+            loop {
+                let reads: Vec<PortRef> =
+                    guard.ports().into_iter().filter(PortRef::is_hole).collect();
+                if reads.is_empty() {
+                    return Ok(());
+                }
+                for read in reads {
+                    let replacement = repl.get(&read).cloned().ok_or_else(|| {
+                        Error::pass(
+                            "remove-groups",
+                            format!("hole `{read}` is read but never written"),
+                        )
+                    })?;
+                    guard.substitute(read, &replacement);
+                }
+            }
+        };
+
+        let mut flattened: Vec<Assignment> = Vec::new();
+        let group_names: Vec<_> = comp.groups.names().collect();
+        for gname in group_names {
+            let group = comp.groups.remove(gname).expect("name from iteration");
+            for mut asgn in group.assignments {
+                if matches!(asgn.src, Atom::Port(p) if p.is_hole()) {
+                    return Err(Error::pass(
+                        "remove-groups",
+                        format!("hole used as assignment source in `{}`", asgn.dst),
+                    ));
+                }
+                substitute_in(&mut asgn.guard)?;
+                flattened.push(asgn);
+            }
+        }
+        for asgn in &mut comp.continuous {
+            substitute_in(&mut asgn.guard)?;
+        }
+        comp.continuous.extend(flattened);
+
+        // Wire the component's done port.
+        let done_guard = match top {
+            Some(top) => repl
+                .get(&PortRef::hole(top, "done"))
+                .cloned()
+                .ok_or_else(|| {
+                    Error::pass(
+                        "remove-groups",
+                        format!("top-level group `{top}` never writes its done hole"),
+                    )
+                })?,
+            // An empty component finishes as soon as it is started.
+            None => Guard::Port(PortRef::this("go")),
+        };
+        comp.continuous.push(Assignment::guarded(
+            PortRef::this("done"),
+            Atom::constant(1, 1),
+            done_guard,
+        ));
+        // Groups are erased and control is empty; nothing to traverse.
+        Ok(Action::SkipChildren)
     }
 }
 
@@ -229,6 +228,7 @@ mod tests {
     use super::super::{CompileControl, GoInsertion};
     use super::*;
     use crate::ir::parse_context;
+    use crate::passes::Pass;
 
     fn lower(src: &str) -> crate::ir::Context {
         let mut ctx = parse_context(src).unwrap();

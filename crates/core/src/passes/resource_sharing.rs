@@ -18,17 +18,17 @@
 //! after lowering as multiple guarded drivers on the shared cell's input
 //! ports.
 
-use super::traversal::{for_each_component, Pass};
+use super::visitor::{Action, Visitor};
 use crate::analysis::conflict::ParConflicts;
 use crate::errors::CalyxResult;
-use crate::ir::{attr, CellType, Context, Control, Id, Rewriter};
+use crate::ir::{attr, CellType, Component, Context, Control, Id, Rewriter};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Share `@share`-annotated cells between temporally disjoint groups.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ResourceSharing;
 
-impl Pass for ResourceSharing {
+impl Visitor for ResourceSharing {
     fn name(&self) -> &'static str {
         "resource-sharing"
     }
@@ -37,120 +37,120 @@ impl Pass for ResourceSharing {
         "share combinational cells between groups that never run in parallel"
     }
 
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
-        for_each_component(ctx, |comp, ctx| {
-            let conflicts = ParConflicts::from_control(&comp.control);
+    fn start_component(&mut self, comp: &mut Component, ctx: &Context) -> CalyxResult<Action> {
+        let conflicts = ParConflicts::from_control(&comp.control);
 
-            // Cells eligible for sharing: prototype is marked shareable and
-            // the cell is not referenced outside of groups.
-            let mut pinned: BTreeSet<Id> = BTreeSet::new();
-            for asgn in &comp.continuous {
-                pinned.extend(asgn.dst.cell_parent());
-                for p in asgn.reads() {
-                    pinned.extend(p.cell_parent());
+        // Cells eligible for sharing: prototype is marked shareable and
+        // the cell is not referenced outside of groups.
+        let mut pinned: BTreeSet<Id> = BTreeSet::new();
+        for asgn in &comp.continuous {
+            pinned.extend(asgn.dst.cell_parent());
+            for p in asgn.reads() {
+                pinned.extend(p.cell_parent());
+            }
+        }
+        pin_control_ports(&comp.control, &mut pinned);
+
+        let shareable: BTreeSet<Id> = comp
+            .cells
+            .iter()
+            .filter(|c| !pinned.contains(&c.name))
+            .filter(|c| match &c.prototype {
+                CellType::Primitive { name, .. } => {
+                    ctx.lib.get(*name).is_some_and(|def| def.is_shareable())
+                }
+                CellType::Component { name } => ctx
+                    .components
+                    .get(*name)
+                    .is_some_and(|c| c.attributes.has(attr::share())),
+            })
+            .map(|c| c.name)
+            .collect();
+
+        // Usage map: which groups use each shareable cell. Cells used by
+        // several groups were already shared by the frontend; leave them
+        // alone but record their claims so we never double-book them.
+        let mut users: BTreeMap<Id, Vec<Id>> = BTreeMap::new();
+        for group in comp.groups.iter() {
+            for cell in group.used_cells() {
+                if shareable.contains(&cell) {
+                    users.entry(cell).or_default().push(group.name);
                 }
             }
-            pin_control_ports(&comp.control, &mut pinned);
+        }
 
-            let shareable: BTreeSet<Id> = comp
-                .cells
-                .iter()
-                .filter(|c| !pinned.contains(&c.name))
-                .filter(|c| match &c.prototype {
-                    CellType::Primitive { name, .. } => {
-                        ctx.lib.get(*name).is_some_and(|def| def.is_shareable())
-                    }
-                    CellType::Component { name } => ctx
-                        .components
-                        .get(*name)
-                        .is_some_and(|c| c.attributes.has(attr::share())),
-                })
-                .map(|c| c.name)
-                .collect();
-
-            // Usage map: which groups use each shareable cell. Cells used by
-            // several groups were already shared by the frontend; leave them
-            // alone but record their claims so we never double-book them.
-            let mut users: BTreeMap<Id, Vec<Id>> = BTreeMap::new();
-            for group in comp.groups.iter() {
-                for cell in group.used_cells() {
-                    if shareable.contains(&cell) {
-                        users.entry(cell).or_default().push(group.name);
-                    }
-                }
+        // Claims: representative cell -> groups using it.
+        let mut claims: HashMap<Id, Vec<Id>> = HashMap::new();
+        for (cell, groups) in &users {
+            if groups.len() > 1 {
+                claims.insert(*cell, groups.clone());
             }
+        }
 
-            // Claims: representative cell -> groups using it.
-            let mut claims: HashMap<Id, Vec<Id>> = HashMap::new();
-            for (cell, groups) in &users {
-                if groups.len() > 1 {
-                    claims.insert(*cell, groups.clone());
-                }
-            }
+        // Representative pool per prototype, in allocation order.
+        let mut pool: HashMap<CellType, Vec<Id>> = HashMap::new();
+        let prototype = |comp: &crate::ir::Component, cell: Id| {
+            comp.cells
+                .get(cell)
+                .expect("used cells exist")
+                .prototype
+                .clone()
+        };
+        // Seed the pool with frontend-shared (multi-group) cells so the
+        // allocator can reuse them too.
+        for cell in claims.keys() {
+            pool.entry(prototype(comp, *cell)).or_default().push(*cell);
+        }
 
-            // Representative pool per prototype, in allocation order.
-            let mut pool: HashMap<CellType, Vec<Id>> = HashMap::new();
-            let prototype = |comp: &crate::ir::Component, cell: Id| {
-                comp.cells
-                    .get(cell)
-                    .expect("used cells exist")
-                    .prototype
-                    .clone()
+        // Greedy allocation in control order.
+        let mut rewrites: BTreeMap<Id, HashMap<Id, Id>> = BTreeMap::new();
+        for group in control_order(&comp.control) {
+            let Some(cells) = group_cells(&users, group) else {
+                continue;
             };
-            // Seed the pool with frontend-shared (multi-group) cells so the
-            // allocator can reuse them too.
-            for cell in claims.keys() {
-                pool.entry(prototype(comp, *cell)).or_default().push(*cell);
-            }
-
-            // Greedy allocation in control order.
-            let mut rewrites: BTreeMap<Id, HashMap<Id, Id>> = BTreeMap::new();
-            for group in control_order(&comp.control) {
-                let Some(cells) = group_cells(&users, group) else {
-                    continue;
+            for cell in cells {
+                if claims.contains_key(&cell) && users[&cell].len() > 1 {
+                    continue; // frontend-shared; left in place
+                }
+                let proto = prototype(comp, cell);
+                let candidates = pool.entry(proto).or_default();
+                let mut chosen = None;
+                for &rep in candidates.iter() {
+                    let conflicts_with_rep = claims.get(&rep).is_some_and(|gs| {
+                        gs.iter()
+                            .any(|&g| g == group || conflicts.conflict(g, group))
+                    });
+                    // A representative already claimed by this same group
+                    // holds a *different* value concurrently; skip it.
+                    if !conflicts_with_rep {
+                        chosen = Some(rep);
+                        break;
+                    }
+                }
+                let rep = match chosen {
+                    Some(rep) => rep,
+                    None => {
+                        candidates.push(cell);
+                        cell
+                    }
                 };
-                for cell in cells {
-                    if claims.contains_key(&cell) && users[&cell].len() > 1 {
-                        continue; // frontend-shared; left in place
-                    }
-                    let proto = prototype(comp, cell);
-                    let candidates = pool.entry(proto).or_default();
-                    let mut chosen = None;
-                    for &rep in candidates.iter() {
-                        let conflicts_with_rep = claims.get(&rep).is_some_and(|gs| {
-                            gs.iter()
-                                .any(|&g| g == group || conflicts.conflict(g, group))
-                        });
-                        // A representative already claimed by this same group
-                        // holds a *different* value concurrently; skip it.
-                        if !conflicts_with_rep {
-                            chosen = Some(rep);
-                            break;
-                        }
-                    }
-                    let rep = match chosen {
-                        Some(rep) => rep,
-                        None => {
-                            candidates.push(cell);
-                            cell
-                        }
-                    };
-                    claims.entry(rep).or_default().push(group);
-                    if rep != cell {
-                        rewrites.entry(group).or_default().insert(cell, rep);
-                    }
+                claims.entry(rep).or_default().push(group);
+                if rep != cell {
+                    rewrites.entry(group).or_default().insert(cell, rep);
                 }
             }
+        }
 
-            // Local group rewriting.
-            for (group, map) in rewrites {
-                let rw = Rewriter::from_cells(map);
-                if let Some(g) = comp.groups.get_mut(group) {
-                    rw.group(g);
-                }
+        // Local group rewriting.
+        for (group, map) in rewrites {
+            let rw = Rewriter::from_cells(map);
+            if let Some(g) = comp.groups.get_mut(group) {
+                rw.group(g);
             }
-            Ok(())
-        })
+        }
+        // The rewrite already visited the control tree through the
+        // conflict analysis; no per-statement work remains.
+        Ok(Action::SkipChildren)
     }
 }
 
@@ -208,6 +208,7 @@ fn pin_control_ports(control: &Control, pinned: &mut BTreeSet<Id>) {
 mod tests {
     use super::*;
     use crate::ir::{parse_context, PortRef};
+    use crate::passes::Pass;
 
     /// The paper's Fig. 3 example: incr_r0 and incr_r1 never run in
     /// parallel, so their adders merge; the parallel lets do not interact
@@ -255,7 +256,9 @@ mod tests {
             .any(|a| a.dst == PortRef::cell("a0", "left"));
         assert!(uses_a0, "incr_r1 should be rewritten to use a0:\n{incr_r1}");
         // After dead-cell removal, a1 disappears.
-        super::super::DeadCellRemoval.run(&mut ctx).unwrap();
+        super::super::DeadCellRemoval::default()
+            .run(&mut ctx)
+            .unwrap();
         assert!(!ctx.component("main").unwrap().cells.contains(Id::new("a1")));
     }
 
@@ -326,7 +329,9 @@ mod tests {
         "#;
         let mut ctx = parse_context(src).unwrap();
         ResourceSharing.run(&mut ctx).unwrap();
-        super::super::DeadCellRemoval.run(&mut ctx).unwrap();
+        super::super::DeadCellRemoval::default()
+            .run(&mut ctx)
+            .unwrap();
         let main = ctx.component("main").unwrap();
         assert!(main.cells.contains(Id::new("a0")));
         assert!(main.cells.contains(Id::new("a1")));
@@ -351,7 +356,9 @@ mod tests {
         "#;
         let mut ctx = parse_context(src).unwrap();
         ResourceSharing.run(&mut ctx).unwrap();
-        super::super::DeadCellRemoval.run(&mut ctx).unwrap();
+        super::super::DeadCellRemoval::default()
+            .run(&mut ctx)
+            .unwrap();
         let main = ctx.component("main").unwrap();
         assert!(main.cells.contains(Id::new("a1")), "pinned cell survives");
     }

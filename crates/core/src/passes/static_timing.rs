@@ -21,16 +21,22 @@
 //! (they omit the `!done` re-execution protection for static children), so
 //! static islands compose with dynamic surroundings.
 
-use super::traversal::{for_each_component, Pass};
+use super::visitor::{Action, Visitor};
 use crate::errors::CalyxResult;
-use crate::ir::{attr, Atom, Builder, Component, Context, Control, Group, Guard, Id, PortRef};
+use crate::ir::{
+    attr, Atom, Attributes, Builder, Component, Context, Control, Group, Guard, Id, PortRef,
+};
 use crate::utils::bits_needed;
 
 /// Opportunistically compile control with latency-sensitive counter FSMs.
+///
+/// A bottom-up [`Visitor`]: the post hooks see already-compiled children,
+/// so a statement whose children all became static enables can itself fold
+/// into a single counter-FSM group.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StaticTiming;
 
-impl Pass for StaticTiming {
+impl Visitor for StaticTiming {
     fn name(&self) -> &'static str {
         "static-timing"
     }
@@ -39,22 +45,118 @@ impl Pass for StaticTiming {
         "compile statically-timed control with counter FSMs (the paper's Sensitive pass)"
     }
 
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
-        for_each_component(ctx, |comp, ctx| {
-            let control = std::mem::take(&mut comp.control);
-            let mut b = Builder::new(comp, ctx);
-            let transformed = transform(&mut b, control);
-            // A fully static component gets a component-level latency so
-            // instantiating groups can be inferred in turn (§6.1's systolic
-            // arrays rely on this composition).
-            if let Control::Enable { group, .. } = &transformed {
-                if let Some(l) = comp.groups.get(*group).and_then(Group::static_latency) {
-                    comp.attributes.insert(attr::static_(), l);
-                }
+    fn enable(
+        &mut self,
+        group: &mut Id,
+        attributes: &mut Attributes,
+        comp: &mut Component,
+        _ctx: &Context,
+    ) -> CalyxResult<Action> {
+        // Mirror the group's (possibly inferred) latency onto the enable so
+        // parents and later passes can read it off the control tree.
+        if let Some(l) = comp.groups.get(*group).and_then(Group::static_latency) {
+            attributes.insert(attr::static_(), l);
+        }
+        Ok(Action::Continue)
+    }
+
+    fn finish_seq(
+        &mut self,
+        stmts: &mut Vec<Control>,
+        _attributes: &mut Attributes,
+        comp: &mut Component,
+        ctx: &Context,
+    ) -> CalyxResult<Action> {
+        Ok(compile_block(comp, ctx, stmts, BlockKind::Seq))
+    }
+
+    fn finish_par(
+        &mut self,
+        stmts: &mut Vec<Control>,
+        _attributes: &mut Attributes,
+        comp: &mut Component,
+        ctx: &Context,
+    ) -> CalyxResult<Action> {
+        Ok(compile_block(comp, ctx, stmts, BlockKind::Par))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_if(
+        &mut self,
+        port: &mut PortRef,
+        cond: &mut Option<Id>,
+        tbranch: &mut Control,
+        fbranch: &mut Control,
+        _attributes: &mut Attributes,
+        comp: &mut Component,
+        ctx: &Context,
+    ) -> CalyxResult<Action> {
+        let cond_lat = cond_latency(comp, cond);
+        let t = as_static_enable(comp, tbranch);
+        let f = as_static_enable(comp, fbranch);
+        match (cond_lat, t, f) {
+            // Static `if` runs for the *worst-case* branch latency, so it
+            // only pays off when the branches are balanced; predicated
+            // triangular loops (a frequent PolyBench shape, with an empty
+            // else) would otherwise spend the full taken-branch time on
+            // every untaken iteration. Unbalanced ifs keep the dynamic
+            // FSM, which finishes an untaken branch in two cycles.
+            (Some(lc), Some(t), Some(f)) if t.1 == f.1 => {
+                let mut b = Builder::new(comp, ctx);
+                let (group, total) = build_static_if(&mut b, *port, *cond, lc, t, f);
+                Ok(Action::Change(static_enable(group, total)))
             }
-            comp.control = transformed;
-            Ok(())
-        })
+            _ => Ok(Action::Continue),
+        }
+    }
+
+    fn finish_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<()> {
+        // A fully static component gets a component-level latency so
+        // instantiating groups can be inferred in turn (§6.1's systolic
+        // arrays rely on this composition).
+        if let Control::Enable { group, .. } = &comp.control {
+            if let Some(l) = comp.groups.get(*group).and_then(Group::static_latency) {
+                comp.attributes.insert(attr::static_(), l);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy)]
+enum BlockKind {
+    Seq,
+    Par,
+}
+
+/// Shared post hook for `seq`/`par`: when every (already-compiled) child is
+/// a static activity and at least one is live, fold the block into a single
+/// counter-FSM group.
+fn compile_block(
+    comp: &mut Component,
+    ctx: &Context,
+    stmts: &[Control],
+    kind: BlockKind,
+) -> Action {
+    let children: Option<Vec<(Option<Id>, u64)>> =
+        stmts.iter().map(|s| as_static_enable(comp, s)).collect();
+    match children {
+        Some(children) if children.iter().any(|(g, _)| g.is_some()) => {
+            let live: Vec<(Id, u64)> = children
+                .into_iter()
+                .filter_map(|(g, l)| g.map(|g| (g, l)))
+                .collect();
+            if live.len() == 1 {
+                return Action::Change(static_enable(live[0].0, live[0].1));
+            }
+            let mut b = Builder::new(comp, ctx);
+            let (group, total) = match kind {
+                BlockKind::Seq => build_static_seq(&mut b, &live),
+                BlockKind::Par => build_static_par(&mut b, &live),
+            };
+            Action::Change(static_enable(group, total))
+        }
+        _ => Action::Continue,
     }
 }
 
@@ -126,115 +228,14 @@ pub(crate) fn is_comb_group(group: &Group) -> bool {
 
 /// A statement that is already a single static activity: `Empty` (latency
 /// 0) or an enable of a static group.
-fn as_static_enable(b: &mut Builder, stmt: &Control) -> Option<(Option<Id>, u64)> {
+fn as_static_enable(comp: &Component, stmt: &Control) -> Option<(Option<Id>, u64)> {
     match stmt {
         Control::Empty => Some((None, 0)),
         Control::Enable { group, .. } => {
-            let l = b.component().groups.get(*group)?.static_latency()?;
+            let l = comp.groups.get(*group)?.static_latency()?;
             (l > 0).then_some((Some(*group), l))
         }
         _ => None,
-    }
-}
-
-fn transform(b: &mut Builder, stmt: Control) -> Control {
-    match stmt {
-        Control::Empty => Control::Empty,
-        Control::Enable {
-            group,
-            mut attributes,
-        } => {
-            if let Some(l) = b
-                .component()
-                .groups
-                .get(group)
-                .and_then(Group::static_latency)
-            {
-                attributes.insert(attr::static_(), l);
-            }
-            Control::Enable { group, attributes }
-        }
-        Control::Seq { stmts, attributes } => {
-            let stmts: Vec<Control> = stmts.into_iter().map(|s| transform(b, s)).collect();
-            let children: Option<Vec<(Option<Id>, u64)>> =
-                stmts.iter().map(|s| as_static_enable(b, s)).collect();
-            match children {
-                Some(children) if children.iter().any(|(g, _)| g.is_some()) => {
-                    let live: Vec<(Id, u64)> = children
-                        .into_iter()
-                        .filter_map(|(g, l)| g.map(|g| (g, l)))
-                        .collect();
-                    if live.len() == 1 {
-                        return static_enable(live[0].0, live[0].1);
-                    }
-                    let (group, total) = build_static_seq(b, &live);
-                    static_enable(group, total)
-                }
-                _ => Control::Seq { stmts, attributes },
-            }
-        }
-        Control::Par { stmts, attributes } => {
-            let stmts: Vec<Control> = stmts.into_iter().map(|s| transform(b, s)).collect();
-            let children: Option<Vec<(Option<Id>, u64)>> =
-                stmts.iter().map(|s| as_static_enable(b, s)).collect();
-            match children {
-                Some(children) if children.iter().any(|(g, _)| g.is_some()) => {
-                    let live: Vec<(Id, u64)> = children
-                        .into_iter()
-                        .filter_map(|(g, l)| g.map(|g| (g, l)))
-                        .collect();
-                    if live.len() == 1 {
-                        return static_enable(live[0].0, live[0].1);
-                    }
-                    let (group, total) = build_static_par(b, &live);
-                    static_enable(group, total)
-                }
-                _ => Control::Par { stmts, attributes },
-            }
-        }
-        Control::If {
-            port,
-            cond,
-            tbranch,
-            fbranch,
-            attributes,
-        } => {
-            let tbranch = transform(b, *tbranch);
-            let fbranch = transform(b, *fbranch);
-            let cond_lat = cond_latency(b.component(), &cond);
-            let t = as_static_enable(b, &tbranch);
-            let f = as_static_enable(b, &fbranch);
-            match (cond_lat, t, f) {
-                // Static `if` runs for the *worst-case* branch latency, so it
-                // only pays off when the branches are balanced; predicated
-                // triangular loops (a frequent PolyBench shape, with an empty
-                // else) would otherwise spend the full taken-branch time on
-                // every untaken iteration. Unbalanced ifs keep the dynamic
-                // FSM, which finishes an untaken branch in two cycles.
-                (Some(lc), Some(t), Some(f)) if t.1 == f.1 => {
-                    let (group, total) = build_static_if(b, port, cond, lc, t, f);
-                    static_enable(group, total)
-                }
-                _ => Control::If {
-                    port,
-                    cond,
-                    tbranch: Box::new(tbranch),
-                    fbranch: Box::new(fbranch),
-                    attributes,
-                },
-            }
-        }
-        Control::While {
-            port,
-            cond,
-            body,
-            attributes,
-        } => Control::While {
-            port,
-            cond,
-            body: Box::new(transform(b, *body)),
-            attributes,
-        },
     }
 }
 
@@ -381,6 +382,7 @@ fn build_static_if(
 mod tests {
     use super::*;
     use crate::ir::parse_context;
+    use crate::passes::Pass;
 
     /// The paper's §4.4 example: two static groups in sequence compile to a
     /// single static group of latency 3 with window guards.

@@ -67,12 +67,21 @@ impl PassManager {
         self.passes.push(Box::new(pass));
     }
 
+    /// Append an already-boxed pass (used by the registry's constructors).
+    pub fn register_boxed(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
     /// Names of registered passes, in execution order.
     pub fn pass_names(&self) -> Vec<&'static str> {
         self.passes.iter().map(|p| p.name()).collect()
     }
 
     /// Run every pass in order, recording wall-clock timings.
+    ///
+    /// Timings are recorded for every pass that executed — including the
+    /// failing pass itself — so a timing report stays useful when a
+    /// pipeline aborts partway through.
     ///
     /// # Errors
     ///
@@ -81,11 +90,12 @@ impl PassManager {
         self.timings.clear();
         for pass in &mut self.passes {
             let start = Instant::now();
-            pass.run(ctx)?;
+            let result = pass.run(ctx);
             self.timings.push(PassTiming {
                 name: pass.name(),
                 duration: start.elapsed(),
             });
+            result?;
         }
         Ok(())
     }
@@ -109,29 +119,49 @@ impl std::fmt::Debug for PassManager {
     }
 }
 
+/// Take `name`'s component out of the context *by value*, leaving an inert
+/// placeholder (an empty component with the same name) in its slot so the
+/// map's order and index stay intact. Re-insert the real component with
+/// [`crate::ir::Context::add_component`] /
+/// [`crate::utils::OrderedMap::insert`], which replaces the placeholder in
+/// place.
+///
+/// This is what makes traversal zero-clone: the old implementation deep-
+/// cloned every component once per pass, which dominated compile time on
+/// large designs.
+pub(super) fn take_component(ctx: &mut Context, name: Id) -> Option<Component> {
+    if !ctx.components.contains(name) {
+        return None;
+    }
+    ctx.components.insert(Component::new(name, Vec::new()))
+}
+
 /// Apply `f` to every component.
 ///
-/// The component is temporarily cloned out of the context so that `f` can
-/// hold `&mut Component` while consulting `&Context` (e.g. through
-/// [`crate::ir::Builder`]); the edited copy is written back preserving the
-/// component's position.
+/// The component is temporarily taken out of the context by value (no deep
+/// clone) so that `f` can hold `&mut Component` while consulting `&Context`
+/// (e.g. through [`crate::ir::Builder`]); it is written back preserving the
+/// component's position. While `f` runs, the context's entry for the
+/// component under edit is an inert placeholder — `f` must use its
+/// `&mut Component` argument for that component and the context only for
+/// the library and *other* components.
 ///
 /// # Errors
 ///
-/// Propagates the first error returned by `f`.
+/// Propagates the first error returned by `f` (the component is still
+/// written back first).
 pub fn for_each_component(
     ctx: &mut Context,
     mut f: impl FnMut(&mut Component, &Context) -> CalyxResult<()>,
 ) -> CalyxResult<()> {
     let names: Vec<Id> = ctx.components.names().collect();
     for name in names {
-        let mut comp = ctx
-            .components
-            .get(name)
-            .expect("component names are stable during traversal")
-            .clone();
-        f(&mut comp, ctx)?;
+        let Some(mut comp) = take_component(ctx, name) else {
+            continue;
+        };
+        let result = f(&mut comp, ctx);
         ctx.components.insert(comp);
+        result?;
     }
     Ok(())
 }
@@ -148,13 +178,12 @@ pub fn for_each_component_topological(
     mut f: impl FnMut(&mut Component, &Context) -> CalyxResult<()>,
 ) -> CalyxResult<()> {
     for name in ctx.topological_order()? {
-        let mut comp = ctx
-            .components
-            .get(name)
-            .expect("topological order only lists existing components")
-            .clone();
-        f(&mut comp, ctx)?;
+        let Some(mut comp) = take_component(ctx, name) else {
+            continue;
+        };
+        let result = f(&mut comp, ctx);
         ctx.components.insert(comp);
+        result?;
     }
     Ok(())
 }
@@ -234,7 +263,10 @@ mod tests {
                 ..
             }
         ));
-        assert_eq!(pm.timings().len(), 0);
+        // The failing pass's own timing is recorded (so `--time` reports
+        // are useful on failing pipelines); the never-run pass's is not.
+        assert_eq!(pm.timings().len(), 1);
+        assert_eq!(pm.timings()[0].name, "failing");
         assert_eq!(
             ctx.component("main")
                 .unwrap()
@@ -242,6 +274,51 @@ mod tests {
                 .get(Id::new("count")),
             None
         );
+    }
+
+    #[test]
+    fn for_each_component_writes_back_on_error() {
+        let mut ctx = ctx_with_main();
+        ctx.component_mut("main")
+            .unwrap()
+            .attributes
+            .insert(Id::new("marker"), 7);
+        let err = for_each_component(&mut ctx, |_, _| Err(Error::malformed("boom"))).unwrap_err();
+        assert!(matches!(err, Error::Malformed(_)));
+        // The real component (not the placeholder) is back in the context.
+        assert_eq!(
+            ctx.component("main")
+                .unwrap()
+                .attributes
+                .get(Id::new("marker")),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn component_under_edit_is_taken_out_of_the_context() {
+        let mut ctx = ctx_with_main();
+        ctx.component_mut("main")
+            .unwrap()
+            .attributes
+            .insert(Id::new("marker"), 7);
+        for_each_component(&mut ctx, |comp, ctx| {
+            assert!(comp.attributes.has(Id::new("marker")));
+            // The context slot holds an inert placeholder during the edit —
+            // no deep clone is made.
+            assert!(!ctx
+                .component("main")
+                .unwrap()
+                .attributes
+                .has(Id::new("marker")));
+            Ok(())
+        })
+        .unwrap();
+        assert!(ctx
+            .component("main")
+            .unwrap()
+            .attributes
+            .has(Id::new("marker")));
     }
 
     #[test]

@@ -1,18 +1,21 @@
 //! Structural validation as a pass.
 
-use super::traversal::Pass;
+use super::visitor::{Action, Visitor};
 use crate::errors::CalyxResult;
-use crate::ir::{validate, Context};
+use crate::ir::{validate, Component, Context};
 
 /// Checks the structural invariants of the IL (§3.2–§3.3): port existence
 /// and width agreement, writability of destinations, statically-unique
 /// drivers, group `done` presence, and control references.
 ///
 /// Run first in every pipeline so later passes can assume well-formed input.
+/// Validation is whole-context (cross-component signatures must agree), so
+/// the work happens in the `start_context` hook and the per-component
+/// traversal is skipped.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WellFormed;
 
-impl Pass for WellFormed {
+impl Visitor for WellFormed {
     fn name(&self) -> &'static str {
         "well-formed"
     }
@@ -21,8 +24,12 @@ impl Pass for WellFormed {
         "validate structural invariants of the program"
     }
 
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+    fn start_context(&mut self, ctx: &mut Context) -> CalyxResult<()> {
         validate::validate_context(ctx)
+    }
+
+    fn start_component(&mut self, _comp: &mut Component, _ctx: &Context) -> CalyxResult<Action> {
+        Ok(Action::SkipChildren)
     }
 }
 
@@ -30,6 +37,7 @@ impl Pass for WellFormed {
 mod tests {
     use super::*;
     use crate::ir::parse_context;
+    use crate::passes::Pass;
 
     #[test]
     fn pass_wraps_validation() {

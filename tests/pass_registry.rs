@@ -1,0 +1,104 @@
+//! The pass registry drives real pipelines: alias-built pass managers must
+//! behave *identically* to the legacy pipeline constructors. Byte-identical
+//! printed Calyx on every PolyBench kernel pins the alias expansions (and
+//! the visitor-based pass framework behind them) to the known-good
+//! pipelines.
+
+use calyx::core::ir::{Context, Printer};
+use calyx::core::passes::{self, PassManager};
+use calyx::polybench::{compile_kernel, KERNELS};
+
+const N: u64 = 4;
+
+/// The pre-registry `lower_pipeline()`, reconstructed by registering the
+/// pass structs directly — the known-good hand-built pipeline the aliases
+/// must reproduce.
+fn hand_built_lower() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.register(passes::WellFormed);
+    pm.register(passes::CollapseControl);
+    pm.register(passes::DeadGroupRemoval::default());
+    pm.register(passes::CompileControl);
+    pm.register(passes::GoInsertion);
+    pm.register(passes::RemoveGroups);
+    pm.register(passes::GuardSimplify);
+    pm.register(passes::DeadCellRemoval::default());
+    pm
+}
+
+/// The pre-registry `lower_pipeline_static()`, hand-built.
+fn hand_built_lower_static() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.register(passes::WellFormed);
+    pm.register(passes::CollapseControl);
+    pm.register(passes::DeadGroupRemoval::default());
+    pm.register(passes::InferStaticTiming);
+    pm.register(passes::StaticTiming);
+    pm.register(passes::CompileControl);
+    pm.register(passes::GoInsertion);
+    pm.register(passes::RemoveGroups);
+    pm.register(passes::GuardSimplify);
+    pm.register(passes::DeadCellRemoval::default());
+    pm
+}
+
+/// Run `pm` over a clone of `ctx` and print the result.
+fn printed(mut pm: PassManager, ctx: &Context) -> String {
+    let mut ctx = ctx.clone();
+    pm.run(&mut ctx).expect("pipeline succeeds");
+    Printer::print_context(&ctx)
+}
+
+#[test]
+fn lower_alias_matches_hand_built_pipeline_on_polybench() {
+    for def in KERNELS {
+        let (_ast, ctx) = compile_kernel(def, N, 1).expect("kernel compiles");
+        let legacy = printed(hand_built_lower(), &ctx);
+        let alias = printed(PassManager::from_names(&["lower"]).unwrap(), &ctx);
+        let wrapper = printed(passes::lower_pipeline(), &ctx);
+        assert_eq!(legacy, alias, "{}: alias `lower` diverged", def.name);
+        assert_eq!(
+            legacy, wrapper,
+            "{}: lower_pipeline() wrapper diverged",
+            def.name
+        );
+    }
+}
+
+#[test]
+fn opt_alias_matches_legacy_function_on_polybench() {
+    for def in KERNELS {
+        let (_ast, ctx) = compile_kernel(def, N, 1).expect("kernel compiles");
+        let legacy = printed(passes::optimized_pipeline(true, true, true), &ctx);
+        let opt = printed(PassManager::from_names(&["opt"]).unwrap(), &ctx);
+        let all = printed(PassManager::from_names(&["all"]).unwrap(), &ctx);
+        assert_eq!(legacy, opt, "{}: alias `opt` diverged", def.name);
+        assert_eq!(legacy, all, "{}: alias `all` diverged", def.name);
+    }
+}
+
+#[test]
+fn lower_static_alias_matches_hand_built_pipeline_on_polybench() {
+    for def in KERNELS {
+        let (_ast, ctx) = compile_kernel(def, N, 1).expect("kernel compiles");
+        let legacy = printed(hand_built_lower_static(), &ctx);
+        let alias = printed(PassManager::from_names(&["lower-static"]).unwrap(), &ctx);
+        assert_eq!(legacy, alias, "{}: alias `lower-static` diverged", def.name);
+    }
+}
+
+/// `-p`-style hand-built pipelines compose passes one at a time exactly
+/// like the one-shot alias pipeline.
+#[test]
+fn incremental_pass_names_compose_like_the_alias() {
+    let def = &KERNELS[0];
+    let (_ast, ctx) = compile_kernel(def, N, 1).expect("kernel compiles");
+    let whole = printed(PassManager::from_names(&["lower"]).unwrap(), &ctx);
+
+    let mut step_ctx = ctx.clone();
+    for name in passes::ALIAS_LOWER {
+        let mut pm = PassManager::from_names(&[name]).unwrap();
+        pm.run(&mut step_ctx).expect("single pass succeeds");
+    }
+    assert_eq!(whole, Printer::print_context(&step_ctx));
+}
