@@ -1,16 +1,19 @@
-//! Criterion bench for the pass framework's zero-clone traversal: full
-//! `opt`-pipeline compile time on the largest PolyBench kernel (gemver, the
-//! §7.4 compile-time outlier), with and without the old clone-per-pass
-//! traversal cost.
+//! Criterion bench for the pass framework on the largest PolyBench kernel
+//! (gemver, the §7.4 compile-time outlier):
 //!
-//! The "clone-per-pass" baseline emulates the pre-visitor traversal
-//! exactly: `for_each_component` used to deep-clone every component once
-//! per pass before editing it, so the wrapper pass performs that clone and
-//! then runs the real (zero-clone) pass.
+//! - **zero_clone vs clone_per_pass** — the visitor traversal against the
+//!   old deep-clone-per-pass traversal it replaced. The baseline emulates
+//!   the pre-visitor behavior exactly: `for_each_component` used to
+//!   deep-clone every component once per pass before editing it, so the
+//!   wrapper pass performs that clone and then runs the real pass.
+//! - **cached vs recompute_every_query** — the analysis cache against the
+//!   uncached baseline: the same `opt` pipeline run with a shared
+//!   [`AnalysisCache`] versus one where every analysis query recomputes
+//!   (`AnalysisCache::recompute_every_query`).
 
 use calyx_core::errors::CalyxResult;
 use calyx_core::ir::{Context, Id};
-use calyx_core::passes::{Pass, PassManager, PassRegistry, ALIAS_OPT};
+use calyx_core::passes::{AnalysisCache, Pass, PassManager, PassRegistry, ALIAS_OPT};
 use calyx_polybench::{compile_kernel, kernel};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -26,7 +29,7 @@ impl Pass for ClonePerPass {
     fn description(&self) -> &'static str {
         self.0.description()
     }
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+    fn run_with(&mut self, ctx: &mut Context, cache: &mut AnalysisCache) -> CalyxResult<()> {
         let names: Vec<Id> = ctx.components.names().collect();
         for name in names {
             let comp = ctx
@@ -36,7 +39,7 @@ impl Pass for ClonePerPass {
                 .clone();
             ctx.components.insert(comp);
         }
-        self.0.run(ctx)
+        self.0.run_with(ctx, cache)
     }
 }
 
@@ -59,7 +62,7 @@ fn bench_pass_framework(c: &mut Criterion) {
     let (_ast, ctx) = compile_kernel(def, 8, 1).expect("gemver compiles");
 
     let mut group = c.benchmark_group("pass_framework");
-    group.sample_size(10);
+    group.sample_size(30);
     group.bench_function("gemver_opt/zero_clone", |b| {
         b.iter(|| {
             let mut ctx = ctx.clone();
@@ -75,6 +78,29 @@ fn bench_pass_framework(c: &mut Criterion) {
             let mut ctx = ctx.clone();
             clone_per_pass_manager()
                 .run(&mut ctx)
+                .expect("pipeline succeeds");
+            ctx
+        });
+    });
+    // The analysis cache's win: the same pipeline with memoized queries
+    // (`cached` — what `PassManager::run` does by default) against the
+    // recompute-every-query baseline.
+    group.bench_function("gemver_opt/cached", |b| {
+        b.iter(|| {
+            let mut ctx = ctx.clone();
+            PassManager::from_names(&["opt"])
+                .expect("opt alias exists")
+                .run_with_cache(&mut ctx, &mut AnalysisCache::new())
+                .expect("pipeline succeeds");
+            ctx
+        });
+    });
+    group.bench_function("gemver_opt/recompute_every_query", |b| {
+        b.iter(|| {
+            let mut ctx = ctx.clone();
+            PassManager::from_names(&["opt"])
+                .expect("opt alias exists")
+                .run_with_cache(&mut ctx, &mut AnalysisCache::recompute_every_query())
                 .expect("pipeline succeeds");
             ctx
         });

@@ -13,6 +13,8 @@
 //!   -b sim              simulate and report cycles + final state
 //!   --cycles N          simulation budget (default 1_000_000)
 //!   --time              report per-pass wall-clock timings on stderr
+//!   --stats             report per-pass analysis-cache statistics
+//!                       (hits/misses/recomputes) on stderr
 //!   --list-passes       list registered passes and aliases, then exit
 //!   -h, --help          print usage and exit
 //! ```
@@ -43,6 +45,8 @@ const USAGE: &str = "usage: futil <file.futil> [flags]
                       or simulate
   --cycles N          simulation budget (default 1_000_000)
   --time              report per-pass wall-clock timings on stderr
+  --stats             report per-pass analysis-cache statistics
+                      (hits/misses/recomputes) on stderr
   --list-passes       list registered passes and aliases, then exit
   -h, --help          print this message and exit
 ";
@@ -76,6 +80,7 @@ fn main() {
     let mut backend = "calyx".to_string();
     let mut cycles: u64 = 1_000_000;
     let mut time = false;
+    let mut stats = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -95,6 +100,7 @@ fn main() {
                 }
             }
             "--time" => time = true,
+            "--stats" => stats = true,
             "--list-passes" => {
                 list_passes();
                 exit(0);
@@ -156,6 +162,25 @@ fn main() {
             eprintln!("  {:<22}{:>10.3?}", t.name, t.duration);
         }
         eprintln!("  {:<22}{:>10.3?}", "total", pm.total_time());
+    }
+    if stats {
+        // Analysis-cache activity per pass (also on failing pipelines).
+        eprintln!("analysis cache stats:");
+        eprintln!(
+            "  {:<22}{:>8}{:>8}{:>12}",
+            "pass", "hits", "misses", "recomputes"
+        );
+        for t in pm.timings() {
+            eprintln!(
+                "  {:<22}{:>8}{:>8}{:>12}",
+                t.name, t.cache.hits, t.cache.misses, t.cache.recomputes
+            );
+        }
+        let total = pm.total_cache_stats();
+        eprintln!(
+            "  {:<22}{:>8}{:>8}{:>12}",
+            "total", total.hits, total.misses, total.recomputes
+        );
     }
     if let Err(e) = result {
         eprintln!("futil: {e}");

@@ -6,7 +6,8 @@
 //! children of the `par` block are themselves control programs, the pass
 //! adds edges between the groups contained within each child."
 
-use crate::ir::{Control, Id};
+use super::cache::{Analysis, AnalysisCache};
+use crate::ir::{Component, Control, Id};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Symmetric group-level conflict relation: an edge means the two groups may
@@ -15,6 +16,15 @@ use std::collections::{BTreeMap, BTreeSet};
 pub struct ParConflicts {
     edges: BTreeMap<Id, BTreeSet<Id>>,
     groups: BTreeSet<Id>,
+}
+
+impl Analysis for ParConflicts {
+    type Output = ParConflicts;
+    const NAME: &'static str = "par-conflicts";
+
+    fn compute(comp: &Component, _cache: &mut AnalysisCache) -> ParConflicts {
+        ParConflicts::from_control(&comp.control)
+    }
 }
 
 impl ParConflicts {

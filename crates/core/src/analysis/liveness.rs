@@ -6,10 +6,99 @@
 //! p-node's kill set is the union of its children's must-writes (all
 //! children execute).
 
+use super::cache::{Analysis, AnalysisCache};
 use super::pcfg::{Pcfg, PcfgNode};
+use super::port_uses::PortUses;
 use super::read_write::ReadWriteSets;
-use crate::ir::Id;
+use crate::ir::{Component, Control, Id};
 use std::collections::BTreeSet;
+
+/// Cells observable outside the control schedule: cells read or written by
+/// continuous assignments, plus cells referenced directly as `if`/`while`
+/// condition ports. Resource sharing pins these (their values are consumed
+/// outside any group), and [`BoundaryRegs`] filters them down to the
+/// registers that live-range analysis must keep live at the exit.
+#[derive(Debug, Clone, Default)]
+pub struct BoundaryCells {
+    cells: BTreeSet<Id>,
+}
+
+impl BoundaryCells {
+    /// The boundary cell set.
+    pub fn cells(&self) -> &BTreeSet<Id> {
+        &self.cells
+    }
+}
+
+impl Analysis for BoundaryCells {
+    type Output = BoundaryCells;
+    const NAME: &'static str = "boundary-cells";
+
+    fn compute(comp: &Component, cache: &mut AnalysisCache) -> BoundaryCells {
+        let uses = cache.get::<PortUses>(comp);
+        let mut cells: BTreeSet<Id> = uses.continuous_cells().clone();
+        collect_condition_cells(&comp.control, &mut cells);
+        BoundaryCells { cells }
+    }
+}
+
+/// Registers observable outside the control schedule, which therefore stay
+/// live at the pCFG's exit (and may never be merged away): the register
+/// subset of [`BoundaryCells`].
+#[derive(Debug, Clone, Default)]
+pub struct BoundaryRegs {
+    registers: BTreeSet<Id>,
+}
+
+impl BoundaryRegs {
+    /// The boundary register set.
+    pub fn registers(&self) -> &BTreeSet<Id> {
+        &self.registers
+    }
+}
+
+impl Analysis for BoundaryRegs {
+    type Output = BoundaryRegs;
+    const NAME: &'static str = "boundary-regs";
+
+    fn compute(comp: &Component, cache: &mut AnalysisCache) -> BoundaryRegs {
+        let cells = cache.get::<BoundaryCells>(comp);
+        BoundaryRegs {
+            registers: cells
+                .cells()
+                .iter()
+                .copied()
+                .filter(|c| comp.cells.get(*c).is_some_and(|c| c.is_register()))
+                .collect(),
+        }
+    }
+}
+
+/// Cells referenced as `if`/`while` condition ports anywhere in `control`.
+fn collect_condition_cells(control: &Control, out: &mut BTreeSet<Id>) {
+    match control {
+        Control::Empty | Control::Enable { .. } => {}
+        Control::Seq { stmts, .. } | Control::Par { stmts, .. } => {
+            for s in stmts {
+                collect_condition_cells(s, out);
+            }
+        }
+        Control::If {
+            port,
+            tbranch,
+            fbranch,
+            ..
+        } => {
+            out.extend(port.cell_parent());
+            collect_condition_cells(tbranch, out);
+            collect_condition_cells(fbranch, out);
+        }
+        Control::While { port, body, .. } => {
+            out.extend(port.cell_parent());
+            collect_condition_cells(body, out);
+        }
+    }
+}
 
 /// Liveness facts for one pCFG (recursively including p-node children).
 #[derive(Debug, Clone)]
@@ -18,6 +107,18 @@ pub struct Liveness {
     pub live_in: Vec<BTreeSet<Id>>,
     /// Registers live *out of* each node.
     pub live_out: Vec<BTreeSet<Id>>,
+}
+
+impl Analysis for Liveness {
+    type Output = Liveness;
+    const NAME: &'static str = "liveness";
+
+    fn compute(comp: &Component, cache: &mut AnalysisCache) -> Liveness {
+        let pcfg = cache.get::<Pcfg>(comp);
+        let rw = cache.get::<ReadWriteSets>(comp);
+        let boundary = cache.get::<BoundaryRegs>(comp);
+        Liveness::solve(&pcfg, &rw, boundary.registers())
+    }
 }
 
 impl Liveness {
@@ -120,11 +221,31 @@ pub struct Interference {
     edges: BTreeSet<(Id, Id)>,
 }
 
+impl Analysis for Interference {
+    type Output = Interference;
+    const NAME: &'static str = "interference";
+
+    fn compute(comp: &Component, cache: &mut AnalysisCache) -> Interference {
+        let pcfg = cache.get::<Pcfg>(comp);
+        let rw = cache.get::<ReadWriteSets>(comp);
+        let live = cache.get::<Liveness>(comp);
+        Interference::build_with(&pcfg, &rw, &live)
+    }
+}
+
 impl Interference {
-    /// Compute interference over `pcfg`.
+    /// Compute interference over `pcfg`, solving liveness internally.
     pub fn build(pcfg: &Pcfg, rw: &ReadWriteSets, boundary: &BTreeSet<Id>) -> Self {
+        let live = Liveness::solve(pcfg, rw, boundary);
+        Interference::build_with(pcfg, rw, &live)
+    }
+
+    /// Compute interference over `pcfg` reusing an already-solved top-level
+    /// [`Liveness`] (p-node children are still solved recursively, since
+    /// each child takes its parent node's live-out as boundary).
+    pub fn build_with(pcfg: &Pcfg, rw: &ReadWriteSets, live: &Liveness) -> Self {
         let mut interference = Interference::default();
-        interference.visit(pcfg, rw, boundary);
+        interference.visit(pcfg, rw, live);
         interference
     }
 
@@ -149,8 +270,7 @@ impl Interference {
         }
     }
 
-    fn visit(&mut self, pcfg: &Pcfg, rw: &ReadWriteSets, boundary: &BTreeSet<Id>) {
-        let live = Liveness::solve(pcfg, rw, boundary);
+    fn visit(&mut self, pcfg: &Pcfg, rw: &ReadWriteSets, live: &Liveness) {
         for (idx, node) in pcfg.nodes.iter().enumerate() {
             match node {
                 PcfgNode::Nop => {
@@ -165,7 +285,8 @@ impl Interference {
                 PcfgNode::Par(children) => {
                     // Recurse with this node's live-out as the boundary.
                     for child in children {
-                        self.visit(child, rw, &live.live_out[idx]);
+                        let child_live = Liveness::solve(child, rw, &live.live_out[idx]);
+                        self.visit(child, rw, &child_live);
                     }
                     // Registers touched in different children interfere.
                     let touched: Vec<BTreeSet<Id>> =

@@ -5,7 +5,8 @@
 //! are visible after the block, unlike an `if` where only one branch runs.
 //! A p-node therefore recursively contains one sub-pCFG per child.
 
-use crate::ir::{Control, Id};
+use super::cache::{Analysis, AnalysisCache};
+use crate::ir::{Component, Control, Id};
 
 /// A node in the parallel CFG.
 #[derive(Debug, Clone)]
@@ -31,6 +32,15 @@ pub struct Pcfg {
     pub entry: usize,
     /// Exit node (a [`PcfgNode::Nop`]).
     pub exit: usize,
+}
+
+impl Analysis for Pcfg {
+    type Output = Pcfg;
+    const NAME: &'static str = "pcfg";
+
+    fn compute(comp: &Component, _cache: &mut AnalysisCache) -> Pcfg {
+        Pcfg::from_control(&comp.control)
+    }
 }
 
 impl Pcfg {

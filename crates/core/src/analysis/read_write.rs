@@ -7,6 +7,7 @@
 //! require an unconditional data write *and* an unconditional `write_en`,
 //! since only then is the old value certainly dead after the group runs.
 
+use super::cache::{Analysis, AnalysisCache};
 use crate::ir::{Atom, Component, Group, Id, PortParent, PortRef};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -16,6 +17,15 @@ pub struct ReadWriteSets {
     reads: BTreeMap<Id, BTreeSet<Id>>,
     must_writes: BTreeMap<Id, BTreeSet<Id>>,
     may_writes: BTreeMap<Id, BTreeSet<Id>>,
+}
+
+impl Analysis for ReadWriteSets {
+    type Output = ReadWriteSets;
+    const NAME: &'static str = "read-write-sets";
+
+    fn compute(comp: &Component, _cache: &mut AnalysisCache) -> ReadWriteSets {
+        ReadWriteSets::analyze(comp)
+    }
 }
 
 impl ReadWriteSets {
@@ -77,7 +87,7 @@ fn analyze_group(
     let mut data_writes: BTreeMap<Id, bool> = BTreeMap::new(); // reg -> unconditional?
     let mut en_writes: BTreeMap<Id, bool> = BTreeMap::new();
     for asgn in &group.assignments {
-        for p in asgn.reads() {
+        for p in asgn.reads_iter() {
             if let Some(r) = reg_of(&p, registers) {
                 // Only `out` observes the register's *value*. Reading `done`
                 // observes control state (the write handshake) and would

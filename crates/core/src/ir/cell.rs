@@ -280,13 +280,26 @@ impl Assignment {
 
     /// All ports read by this assignment: the source (if a port) plus every
     /// port in the guard.
+    ///
+    /// Allocates a fresh `Vec` on every call; inside analysis loops that
+    /// visit every assignment, prefer the non-collecting
+    /// [`reads_iter`](Assignment::reads_iter).
     pub fn reads(&self) -> Vec<PortRef> {
-        let mut ports = Vec::new();
-        if let Atom::Port(p) = &self.src {
-            ports.push(*p);
-        }
-        self.guard.ports_into(&mut ports);
-        ports
+        self.reads_iter().collect()
+    }
+
+    /// Iterate over the ports read by this assignment without allocating a
+    /// vector: the source port (if any) followed by the guard's ports in
+    /// [`Guard::ports_into`](super::Guard::ports_into) order.
+    ///
+    /// For unguarded assignments (guard [`Guard::True`](super::Guard::True))
+    /// this performs no heap allocation at all.
+    pub fn reads_iter(&self) -> impl Iterator<Item = PortRef> + '_ {
+        self.src
+            .port()
+            .copied()
+            .into_iter()
+            .chain(self.guard.ports_iter())
     }
 }
 
@@ -339,7 +352,7 @@ impl Group {
             if let Some(c) = asgn.dst.cell_parent() {
                 cells.insert(c);
             }
-            for p in asgn.reads() {
+            for p in asgn.reads_iter() {
                 if let Some(c) = p.cell_parent() {
                     cells.insert(c);
                 }
@@ -395,6 +408,24 @@ mod tests {
         let reads = asgn.reads();
         assert!(reads.contains(&PortRef::cell("a", "out")));
         assert!(reads.contains(&PortRef::cell("cmp", "out")));
+    }
+
+    #[test]
+    fn reads_iter_matches_reads() {
+        let asgns = [
+            Assignment::new(PortRef::cell("r", "in"), Atom::constant(1, 8)),
+            Assignment::new(PortRef::cell("r", "in"), PortRef::cell("a", "out")),
+            Assignment::guarded(
+                PortRef::cell("r", "in"),
+                PortRef::cell("a", "out"),
+                Guard::port(PortRef::cell("cmp", "out"))
+                    .and(Guard::port(PortRef::cell("b", "out"))),
+            ),
+        ];
+        for asgn in &asgns {
+            let iterated: Vec<_> = asgn.reads_iter().collect();
+            assert_eq!(iterated, asgn.reads());
+        }
     }
 
     #[test]

@@ -29,6 +29,20 @@ pub struct Component {
     pub control: Control,
     /// Component attributes (e.g. inferred `"static"` latency).
     pub attributes: Attributes,
+    /// Per-prefix probe hints for [`Component::fresh_cell_name`] /
+    /// [`Component::fresh_group_name`]: the last suffix returned for a
+    /// prefix, so repeated fresh-name requests do not restart the
+    /// `{prefix}{i}` collision scan from 0 (which made heavy FSM-generating
+    /// passes quadratic in the number of generated names).
+    fresh_hints: FreshHints,
+}
+
+/// Suffix hints for fresh cell/group names; cells and groups are separate
+/// namespaces, so each keeps its own map.
+#[derive(Debug, Clone, Default)]
+struct FreshHints {
+    cells: std::collections::HashMap<String, u64>,
+    groups: std::collections::HashMap<String, u64>,
 }
 
 impl Component {
@@ -58,6 +72,7 @@ impl Component {
             continuous: Vec::new(),
             control: Control::Empty,
             attributes: Attributes::new(),
+            fresh_hints: FreshHints::default(),
         }
     }
 
@@ -114,31 +129,52 @@ impl Component {
     }
 
     /// A cell name based on `prefix` that is not yet taken.
-    pub fn fresh_cell_name(&self, prefix: &str) -> Id {
+    ///
+    /// Probing starts from the last suffix handed out for this prefix
+    /// (rather than restarting at 0, which made generating *n* names with
+    /// one prefix quadratic). The returned name is not registered: repeated
+    /// calls without inserting a cell return the same name.
+    pub fn fresh_cell_name(&mut self, prefix: &str) -> Id {
         let direct = Id::new(prefix);
         if !self.cells.contains(direct) {
             return direct;
         }
-        let mut i = 0;
+        let start = self
+            .fresh_hints
+            .cells
+            .get(prefix)
+            .copied()
+            .unwrap_or_default();
+        let mut i = start;
         loop {
             let candidate = Id::new(format!("{prefix}{i}"));
             if !self.cells.contains(candidate) {
+                self.fresh_hints.cells.insert(prefix.to_string(), i);
                 return candidate;
             }
             i += 1;
         }
     }
 
-    /// A group name based on `prefix` that is not yet taken.
-    pub fn fresh_group_name(&self, prefix: &str) -> Id {
+    /// A group name based on `prefix` that is not yet taken. Same probing
+    /// and hint behavior as [`Component::fresh_cell_name`]; cells and
+    /// groups are independent namespaces.
+    pub fn fresh_group_name(&mut self, prefix: &str) -> Id {
         let direct = Id::new(prefix);
         if !self.groups.contains(direct) {
             return direct;
         }
-        let mut i = 0;
+        let start = self
+            .fresh_hints
+            .groups
+            .get(prefix)
+            .copied()
+            .unwrap_or_default();
+        let mut i = start;
         loop {
             let candidate = Id::new(format!("{prefix}{i}"));
             if !self.groups.contains(candidate) {
+                self.fresh_hints.groups.insert(prefix.to_string(), i);
                 return candidate;
             }
             i += 1;
@@ -391,6 +427,47 @@ mod tests {
         comp.cells.insert(r);
         assert_eq!(comp.fresh_cell_name("fsm").as_str(), "fsm0");
         assert_eq!(comp.fresh_cell_name("other").as_str(), "other");
+        // Without inserting the returned name, the probe is repeatable.
+        assert_eq!(comp.fresh_cell_name("fsm").as_str(), "fsm0");
+    }
+
+    /// Generating many names with one prefix must not rescan `{prefix}0..`
+    /// per call: with the per-prefix hint the whole sequence is linear.
+    #[test]
+    fn fresh_names_scale_linearly_and_stay_unique() {
+        let ctx = Context::new();
+        let mut comp = ctx.new_component("main");
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..3000 {
+            let cell = ctx
+                .make_cell(
+                    comp.fresh_cell_name("fsm"),
+                    CellType::Primitive {
+                        name: Id::new("std_reg"),
+                        params: vec![1],
+                    },
+                )
+                .unwrap();
+            assert!(seen.insert(cell.name), "duplicate fresh name {}", cell.name);
+            comp.cells.insert(cell);
+            // Interleave a second prefix to check hints are per-prefix.
+            if i % 7 == 0 {
+                let g = comp.fresh_group_name("seq");
+                assert!(!comp.groups.contains(g));
+                comp.groups.insert(Group::new(g));
+            }
+        }
+        // 1 direct `fsm` + 2999 numbered suffixes, ending at fsm2998.
+        assert_eq!(comp.cells.len(), 3000);
+        assert!(comp.cells.contains(Id::new("fsm2998")));
+        // A hand-inserted name in the middle of the sequence is skipped.
+        let mut comp2 = ctx.new_component("two");
+        for name in ["g", "g0", "g2"] {
+            comp2.groups.insert(Group::new(name));
+        }
+        assert_eq!(comp2.fresh_group_name("g").as_str(), "g1");
+        comp2.groups.insert(Group::new("g1"));
+        assert_eq!(comp2.fresh_group_name("g").as_str(), "g3");
     }
 
     #[test]

@@ -146,6 +146,24 @@ impl Guard {
         v
     }
 
+    /// Iterate over every port read by the guard without collecting them.
+    ///
+    /// The iterator keeps an explicit worklist instead of materializing a
+    /// `Vec<PortRef>`; for the common [`Guard::True`] case it performs no
+    /// allocation at all, which matters in the analysis loops that scan
+    /// every assignment of a component (see
+    /// [`Assignment::reads_iter`](super::Assignment::reads_iter)).
+    pub fn ports_iter(&self) -> GuardPorts<'_> {
+        let mut it = GuardPorts {
+            stack: Vec::new(),
+            pending: None,
+        };
+        if !self.is_true() {
+            it.stack.push(self);
+        }
+        it
+    }
+
     /// Rewrite every port reference through `f`.
     pub fn map_ports(&mut self, f: &mut impl FnMut(PortRef) -> PortRef) {
         match self {
@@ -198,6 +216,46 @@ impl Guard {
             Guard::And(a, b) | Guard::Or(a, b) => 1 + a.size() + b.size(),
             Guard::Comp(..) => 1,
         }
+    }
+}
+
+/// Lazy depth-first iterator over the ports of a [`Guard`], created by
+/// [`Guard::ports_iter`]. Yields ports in the same order as
+/// [`Guard::ports_into`].
+pub struct GuardPorts<'a> {
+    stack: Vec<&'a Guard>,
+    /// Second port of a comparison whose first port was just yielded.
+    pending: Option<PortRef>,
+}
+
+impl Iterator for GuardPorts<'_> {
+    type Item = PortRef;
+
+    fn next(&mut self) -> Option<PortRef> {
+        if let Some(p) = self.pending.take() {
+            return Some(p);
+        }
+        while let Some(g) = self.stack.pop() {
+            match g {
+                Guard::True => {}
+                Guard::Port(p) => return Some(*p),
+                Guard::Not(inner) => self.stack.push(inner),
+                // Left child visited first: push right below left.
+                Guard::And(a, b) | Guard::Or(a, b) => {
+                    self.stack.push(b);
+                    self.stack.push(a);
+                }
+                Guard::Comp(_, l, r) => match (l.port(), r.port()) {
+                    (Some(l), Some(r)) => {
+                        self.pending = Some(*r);
+                        return Some(*l);
+                    }
+                    (Some(p), None) | (None, Some(p)) => return Some(*p),
+                    (None, None) => {}
+                },
+            }
+        }
+        None
     }
 }
 
@@ -314,6 +372,23 @@ mod tests {
         assert_eq!(g2.to_string(), "(a.out | b.out) & c.out");
         let g3 = Guard::port(p("a")).and(Guard::port(p("b"))).not();
         assert_eq!(g3.to_string(), "!(a.out & b.out)");
+    }
+
+    #[test]
+    fn ports_iter_matches_ports_into() {
+        let guards = [
+            Guard::True,
+            Guard::port(p("a")),
+            Guard::port(p("a")).not(),
+            Guard::port(p("a")).and(Guard::port(p("b")).or(Guard::port(p("c")))),
+            Guard::port_eq(p("fsm"), 2, 4).and(Guard::port(p("done"))),
+            Guard::Comp(CompOp::Lt, Atom::Port(p("x")), Atom::Port(p("y"))),
+            Guard::Comp(CompOp::Eq, Atom::constant(1, 2), Atom::constant(1, 2)),
+        ];
+        for g in guards {
+            let collected: Vec<_> = g.ports_iter().collect();
+            assert_eq!(collected, g.ports(), "order/content mismatch for {g}");
+        }
     }
 
     #[test]

@@ -45,6 +45,14 @@ fn interner() -> &'static Mutex<Interner> {
 pub struct Id(u32);
 
 impl Id {
+    /// The raw intern index. Only meaningful within one process: use it for
+    /// hashing/sorting where determinism across runs is not observable
+    /// (e.g. grouping map entries that are only ever looked up by key),
+    /// never for ordered output.
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+
     /// Intern `name` and return its handle.
     pub fn new(name: impl AsRef<str>) -> Self {
         let name = name.as_ref();

@@ -13,8 +13,9 @@
 //!   control, attributes), a builder API for frontends, a pretty printer,
 //!   and a parser for the textual format.
 //! - [`analysis`]: reusable analyses — control-flow conflict graphs,
-//!   parallel control-flow graphs (pCFGs), live-range analysis, and
-//!   read/write set computation.
+//!   parallel control-flow graphs (pCFGs), live-range analysis, read/write
+//!   sets, and port-use sites — served through a demand-driven, memoized
+//!   query cache with generation-based invalidation.
 //! - [`passes`]: the compiler passes, including the lowering pipeline
 //!   (`GoInsertion` → `CompileControl` → `RemoveGroups`) that turns control
 //!   programs into latency-insensitive finite-state machines, the

@@ -1,8 +1,9 @@
 //! Control-program normalization.
 
+use super::pass_ctx::PassCtx;
 use super::visitor::{Action, Visitor};
 use crate::errors::CalyxResult;
-use crate::ir::{Attributes, Component, Context, Control};
+use crate::ir::{Attributes, Component, Control};
 
 /// Flattens directly nested `seq`-in-`seq` and `par`-in-`par`, removes
 /// [`Control::Empty`] children, and unwraps single-statement blocks.
@@ -31,8 +32,13 @@ impl Visitor for CollapseControl {
         stmts: &mut Vec<Control>,
         attributes: &mut Attributes,
         _comp: &mut Component,
-        _ctx: &Context,
+        _ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
+        // Returning `Change` marks the component dirty for the analysis
+        // cache, so already-flat blocks answer `Continue` instead.
+        if !needs_collapse(stmts, attributes, BlockKind::Seq) {
+            return Ok(Action::Continue);
+        }
         Ok(Action::Change(collapse_block(
             std::mem::take(stmts),
             std::mem::take(attributes),
@@ -45,14 +51,33 @@ impl Visitor for CollapseControl {
         stmts: &mut Vec<Control>,
         attributes: &mut Attributes,
         _comp: &mut Component,
-        _ctx: &Context,
+        _ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
+        if !needs_collapse(stmts, attributes, BlockKind::Par) {
+            return Ok(Action::Continue);
+        }
         Ok(Action::Change(collapse_block(
             std::mem::take(stmts),
             std::mem::take(attributes),
             BlockKind::Par,
         )))
     }
+}
+
+/// Would [`collapse_block`] produce anything different from the block
+/// itself? (Children are already collapsed when the post hook runs.)
+fn needs_collapse(stmts: &[Control], attributes: &Attributes, kind: BlockKind) -> bool {
+    if stmts.is_empty() || (stmts.len() == 1 && attributes.is_empty()) {
+        return true; // becomes Empty / is unwrapped
+    }
+    stmts.iter().any(|s| {
+        matches!(
+            (kind, s),
+            (_, Control::Empty)
+                | (BlockKind::Seq, Control::Seq { .. })
+                | (BlockKind::Par, Control::Par { .. })
+        )
+    })
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -96,7 +121,7 @@ fn collapse_block(stmts: Vec<Control>, attributes: Attributes, kind: BlockKind) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::PortRef;
+    use crate::ir::{Context, PortRef};
     use crate::passes::Pass;
 
     /// Run the pass over a bare control tree.

@@ -22,9 +22,10 @@
 //! it, so the `!done` term is omitted for children carrying a `"static"`
 //! attribute.
 
+use super::pass_ctx::PassCtx;
 use super::visitor::{Action, Visitor};
 use crate::errors::{CalyxResult, Error};
-use crate::ir::{attr, Attributes, Builder, Component, Context, Control, Guard, Id, PortRef};
+use crate::ir::{attr, Attributes, Builder, Component, Control, Guard, Id, PortRef};
 use crate::utils::bits_needed;
 
 /// Compiles `seq`/`par`/`if`/`while` into latency-insensitive FSMs.
@@ -51,7 +52,7 @@ impl Visitor for CompileControl {
         group: &mut Id,
         _attributes: &mut Attributes,
         comp: &mut Component,
-        _ctx: &Context,
+        _ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         if !comp.groups.contains(*group) {
             return Err(Error::pass(
@@ -67,7 +68,7 @@ impl Visitor for CompileControl {
         stmts: &mut Vec<Control>,
         _attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         let children = child_groups(stmts);
         Ok(match children.len() {
@@ -85,7 +86,7 @@ impl Visitor for CompileControl {
         stmts: &mut Vec<Control>,
         _attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         let children = child_groups(stmts);
         Ok(match children.len() {
@@ -107,7 +108,7 @@ impl Visitor for CompileControl {
         fbranch: &mut Control,
         _attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         let t = compiled_child(tbranch);
         let f = compiled_child(fbranch);
@@ -124,7 +125,7 @@ impl Visitor for CompileControl {
         body: &mut Control,
         _attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         let body = compiled_child(body);
         let mut b = Builder::new(comp, ctx);

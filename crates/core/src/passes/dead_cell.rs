@@ -1,8 +1,10 @@
 //! Remove completely unreferenced cells.
 
+use super::pass_ctx::PassCtx;
 use super::visitor::{Action, Visitor};
+use crate::analysis::PortUses;
 use crate::errors::CalyxResult;
-use crate::ir::{attr, Attributes, Component, Context, Control, Id, PortRef};
+use crate::ir::{attr, Attributes, Component, Control, Id, PortRef};
 use std::collections::BTreeSet;
 
 /// Deletes cells that no assignment or control statement references at all.
@@ -13,9 +15,10 @@ use std::collections::BTreeSet;
 /// `@external` are always kept: their state is the component's observable
 /// interface (e.g. result memories).
 ///
-/// A stateful [`Visitor`]: `start_component` marks cells referenced by
-/// assignments, the `start_if`/`start_while` hooks mark condition-port
-/// cells, and `finish_component` sweeps the rest.
+/// A stateful [`Visitor`]: `start_component` pulls the assignment-level
+/// references from the cached [`PortUses`] analysis (instead of re-walking
+/// every assignment), the `start_if`/`start_while` hooks mark
+/// condition-port cells, and `finish_component` sweeps the rest.
 #[derive(Debug, Clone, Default)]
 pub struct DeadCellRemoval {
     used: BTreeSet<Id>,
@@ -38,18 +41,8 @@ impl Visitor for DeadCellRemoval {
         "remove cells with no references"
     }
 
-    fn start_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<Action> {
-        self.used.clear();
-        for asgn in comp.all_assignments() {
-            if let Some(c) = asgn.dst.cell_parent() {
-                self.used.insert(c);
-            }
-            for p in asgn.reads() {
-                if let Some(c) = p.cell_parent() {
-                    self.used.insert(c);
-                }
-            }
-        }
+    fn start_component(&mut self, comp: &mut Component, ctx: &mut PassCtx) -> CalyxResult<Action> {
+        self.used = ctx.get::<PortUses>(comp).referenced_cells().clone();
         Ok(Action::Continue)
     }
 
@@ -62,7 +55,7 @@ impl Visitor for DeadCellRemoval {
         _fbranch: &mut Control,
         _attributes: &mut Attributes,
         _comp: &mut Component,
-        _ctx: &Context,
+        _ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         self.mark(port);
         Ok(Action::Continue)
@@ -76,15 +69,19 @@ impl Visitor for DeadCellRemoval {
         _body: &mut Control,
         _attributes: &mut Attributes,
         _comp: &mut Component,
-        _ctx: &Context,
+        _ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         self.mark(port);
         Ok(Action::Continue)
     }
 
-    fn finish_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<()> {
+    fn finish_component(&mut self, comp: &mut Component, ctx: &mut PassCtx) -> CalyxResult<()> {
+        let before = comp.cells.len();
         comp.cells
             .retain(|c| self.used.contains(&c.name) || c.attributes.has(attr::external()));
+        if comp.cells.len() != before {
+            ctx.set_dirty();
+        }
         Ok(())
     }
 }

@@ -1,8 +1,9 @@
 //! Remove groups not reachable from the control program.
 
+use super::pass_ctx::PassCtx;
 use super::visitor::{Action, Visitor};
 use crate::errors::CalyxResult;
-use crate::ir::{Attributes, Component, Context, Control, Id, PortRef};
+use crate::ir::{Attributes, Component, Control, Id, PortRef};
 use std::collections::BTreeSet;
 
 /// Deletes groups that the control program never enables (directly or as a
@@ -25,7 +26,11 @@ impl Visitor for DeadGroupRemoval {
         "remove groups unused by the control program"
     }
 
-    fn start_component(&mut self, _comp: &mut Component, _ctx: &Context) -> CalyxResult<Action> {
+    fn start_component(
+        &mut self,
+        _comp: &mut Component,
+        _ctx: &mut PassCtx,
+    ) -> CalyxResult<Action> {
         self.used.clear();
         Ok(Action::Continue)
     }
@@ -35,7 +40,7 @@ impl Visitor for DeadGroupRemoval {
         group: &mut Id,
         _attributes: &mut Attributes,
         _comp: &mut Component,
-        _ctx: &Context,
+        _ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         self.used.insert(*group);
         Ok(Action::Continue)
@@ -50,7 +55,7 @@ impl Visitor for DeadGroupRemoval {
         _fbranch: &mut Control,
         _attributes: &mut Attributes,
         _comp: &mut Component,
-        _ctx: &Context,
+        _ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         self.used.extend(*cond);
         Ok(Action::Continue)
@@ -64,14 +69,18 @@ impl Visitor for DeadGroupRemoval {
         _body: &mut Control,
         _attributes: &mut Attributes,
         _comp: &mut Component,
-        _ctx: &Context,
+        _ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         self.used.extend(*cond);
         Ok(Action::Continue)
     }
 
-    fn finish_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<()> {
+    fn finish_component(&mut self, comp: &mut Component, ctx: &mut PassCtx) -> CalyxResult<()> {
+        let before = comp.groups.len();
         comp.groups.retain(|g| self.used.contains(&g.name));
+        if comp.groups.len() != before {
+            ctx.set_dirty();
+        }
         Ok(())
     }
 }

@@ -1,8 +1,9 @@
 //! Boolean simplification of guards.
 
+use super::pass_ctx::PassCtx;
 use super::visitor::{Action, Visitor};
 use crate::errors::CalyxResult;
-use crate::ir::{Atom, CompOp, Component, Context, Guard};
+use crate::ir::{Atom, CompOp, Component, Guard};
 
 /// Simplifies guard expressions after interface-signal inlining:
 /// double negations, `x & x` / `x | x` idempotence, constant comparisons,
@@ -24,16 +25,21 @@ impl Visitor for GuardSimplify {
         "boolean simplification of assignment guards"
     }
 
-    fn start_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<Action> {
+    fn start_component(&mut self, comp: &mut Component, ctx: &mut PassCtx) -> CalyxResult<Action> {
+        let mut changed = false;
         for group in comp.groups.iter_mut() {
             for asgn in &mut group.assignments {
                 let g = std::mem::replace(&mut asgn.guard, Guard::True);
-                asgn.guard = simplify(g);
+                asgn.guard = simplify_tracked(g, &mut changed);
             }
         }
         for asgn in &mut comp.continuous {
             let g = std::mem::replace(&mut asgn.guard, Guard::True);
-            asgn.guard = simplify(g);
+            asgn.guard = simplify_tracked(g, &mut changed);
+        }
+        // Already-minimal guards leave the analysis cache warm.
+        if changed {
+            ctx.set_dirty();
         }
         // Guards live in the wires section; the control tree is untouched.
         Ok(Action::SkipChildren)
@@ -47,51 +53,70 @@ fn is_false(g: &Guard) -> bool {
 
 /// Simplify a guard bottom-up.
 pub fn simplify(guard: Guard) -> Guard {
+    simplify_tracked(guard, &mut false)
+}
+
+/// [`simplify`], additionally recording in `changed` whether any rewrite
+/// rule fired — the pass uses this to decide if the component must be
+/// reported dirty to the analysis cache.
+fn simplify_tracked(guard: Guard, changed: &mut bool) -> Guard {
     match guard {
         Guard::True | Guard::Port(_) => guard,
         Guard::Not(inner) => {
-            let inner = simplify(*inner);
+            let inner = simplify_tracked(*inner, changed);
             match inner {
-                Guard::Not(g) => *g,
+                Guard::Not(g) => {
+                    *changed = true;
+                    *g
+                }
                 g => Guard::Not(Box::new(g)),
             }
         }
         Guard::And(a, b) => {
-            let a = simplify(*a);
-            let b = simplify(*b);
+            let a = simplify_tracked(*a, changed);
+            let b = simplify_tracked(*b, changed);
             if a.is_true() {
+                *changed = true;
                 return b;
             }
             if b.is_true() {
+                *changed = true;
                 return a;
             }
             if is_false(&a) || is_false(&b) {
+                *changed = true;
                 return Guard::True.not();
             }
             if a == b {
+                *changed = true;
                 return a;
             }
             Guard::And(Box::new(a), Box::new(b))
         }
         Guard::Or(a, b) => {
-            let a = simplify(*a);
-            let b = simplify(*b);
+            let a = simplify_tracked(*a, changed);
+            let b = simplify_tracked(*b, changed);
             if a.is_true() || b.is_true() {
+                *changed = true;
                 return Guard::True;
             }
             if is_false(&a) {
+                *changed = true;
                 return b;
             }
             if is_false(&b) {
+                *changed = true;
                 return a;
             }
             if a == b {
+                *changed = true;
                 return a;
             }
             Guard::Or(Box::new(a), Box::new(b))
         }
         Guard::Comp(op, l, r) => {
             if let (Atom::Const { val: lv, .. }, Atom::Const { val: rv, .. }) = (&l, &r) {
+                *changed = true;
                 return if op.eval(*lv, *rv) {
                     Guard::True
                 } else {
@@ -100,6 +125,7 @@ pub fn simplify(guard: Guard) -> Guard {
             }
             // x == x, x <= x, x >= x are tautologies on equal atoms.
             if l == r {
+                *changed = true;
                 return match op {
                     CompOp::Eq | CompOp::Leq | CompOp::Geq => Guard::True,
                     CompOp::Neq | CompOp::Lt | CompOp::Gt => Guard::True.not(),

@@ -25,6 +25,7 @@
 //! the control tree (shared with `StaticTiming`) in dependency order, so a
 //! systolic array whose PE declares a latency becomes fully static.
 
+use super::pass_ctx::PassCtx;
 use super::static_timing::stmt_latency;
 use super::visitor::{Action, Order, Visitor};
 use crate::errors::CalyxResult;
@@ -51,7 +52,11 @@ impl Visitor for InferStaticTiming {
         Order::Topological
     }
 
-    fn start_component(&mut self, comp: &mut Component, ctx: &Context) -> CalyxResult<Action> {
+    fn start_component(&mut self, comp: &mut Component, ctx: &mut PassCtx) -> CalyxResult<Action> {
+        // This pass only *adds attributes*, which no registered analysis
+        // reads, so it never reports dirty and the cache stays warm (the
+        // sanctioned exception in the invalidation contract — see
+        // `crate::analysis::cache`).
         let group_names: Vec<Id> = comp.groups.names().collect();
         for name in group_names {
             let group = comp.groups.get(name).expect("stable names");

@@ -5,21 +5,21 @@
 //! parallel control-flow graph: a register whose last read has passed can
 //! be reused by later groups. The steps:
 //!
-//! 1. build the [`Pcfg`] and conservative [`ReadWriteSets`];
-//! 2. solve backward liveness ([`Liveness`]) and derive the register
-//!    [`Interference`] graph (overlapping live ranges + parallel touches);
-//! 3. greedily color the graph with registers of identical width as colors;
-//! 4. rewrite *all* groups through the resulting renaming (unlike resource
+//! 1. query the [`BoundaryRegs`] and [`Interference`] analyses through the
+//!    pass context — the interference graph transitively pulls the pCFG,
+//!    read/write sets, and liveness from the same cache, so prerequisites
+//!    computed for other passes are reused;
+//! 2. greedily color the graph with registers of identical width as colors;
+//! 3. rewrite *all* groups through the resulting renaming (unlike resource
 //!    sharing, the substitution is global, since register names appear in
 //!    many groups).
 
+use super::pass_ctx::PassCtx;
 use super::visitor::{Action, Visitor};
-use crate::analysis::liveness::Interference;
-use crate::analysis::pcfg::Pcfg;
-use crate::analysis::read_write::ReadWriteSets;
+use crate::analysis::liveness::{BoundaryRegs, Interference};
 use crate::errors::CalyxResult;
-use crate::ir::{Component, Context, Control, Id, Rewriter};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use crate::ir::{Component, Id, Rewriter};
+use std::collections::{BTreeMap, HashMap};
 
 /// Merge registers with non-overlapping live ranges.
 #[derive(Debug, Clone, Copy, Default)]
@@ -34,29 +34,13 @@ impl Visitor for MinimizeRegs {
         "share registers whose live ranges do not overlap"
     }
 
-    fn start_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<Action> {
-        let rw = ReadWriteSets::analyze(comp);
-        let pcfg = Pcfg::from_control(&comp.control);
-
+    fn start_component(&mut self, comp: &mut Component, ctx: &mut PassCtx) -> CalyxResult<Action> {
         // Registers observable outside the schedule stay live forever:
-        // anything read by continuous assignments or referenced directly
-        // as an `if`/`while` condition port.
-        let mut boundary: BTreeSet<Id> = BTreeSet::new();
-        for asgn in &comp.continuous {
-            for p in asgn.reads() {
-                if let Some(c) = p.cell_parent() {
-                    boundary.insert(c);
-                }
-            }
-            boundary.extend(asgn.dst.cell_parent());
-        }
-        collect_condition_cells(&comp.control, &mut boundary);
-        let boundary: BTreeSet<Id> = boundary
-            .into_iter()
-            .filter(|c| comp.cells.get(*c).is_some_and(|c| c.is_register()))
-            .collect();
-
-        let interference = Interference::build(&pcfg, &rw, &boundary);
+        // anything touched by continuous assignments or referenced directly
+        // as an `if`/`while` condition port ([`BoundaryRegs`]).
+        let boundary = ctx.get::<BoundaryRegs>(comp);
+        let boundary = boundary.registers();
+        let interference = ctx.get::<Interference>(comp);
 
         // Registers in deterministic order, grouped by width.
         let registers: Vec<(Id, u64)> = comp
@@ -111,6 +95,7 @@ impl Visitor for MinimizeRegs {
         if cell_map.is_empty() {
             return Ok(Action::SkipChildren);
         }
+        ctx.set_dirty();
         let rewriter = Rewriter::from_cells(cell_map);
         for group in comp.groups.iter_mut() {
             rewriter.group(group);
@@ -124,31 +109,6 @@ impl Visitor for MinimizeRegs {
         // The rewrite already visited the control tree through the
         // analyses; no per-statement work remains.
         Ok(Action::SkipChildren)
-    }
-}
-
-fn collect_condition_cells(control: &Control, out: &mut BTreeSet<Id>) {
-    match control {
-        Control::Empty | Control::Enable { .. } => {}
-        Control::Seq { stmts, .. } | Control::Par { stmts, .. } => {
-            for s in stmts {
-                collect_condition_cells(s, out);
-            }
-        }
-        Control::If {
-            port,
-            tbranch,
-            fbranch,
-            ..
-        } => {
-            out.extend(port.cell_parent());
-            collect_condition_cells(tbranch, out);
-            collect_condition_cells(fbranch, out);
-        }
-        Control::While { port, body, .. } => {
-            out.extend(port.cell_parent());
-            collect_condition_cells(body, out);
-        }
     }
 }
 

@@ -1,5 +1,5 @@
-//! Compiler passes: the visitor framework, the named pass registry, and
-//! the standard pipelines.
+//! Compiler passes: the visitor framework, the analysis-query context, the
+//! named pass registry, and the standard pipelines.
 //!
 //! Passes implement [`Visitor`] (structural traversal with [`Action`]
 //! steering — see the [`visitor`] module docs for the contract) and are
@@ -7,6 +7,24 @@
 //! kebab-case name in the [`PassRegistry`], aliases name standard
 //! pipelines, and [`PassManager::from_names`] builds any mix of the two —
 //! the same surface the `futil -p` CLI exposes.
+//!
+//! # Analyses and `PassCtx`
+//!
+//! Every visitor hook receives a [`PassCtx`]: the read-only context view
+//! (deref to [`Context`](crate::ir::Context)) bundled with the pipeline's
+//! [`AnalysisCache`]. Passes query analyses with
+//! [`PassCtx::get`] — `ctx.get::<Interference>(comp)` — instead of
+//! computing them locally; the cache memoizes per component and the
+//! [`PassManager`] shares it across the whole pipeline, attributing
+//! hit/miss statistics to each pass ([`PassTiming::cache`], surfaced by
+//! `futil --stats`).
+//!
+//! Memoized facts must be invalidated when a pass mutates a component, and
+//! the framework cannot observe mutations — passes report them: returning
+//! [`Action::Change`] marks the component dirty automatically, any other
+//! mutation calls [`PassCtx::set_dirty`]. The full contract (including the
+//! attributes-only exemption) is in the
+//! [cache module docs](crate::analysis::cache).
 //!
 //! # Pass table
 //!
@@ -58,12 +76,13 @@ mod go_insertion;
 mod guard_simplify;
 mod infer_static;
 mod minimize_regs;
+mod pass_ctx;
 mod registry;
 mod remove_groups;
 mod resource_sharing;
 mod static_timing;
 mod traversal;
-mod visitor;
+pub mod visitor;
 mod well_formed;
 
 pub use collapse_control::CollapseControl;
@@ -74,6 +93,7 @@ pub use go_insertion::GoInsertion;
 pub use guard_simplify::{simplify, GuardSimplify};
 pub use infer_static::InferStaticTiming;
 pub use minimize_regs::MinimizeRegs;
+pub use pass_ctx::PassCtx;
 pub use registry::{
     PassRegistry, RegisteredPass, ALIAS_LOWER, ALIAS_LOWER_STATIC, ALIAS_NONE, ALIAS_OPT,
 };
@@ -85,6 +105,10 @@ pub use traversal::{
 };
 pub use visitor::{Action, Order, Visitor};
 pub use well_formed::WellFormed;
+
+// Re-exported so pass authors reach the whole query surface from one
+// module: hooks take `PassCtx`, standalone drivers take `AnalysisCache`.
+pub use crate::analysis::{AnalysisCache, CacheStats};
 
 /// The standard lowering pipeline: validate, clean up, insert `go` guards,
 /// compile control to FSMs, and inline interface signals.

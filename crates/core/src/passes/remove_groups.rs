@@ -15,9 +15,10 @@
 //! The result is a control-free component: a flat list of guarded
 //! assignments ready for RTL code generation.
 
+use super::pass_ctx::PassCtx;
 use super::visitor::{Action, Visitor};
 use crate::errors::{CalyxResult, Error};
-use crate::ir::{Assignment, Atom, Component, Context, Control, Guard, PortRef};
+use crate::ir::{Assignment, Atom, Component, Control, Guard, PortRef};
 use std::collections::HashMap;
 
 /// Inlines `go`/`done` interface signals and erases all groups.
@@ -33,7 +34,10 @@ impl Visitor for RemoveGroups {
         "inline interface signals and erase group boundaries"
     }
 
-    fn start_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<Action> {
+    fn start_component(&mut self, comp: &mut Component, ctx: &mut PassCtx) -> CalyxResult<Action> {
+        // Group erasure rewrites the whole wires section and empties the
+        // control program: unconditionally stale for every analysis.
+        ctx.set_dirty();
         let top = match std::mem::take(&mut comp.control) {
             Control::Empty => None,
             Control::Enable { group, .. } => Some(group),

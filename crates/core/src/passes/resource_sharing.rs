@@ -18,10 +18,12 @@
 //! after lowering as multiple guarded drivers on the shared cell's input
 //! ports.
 
+use super::pass_ctx::PassCtx;
 use super::visitor::{Action, Visitor};
 use crate::analysis::conflict::ParConflicts;
+use crate::analysis::{BoundaryCells, PortUses};
 use crate::errors::CalyxResult;
-use crate::ir::{attr, CellType, Component, Context, Control, Id, Rewriter};
+use crate::ir::{attr, CellType, Component, Control, Id, Rewriter};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Share `@share`-annotated cells between temporally disjoint groups.
@@ -37,19 +39,16 @@ impl Visitor for ResourceSharing {
         "share combinational cells between groups that never run in parallel"
     }
 
-    fn start_component(&mut self, comp: &mut Component, ctx: &Context) -> CalyxResult<Action> {
-        let conflicts = ParConflicts::from_control(&comp.control);
+    fn start_component(&mut self, comp: &mut Component, ctx: &mut PassCtx) -> CalyxResult<Action> {
+        let conflicts = ctx.get::<ParConflicts>(comp);
+        let uses = ctx.get::<PortUses>(comp);
 
         // Cells eligible for sharing: prototype is marked shareable and
-        // the cell is not referenced outside of groups.
-        let mut pinned: BTreeSet<Id> = BTreeSet::new();
-        for asgn in &comp.continuous {
-            pinned.extend(asgn.dst.cell_parent());
-            for p in asgn.reads() {
-                pinned.extend(p.cell_parent());
-            }
-        }
-        pin_control_ports(&comp.control, &mut pinned);
+        // the cell is not referenced outside of groups — exactly the
+        // boundary-cell set (continuous-assignment references plus
+        // `if`/`while` condition ports).
+        let pinned = ctx.get::<BoundaryCells>(comp);
+        let pinned = pinned.cells();
 
         let shareable: BTreeSet<Id> = comp
             .cells
@@ -67,17 +66,15 @@ impl Visitor for ResourceSharing {
             .map(|c| c.name)
             .collect();
 
-        // Usage map: which groups use each shareable cell. Cells used by
+        // Usage map: which groups use each shareable cell (from the cached
+        // `PortUses` digest, in group definition order). Cells used by
         // several groups were already shared by the frontend; leave them
         // alone but record their claims so we never double-book them.
-        let mut users: BTreeMap<Id, Vec<Id>> = BTreeMap::new();
-        for group in comp.groups.iter() {
-            for cell in group.used_cells() {
-                if shareable.contains(&cell) {
-                    users.entry(cell).or_default().push(group.name);
-                }
-            }
-        }
+        let users: BTreeMap<Id, Vec<Id>> = uses
+            .cells_with_users()
+            .filter(|(cell, _)| shareable.contains(cell))
+            .map(|(cell, groups)| (cell, groups.to_vec()))
+            .collect();
 
         // Claims: representative cell -> groups using it.
         let mut claims: HashMap<Id, Vec<Id>> = HashMap::new();
@@ -141,7 +138,14 @@ impl Visitor for ResourceSharing {
             }
         }
 
-        // Local group rewriting.
+        // Local group rewriting. Only combinational cells are renamed —
+        // registers, the control tree, and continuous assignments are
+        // untouched — so of the registered analyses only `PortUses` (and,
+        // via the automatic cascade, anything computed from it) goes
+        // stale; the control and register analyses stay warm.
+        if !rewrites.is_empty() {
+            ctx.invalidate::<PortUses>(comp.name);
+        }
         for (group, map) in rewrites {
             let rw = Rewriter::from_cells(map);
             if let Some(g) = comp.groups.get_mut(group) {
@@ -176,31 +180,6 @@ fn group_cells(users: &BTreeMap<Id, Vec<Id>>, group: Id) -> Option<Vec<Id>> {
         None
     } else {
         Some(cells)
-    }
-}
-
-fn pin_control_ports(control: &Control, pinned: &mut BTreeSet<Id>) {
-    match control {
-        Control::Empty | Control::Enable { .. } => {}
-        Control::Seq { stmts, .. } | Control::Par { stmts, .. } => {
-            for s in stmts {
-                pin_control_ports(s, pinned);
-            }
-        }
-        Control::If {
-            port,
-            tbranch,
-            fbranch,
-            ..
-        } => {
-            pinned.extend(port.cell_parent());
-            pin_control_ports(tbranch, pinned);
-            pin_control_ports(fbranch, pinned);
-        }
-        Control::While { port, body, .. } => {
-            pinned.extend(port.cell_parent());
-            pin_control_ports(body, pinned);
-        }
     }
 }
 
@@ -260,6 +239,28 @@ mod tests {
             .run(&mut ctx)
             .unwrap();
         assert!(!ctx.component("main").unwrap().cells.contains(Id::new("a1")));
+    }
+
+    /// The pass's fine-grained invalidation: a rewrite renames only
+    /// combinational cells inside groups, so `PortUses` is dropped while
+    /// every control/register analysis (and the component generation)
+    /// survives.
+    #[test]
+    fn rewrite_invalidates_only_port_uses() {
+        use crate::analysis::{AnalysisCache, ParConflicts, PortUses};
+        let mut ctx = parse_context(FIG3).unwrap();
+        let mut cache = AnalysisCache::new();
+        ResourceSharing.run_with(&mut ctx, &mut cache).unwrap();
+        assert_eq!(cache.generation(Id::new("main")), 0);
+        cache.take_stats();
+        let main = ctx.component("main").unwrap();
+        cache.get::<ParConflicts>(main);
+        assert_eq!(cache.stats().hits, 1, "control analyses stay warm");
+        let uses = cache.get::<PortUses>(main);
+        let stats = cache.take_stats();
+        assert_eq!(stats.recomputes, 1, "PortUses was dropped by the rewrite");
+        // The recomputed facts reflect the merge: a1 is unreferenced.
+        assert!(uses.cell_users(Id::new("a1")).is_empty());
     }
 
     #[test]

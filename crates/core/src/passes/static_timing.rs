@@ -21,6 +21,7 @@
 //! (they omit the `!done` re-execution protection for static children), so
 //! static islands compose with dynamic surroundings.
 
+use super::pass_ctx::PassCtx;
 use super::visitor::{Action, Visitor};
 use crate::errors::CalyxResult;
 use crate::ir::{
@@ -50,7 +51,7 @@ impl Visitor for StaticTiming {
         group: &mut Id,
         attributes: &mut Attributes,
         comp: &mut Component,
-        _ctx: &Context,
+        _ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         // Mirror the group's (possibly inferred) latency onto the enable so
         // parents and later passes can read it off the control tree.
@@ -65,7 +66,7 @@ impl Visitor for StaticTiming {
         stmts: &mut Vec<Control>,
         _attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         Ok(compile_block(comp, ctx, stmts, BlockKind::Seq))
     }
@@ -75,7 +76,7 @@ impl Visitor for StaticTiming {
         stmts: &mut Vec<Control>,
         _attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         Ok(compile_block(comp, ctx, stmts, BlockKind::Par))
     }
@@ -89,7 +90,7 @@ impl Visitor for StaticTiming {
         fbranch: &mut Control,
         _attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         let cond_lat = cond_latency(comp, cond);
         let t = as_static_enable(comp, tbranch);
@@ -110,7 +111,7 @@ impl Visitor for StaticTiming {
         }
     }
 
-    fn finish_component(&mut self, comp: &mut Component, _ctx: &Context) -> CalyxResult<()> {
+    fn finish_component(&mut self, comp: &mut Component, _ctx: &mut PassCtx) -> CalyxResult<()> {
         // A fully static component gets a component-level latency so
         // instantiating groups can be inferred in turn (§6.1's systolic
         // arrays rely on this composition).

@@ -6,6 +6,7 @@
 //! the borrow dance of editing a component while consulting the context's
 //! primitive library.
 
+use crate::analysis::{AnalysisCache, CacheStats};
 use crate::errors::CalyxResult;
 use crate::ir::{Component, Context, Id};
 use std::time::{Duration, Instant};
@@ -18,23 +19,38 @@ pub trait Pass {
     /// One-line description for documentation output.
     fn description(&self) -> &'static str;
 
-    /// Transform the program.
+    /// Transform the program, querying (and invalidating) analyses through
+    /// `cache`. [`PassManager`] keeps one cache alive across the whole
+    /// pipeline so read-only passes leave it warm for their successors.
     ///
     /// # Errors
     ///
     /// Implementations return [`crate::errors::Error`] on violated
     /// preconditions; the pass manager aborts the pipeline at the first
     /// failure.
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()>;
+    fn run_with(&mut self, ctx: &mut Context, cache: &mut AnalysisCache) -> CalyxResult<()>;
+
+    /// Run the pass standalone with a private, empty cache. Convenience
+    /// for tests and one-off invocations; pipelines go through
+    /// [`PassManager`] to share the cache between passes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Pass::run_with`] failures.
+    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+        self.run_with(ctx, &mut AnalysisCache::new())
+    }
 }
 
-/// Wall-clock duration of one executed pass.
+/// Wall-clock duration and cache activity of one executed pass.
 #[derive(Debug, Clone)]
 pub struct PassTiming {
     /// The pass's [`Pass::name`].
     pub name: &'static str,
-    /// Time spent in [`Pass::run`].
+    /// Time spent in [`Pass::run_with`].
     pub duration: Duration,
+    /// Analysis-cache hits/misses/recomputes attributed to this pass.
+    pub cache: CacheStats,
 }
 
 /// An ordered list of passes.
@@ -77,7 +93,8 @@ impl PassManager {
         self.passes.iter().map(|p| p.name()).collect()
     }
 
-    /// Run every pass in order, recording wall-clock timings.
+    /// Run every pass in order with a fresh shared [`AnalysisCache`],
+    /// recording wall-clock timings and per-pass cache statistics.
     ///
     /// Timings are recorded for every pass that executed — including the
     /// failing pass itself — so a timing report stays useful when a
@@ -87,13 +104,30 @@ impl PassManager {
     ///
     /// Stops at and returns the first pass failure.
     pub fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+        self.run_with_cache(ctx, &mut AnalysisCache::new())
+    }
+
+    /// Like [`PassManager::run`] but with a caller-provided cache — e.g.
+    /// [`AnalysisCache::recompute_every_query`] for differential testing
+    /// and benchmarking against the uncached baseline.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first pass failure.
+    pub fn run_with_cache(
+        &mut self,
+        ctx: &mut Context,
+        cache: &mut AnalysisCache,
+    ) -> CalyxResult<()> {
         self.timings.clear();
         for pass in &mut self.passes {
+            cache.take_stats();
             let start = Instant::now();
-            let result = pass.run(ctx);
+            let result = pass.run_with(ctx, cache);
             self.timings.push(PassTiming {
                 name: pass.name(),
                 duration: start.elapsed(),
+                cache: cache.take_stats(),
             });
             result?;
         }
@@ -108,6 +142,13 @@ impl PassManager {
     /// Total time of the most recent run.
     pub fn total_time(&self) -> Duration {
         self.timings.iter().map(|t| t.duration).sum()
+    }
+
+    /// Summed cache statistics of the most recent run.
+    pub fn total_cache_stats(&self) -> CacheStats {
+        self.timings
+            .iter()
+            .fold(CacheStats::default(), |acc, t| acc.merged(t.cache))
     }
 }
 
@@ -201,7 +242,7 @@ mod tests {
         fn description(&self) -> &'static str {
             "test marker"
         }
-        fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+        fn run_with(&mut self, ctx: &mut Context, _cache: &mut AnalysisCache) -> CalyxResult<()> {
             // Record execution order through a component attribute.
             let comp = ctx.component_mut("main").unwrap();
             let count = comp.attributes.get(Id::new("count")).unwrap_or(0);
@@ -219,7 +260,7 @@ mod tests {
         fn description(&self) -> &'static str {
             "always fails"
         }
-        fn run(&mut self, _ctx: &mut Context) -> CalyxResult<()> {
+        fn run_with(&mut self, _ctx: &mut Context, _cache: &mut AnalysisCache) -> CalyxResult<()> {
             Err(Error::pass("failing", "boom"))
         }
     }

@@ -1,5 +1,5 @@
 //! The visitor framework: structured, zero-clone traversal of control
-//! programs.
+//! programs with cached analysis queries.
 //!
 //! Structural passes implement [`Visitor`] instead of hand-rolling a
 //! recursion over [`Control`]. The framework walks each component's control
@@ -9,7 +9,9 @@
 //! hook (`enable`, `empty`). Hooks receive the statement's fields, the
 //! enclosing [`Component`] (mutably — the control tree is detached from the
 //! component during traversal, so cells and groups can be edited freely),
-//! and the read-only [`Context`] for library and sibling-signature lookups.
+//! and a [`PassCtx`] bundling the read-only context view (library and
+//! sibling-signature lookups, via deref) with the pipeline's
+//! [`AnalysisCache`].
 //!
 //! Every visitor automatically implements [`Pass`] through a blanket impl,
 //! so visitors register with [`PassManager`](super::PassManager) and the
@@ -37,6 +39,19 @@
 //!   skip all remaining components. `finish_component` still runs for the
 //!   component that stopped.
 //!
+//! # Mutation signals
+//!
+//! The analysis cache memoizes per component and must be told when a
+//! component changed (the full contract lives in the
+//! [cache module docs](crate::analysis::cache)):
+//!
+//! - [`Action::Change`] marks the component dirty automatically.
+//! - Every other mutation through `&mut Component` must be reported with
+//!   [`PassCtx::set_dirty`] from the hook performing it.
+//! - The signal drops the component's cached analyses *immediately*, so
+//!   queries later in the same visit see fresh facts; clean visits keep
+//!   the cache warm for later passes.
+//!
 //! The contract in executable form — a visitor that counts enables, prunes
 //! a `par` subtree with `SkipChildren`, and rewrites one statement with
 //! `Change`:
@@ -44,7 +59,7 @@
 //! ```
 //! use calyx_core::errors::CalyxResult;
 //! use calyx_core::ir::{Attributes, Component, Context, Control, Id};
-//! use calyx_core::passes::{Action, Pass, Visitor};
+//! use calyx_core::passes::{Action, Pass, PassCtx, Visitor};
 //!
 //! #[derive(Default)]
 //! struct Example {
@@ -64,11 +79,12 @@
 //!         group: &mut Id,
 //!         _attributes: &mut Attributes,
 //!         _comp: &mut Component,
-//!         _ctx: &Context,
+//!         _ctx: &mut PassCtx,
 //!     ) -> CalyxResult<Action> {
 //!         self.enables_seen += 1;
 //!         if group.as_str() == "swap_me" {
-//!             // Replace this enable; the replacement is not re-visited.
+//!             // Replace this enable; the replacement is not re-visited
+//!             // (and the component is marked dirty automatically).
 //!             return Ok(Action::Change(Control::enable("swapped")));
 //!         }
 //!         Ok(Action::Continue)
@@ -79,7 +95,7 @@
 //!         _stmts: &mut Vec<Control>,
 //!         _attributes: &mut Attributes,
 //!         _comp: &mut Component,
-//!         _ctx: &Context,
+//!         _ctx: &mut PassCtx,
 //!     ) -> CalyxResult<Action> {
 //!         Ok(Action::SkipChildren)
 //!     }
@@ -104,7 +120,9 @@
 //! assert!(!groups.contains(&Id::new("swap_me")));
 //! ```
 
+use super::pass_ctx::PassCtx;
 use super::traversal::{take_component, Pass};
+use crate::analysis::AnalysisCache;
 use crate::errors::CalyxResult;
 use crate::ir::{Attributes, Component, Context, Control, Id, PortRef};
 
@@ -118,6 +136,7 @@ pub enum Action {
     /// Skip this statement's children (and its post hook).
     SkipChildren,
     /// Replace the current statement; the replacement is not re-visited.
+    /// Also marks the component dirty for the analysis cache.
     Change(Control),
     /// Halt the traversal: remaining statements and components are skipped.
     Stop,
@@ -143,8 +162,8 @@ pub enum Order {
 /// While a component is being visited, the [`Context`]'s entry for that
 /// component is an inert placeholder (the component was taken out by value
 /// to avoid cloning); hooks must use the `&mut Component` argument for the
-/// component under edit and the context only for the primitive library and
-/// *other* components.
+/// component under edit and the [`PassCtx`] only for the primitive library,
+/// *other* components, and analysis queries.
 #[allow(unused_variables)]
 pub trait Visitor {
     /// Unique, kebab-case pass name (used in reports, errors, and `-p`
@@ -159,21 +178,25 @@ pub trait Visitor {
         Order::Definition
     }
 
-    /// Called once before any component is visited, with the full context.
+    /// Called once before any component is visited, with the full mutable
+    /// context and the pipeline's analysis cache. A pass mutating the
+    /// program here must invalidate the affected components itself
+    /// ([`AnalysisCache::invalidate`]).
     ///
     /// # Errors
     ///
     /// An error aborts the pass before any component is visited.
-    fn start_context(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+    fn start_context(&mut self, ctx: &mut Context, cache: &mut AnalysisCache) -> CalyxResult<()> {
         Ok(())
     }
 
-    /// Called once after every component has been visited.
+    /// Called once after every component has been visited. The same
+    /// invalidation responsibility as [`Visitor::start_context`] applies.
     ///
     /// # Errors
     ///
     /// An error is reported as the pass's failure.
-    fn finish_context(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+    fn finish_context(&mut self, ctx: &mut Context, cache: &mut AnalysisCache) -> CalyxResult<()> {
         Ok(())
     }
 
@@ -184,17 +207,18 @@ pub trait Visitor {
     /// # Errors
     ///
     /// An error aborts the pass.
-    fn start_component(&mut self, comp: &mut Component, ctx: &Context) -> CalyxResult<Action> {
+    fn start_component(&mut self, comp: &mut Component, ctx: &mut PassCtx) -> CalyxResult<Action> {
         Ok(Action::Continue)
     }
 
     /// Called after a component's control tree has been traversed (also when
-    /// the traversal was skipped or stopped).
+    /// the traversal was skipped or stopped). Mutations made here still
+    /// count: call [`PassCtx::set_dirty`] to report them.
     ///
     /// # Errors
     ///
     /// An error aborts the pass.
-    fn finish_component(&mut self, comp: &mut Component, ctx: &Context) -> CalyxResult<()> {
+    fn finish_component(&mut self, comp: &mut Component, ctx: &mut PassCtx) -> CalyxResult<()> {
         Ok(())
     }
 
@@ -203,7 +227,7 @@ pub trait Visitor {
     /// # Errors
     ///
     /// An error aborts the pass.
-    fn empty(&mut self, comp: &mut Component, ctx: &Context) -> CalyxResult<Action> {
+    fn empty(&mut self, comp: &mut Component, ctx: &mut PassCtx) -> CalyxResult<Action> {
         Ok(Action::Continue)
     }
 
@@ -217,7 +241,7 @@ pub trait Visitor {
         group: &mut Id,
         attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         Ok(Action::Continue)
     }
@@ -232,7 +256,7 @@ pub trait Visitor {
         stmts: &mut Vec<Control>,
         attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         Ok(Action::Continue)
     }
@@ -247,7 +271,7 @@ pub trait Visitor {
         stmts: &mut Vec<Control>,
         attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         Ok(Action::Continue)
     }
@@ -262,7 +286,7 @@ pub trait Visitor {
         stmts: &mut Vec<Control>,
         attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         Ok(Action::Continue)
     }
@@ -277,7 +301,7 @@ pub trait Visitor {
         stmts: &mut Vec<Control>,
         attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         Ok(Action::Continue)
     }
@@ -296,7 +320,7 @@ pub trait Visitor {
         fbranch: &mut Control,
         attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         Ok(Action::Continue)
     }
@@ -315,7 +339,7 @@ pub trait Visitor {
         fbranch: &mut Control,
         attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         Ok(Action::Continue)
     }
@@ -333,7 +357,7 @@ pub trait Visitor {
         body: &mut Control,
         attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         Ok(Action::Continue)
     }
@@ -351,7 +375,7 @@ pub trait Visitor {
         body: &mut Control,
         attributes: &mut Attributes,
         comp: &mut Component,
-        ctx: &Context,
+        ctx: &mut PassCtx,
     ) -> CalyxResult<Action> {
         Ok(Action::Continue)
     }
@@ -368,7 +392,7 @@ fn visit_stmt<V: Visitor + ?Sized>(
     v: &mut V,
     stmt: &mut Control,
     comp: &mut Component,
-    ctx: &Context,
+    ctx: &mut PassCtx,
 ) -> CalyxResult<Flow> {
     let pre = match stmt {
         Control::Empty => v.empty(comp, ctx)?,
@@ -392,6 +416,7 @@ fn visit_stmt<V: Visitor + ?Sized>(
     match pre {
         Action::Stop => return Ok(Flow::Stop),
         Action::Change(new) => {
+            ctx.set_dirty();
             *stmt = new;
             return Ok(Flow::Continue);
         }
@@ -449,6 +474,7 @@ fn visit_stmt<V: Visitor + ?Sized>(
     match post {
         Action::Stop => Ok(Flow::Stop),
         Action::Change(new) => {
+            ctx.set_dirty();
             *stmt = new;
             Ok(Flow::Continue)
         }
@@ -462,7 +488,7 @@ fn visit_stmt<V: Visitor + ?Sized>(
 fn visit_component<V: Visitor + ?Sized>(
     v: &mut V,
     comp: &mut Component,
-    ctx: &Context,
+    ctx: &mut PassCtx,
 ) -> CalyxResult<Flow> {
     let flow = match v.start_component(comp, ctx)? {
         Action::Continue => {
@@ -473,6 +499,7 @@ fn visit_component<V: Visitor + ?Sized>(
         }
         Action::SkipChildren => Flow::Continue,
         Action::Change(control) => {
+            ctx.set_dirty();
             comp.control = control;
             Flow::Continue
         }
@@ -485,7 +512,10 @@ fn visit_component<V: Visitor + ?Sized>(
 /// Every visitor is a pass: the adapter iterates components in the
 /// visitor's declared [`Order`], temporarily taking each component out of
 /// the context *by value* (no deep clone — an inert placeholder holds its
-/// slot) so hooks hold `&mut Component` while reading `&Context`.
+/// slot) so hooks hold `&mut Component` while reading the context through
+/// [`PassCtx`]. Mutation signals (an [`Action::Change`] or
+/// [`PassCtx::set_dirty`]) invalidate the component's cached analyses
+/// immediately.
 impl<V: Visitor> Pass for V {
     fn name(&self) -> &'static str {
         Visitor::name(self)
@@ -495,8 +525,8 @@ impl<V: Visitor> Pass for V {
         Visitor::description(self)
     }
 
-    fn run(&mut self, ctx: &mut Context) -> CalyxResult<()> {
-        self.start_context(ctx)?;
+    fn run_with(&mut self, ctx: &mut Context, cache: &mut AnalysisCache) -> CalyxResult<()> {
+        self.start_context(ctx, cache)?;
         let names: Vec<Id> = match self.component_order() {
             Order::Definition => ctx.components.names().collect(),
             Order::Topological => ctx.topological_order()?,
@@ -505,19 +535,21 @@ impl<V: Visitor> Pass for V {
             let Some(mut comp) = take_component(ctx, name) else {
                 continue;
             };
-            let result = visit_component(self, &mut comp, ctx);
+            let mut pctx = PassCtx::new(ctx, cache, name);
+            let result = visit_component(self, &mut comp, &mut pctx);
             ctx.components.insert(comp);
             if let Flow::Stop = result? {
                 break;
             }
         }
-        self.finish_context(ctx)
+        self.finish_context(ctx, cache)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analysis::{AnalysisCache, Pcfg};
 
     /// Records the hook sequence as strings.
     #[derive(Default)]
@@ -534,11 +566,15 @@ mod tests {
         fn description(&self) -> &'static str {
             "test tracer"
         }
-        fn start_component(&mut self, comp: &mut Component, _: &Context) -> CalyxResult<Action> {
+        fn start_component(
+            &mut self,
+            comp: &mut Component,
+            _: &mut PassCtx,
+        ) -> CalyxResult<Action> {
             self.log.push(format!("start:{}", comp.name));
             Ok(Action::Continue)
         }
-        fn finish_component(&mut self, comp: &mut Component, _: &Context) -> CalyxResult<()> {
+        fn finish_component(&mut self, comp: &mut Component, _: &mut PassCtx) -> CalyxResult<()> {
             self.log.push(format!("finish:{}", comp.name));
             Ok(())
         }
@@ -547,7 +583,7 @@ mod tests {
             group: &mut Id,
             _: &mut Attributes,
             _: &mut Component,
-            _: &Context,
+            _: &mut PassCtx,
         ) -> CalyxResult<Action> {
             self.log.push(format!("enable:{group}"));
             if self.stop_at == Some(group.as_str()) {
@@ -560,7 +596,7 @@ mod tests {
             _: &mut Vec<Control>,
             _: &mut Attributes,
             _: &mut Component,
-            _: &Context,
+            _: &mut PassCtx,
         ) -> CalyxResult<Action> {
             self.log.push("start_seq".into());
             if self.skip_seqs {
@@ -573,7 +609,7 @@ mod tests {
             _: &mut Vec<Control>,
             _: &mut Attributes,
             _: &mut Component,
-            _: &Context,
+            _: &mut PassCtx,
         ) -> CalyxResult<Action> {
             self.log.push("finish_seq".into());
             Ok(Action::Continue)
@@ -585,7 +621,7 @@ mod tests {
             _: &mut Control,
             _: &mut Attributes,
             _: &mut Component,
-            _: &Context,
+            _: &mut PassCtx,
         ) -> CalyxResult<Action> {
             self.log.push("start_while".into());
             Ok(Action::Continue)
@@ -597,7 +633,7 @@ mod tests {
             _: &mut Control,
             _: &mut Attributes,
             _: &mut Component,
-            _: &Context,
+            _: &mut PassCtx,
         ) -> CalyxResult<Action> {
             self.log.push("finish_while".into());
             Ok(Action::Continue)
@@ -690,7 +726,7 @@ mod tests {
             group: &mut Id,
             _: &mut Attributes,
             _: &mut Component,
-            _: &Context,
+            _: &mut PassCtx,
         ) -> CalyxResult<Action> {
             if group.as_str() == "old" {
                 return Ok(Action::Change(Control::enable("new")));
@@ -725,7 +761,11 @@ mod tests {
         fn component_order(&self) -> Order {
             Order::Topological
         }
-        fn start_component(&mut self, comp: &mut Component, _: &Context) -> CalyxResult<Action> {
+        fn start_component(
+            &mut self,
+            comp: &mut Component,
+            _: &mut PassCtx,
+        ) -> CalyxResult<Action> {
             self.0.push(comp.name.to_string());
             Ok(Action::SkipChildren)
         }
@@ -753,5 +793,81 @@ mod tests {
         probe.run(&mut ctx).unwrap();
         let pos = |n: &str| probe.0.iter().position(|s| s == n).unwrap();
         assert!(pos("pe") < pos("main"));
+    }
+
+    /// A read-only pass that queries an analysis.
+    struct Prober;
+    impl Visitor for Prober {
+        fn name(&self) -> &'static str {
+            "prober"
+        }
+        fn description(&self) -> &'static str {
+            "queries the pcfg"
+        }
+        fn start_component(
+            &mut self,
+            comp: &mut Component,
+            ctx: &mut PassCtx,
+        ) -> CalyxResult<Action> {
+            ctx.get::<Pcfg>(comp);
+            Ok(Action::SkipChildren)
+        }
+    }
+
+    #[test]
+    fn read_only_pass_keeps_the_cache_warm_across_passes() {
+        let mut ctx = ctx_with(Control::enable("g"));
+        let mut cache = AnalysisCache::new();
+        Prober.run_with(&mut ctx, &mut cache).unwrap();
+        assert_eq!(cache.take_stats().misses, 1);
+        Prober.run_with(&mut ctx, &mut cache).unwrap();
+        let stats = cache.take_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0), "second pass hits");
+        assert_eq!(cache.generation(Id::new("main")), 0);
+    }
+
+    #[test]
+    fn change_invalidates_the_component_cache() {
+        let mut ctx = ctx_with(Control::seq(vec![
+            Control::enable("old"),
+            Control::enable("keep"),
+        ]));
+        let mut cache = AnalysisCache::new();
+        Prober.run_with(&mut ctx, &mut cache).unwrap();
+        Renamer.run_with(&mut ctx, &mut cache).unwrap();
+        assert_eq!(
+            cache.generation(Id::new("main")),
+            1,
+            "Action::Change marks the component dirty"
+        );
+        cache.take_stats();
+        Prober.run_with(&mut ctx, &mut cache).unwrap();
+        let stats = cache.take_stats();
+        assert_eq!(stats.recomputes, 1, "post-rewrite query recomputes");
+    }
+
+    /// A pass that mutates wires and reports it via `set_dirty`.
+    struct WireMutator;
+    impl Visitor for WireMutator {
+        fn name(&self) -> &'static str {
+            "wire-mutator"
+        }
+        fn description(&self) -> &'static str {
+            "mutates and reports dirty"
+        }
+        fn finish_component(&mut self, comp: &mut Component, ctx: &mut PassCtx) -> CalyxResult<()> {
+            comp.groups.insert(crate::ir::Group::new("injected"));
+            ctx.set_dirty();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn set_dirty_from_finish_component_invalidates() {
+        let mut ctx = ctx_with(Control::Empty);
+        let mut cache = AnalysisCache::new();
+        Prober.run_with(&mut ctx, &mut cache).unwrap();
+        WireMutator.run_with(&mut ctx, &mut cache).unwrap();
+        assert_eq!(cache.generation(Id::new("main")), 1);
     }
 }

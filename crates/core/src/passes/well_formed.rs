@@ -1,6 +1,8 @@
 //! Structural validation as a pass.
 
+use super::pass_ctx::PassCtx;
 use super::visitor::{Action, Visitor};
+use crate::analysis::AnalysisCache;
 use crate::errors::CalyxResult;
 use crate::ir::{validate, Component, Context};
 
@@ -24,11 +26,16 @@ impl Visitor for WellFormed {
         "validate structural invariants of the program"
     }
 
-    fn start_context(&mut self, ctx: &mut Context) -> CalyxResult<()> {
+    fn start_context(&mut self, ctx: &mut Context, _cache: &mut AnalysisCache) -> CalyxResult<()> {
         validate::validate_context(ctx)
     }
 
-    fn start_component(&mut self, _comp: &mut Component, _ctx: &Context) -> CalyxResult<Action> {
+    fn start_component(
+        &mut self,
+        _comp: &mut Component,
+        _ctx: &mut PassCtx,
+    ) -> CalyxResult<Action> {
+        // Validation is read-only: no dirty signal, the cache stays warm.
         Ok(Action::SkipChildren)
     }
 }
