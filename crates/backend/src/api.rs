@@ -1,0 +1,403 @@
+//! The [`Backend`] trait and [`BackendRegistry`]: emission as a
+//! first-class, data-driven API.
+//!
+//! A backend consumes a compiled [`Context`] and streams its output into
+//! any [`io::Write`] sink. The trait splits that into a contract with
+//! three obligations:
+//!
+//! 1. [`Backend::required_pipeline`] *declares* (as pass-registry names
+//!    and aliases) which pipeline the input is expected to have run.
+//!    Drivers use it as the default `-p` pipeline and quote it in
+//!    precondition errors.
+//! 2. [`Backend::validate`] *checks* the structural consequences of that
+//!    pipeline (e.g. "no groups, no control" for SystemVerilog) before a
+//!    single byte is written, so an unmet precondition can never produce
+//!    partial output.
+//! 3. [`Backend::emit`] streams the result. Emission never builds the
+//!    whole output in memory first.
+//!
+//! [`BackendRegistry`] mirrors the pass registry: backends register a
+//! unique kebab-case [`Backend::NAME`] plus a one-line
+//! [`Backend::DESCRIPTION`], lookups of unknown names return
+//! [`Error::Undefined`] listing the valid choices, and duplicate or
+//! ill-formatted names panic at registration time (they are compile-time
+//! constants, so a collision is a programming error).
+//!
+//! ```
+//! use calyx_backend::{BackendOpts, BackendRegistry};
+//! use calyx_core::ir::parse_context;
+//! use calyx_core::passes::PassManager;
+//!
+//! let mut ctx = parse_context(
+//!     "component main() -> () {
+//!        cells { r = std_reg(8); }
+//!        wires { group g { r.in = 8'd7; r.write_en = 1'd1; g[done] = r.done; } }
+//!        control { g; }
+//!      }",
+//! )
+//! .unwrap();
+//! let registry = BackendRegistry::default();
+//! let backend = registry.get("verilog", &BackendOpts::default()).unwrap();
+//!
+//! // An unlowered input fails `validate`, cleanly, before any output.
+//! assert!(backend.validate(&ctx).is_err());
+//!
+//! // The backend's declared pipeline is the fix.
+//! let mut pm = PassManager::from_names(backend.required_pipeline()).unwrap();
+//! pm.run(&mut ctx).unwrap();
+//! backend.validate(&ctx).unwrap();
+//! let mut out = Vec::new();
+//! backend.emit(&ctx, &mut out).unwrap();
+//! assert!(String::from_utf8(out).unwrap().contains("module main"));
+//! ```
+
+use calyx_core::errors::{CalyxResult, Error};
+use calyx_core::ir::Context;
+use calyx_core::utils::is_kebab_case;
+use std::io;
+
+/// Output format for report-style backends (currently consumed by
+/// [`area`](crate::area::AreaBackend)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportFormat {
+    /// Line-oriented `key value` text (stable; one metric per line).
+    #[default]
+    Text,
+    /// A single JSON object.
+    Json,
+}
+
+/// Driver-level options a backend may consume at construction time.
+///
+/// The driver parses these from its own flags (`futil --cycles`,
+/// `--format`) and hands the whole bag to
+/// [`BackendRegistry::get`]; each backend picks out the fields it cares
+/// about and ignores the rest, so adding an option never touches
+/// unrelated backends.
+#[derive(Debug, Clone)]
+pub struct BackendOpts {
+    /// Simulation cycle budget (`sim` and `interp`).
+    pub cycles: u64,
+    /// Report format (`area`).
+    pub format: ReportFormat,
+}
+
+impl Default for BackendOpts {
+    fn default() -> Self {
+        BackendOpts {
+            cycles: 1_000_000,
+            format: ReportFormat::Text,
+        }
+    }
+}
+
+/// A consumer of compiled Calyx programs.
+///
+/// See the [module docs](self) for the contract. Implementations are
+/// cheap value types constructed from [`BackendOpts`]; all real work
+/// happens in [`Backend::emit`].
+pub trait Backend {
+    /// Unique kebab-case name — the `-b` argument.
+    const NAME: &'static str;
+
+    /// One-line description for `--list-backends` and generated docs.
+    const DESCRIPTION: &'static str;
+
+    /// Construct the backend, capturing the options it consumes.
+    fn from_opts(opts: &BackendOpts) -> Self
+    where
+        Self: Sized;
+
+    /// Pass-registry names/aliases the input is expected to have run.
+    ///
+    /// Drivers append this pipeline when the user specifies none, and
+    /// name it in the error when [`Backend::validate`] rejects an
+    /// explicitly-compiled input. Empty means "consumes any program".
+    fn required_pipeline(&self) -> &'static [&'static str];
+
+    /// Check structural preconditions on the input *before* emission.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation ([`Error::Malformed`] for structural
+    /// problems) without writing any output.
+    fn validate(&self, ctx: &Context) -> CalyxResult<()>;
+
+    /// Stream the backend's output into `out`.
+    ///
+    /// Implementations re-check [`Backend::validate`]'s preconditions
+    /// before writing, so a failed emission on an invalid program
+    /// produces no partial output.
+    ///
+    /// # Errors
+    ///
+    /// Returns precondition violations, backend-specific failures (e.g.
+    /// a simulation timeout), or [`Error::Io`] when `out` fails.
+    fn emit(&self, ctx: &Context, out: &mut dyn io::Write) -> CalyxResult<()>;
+}
+
+/// Object-safe view of a [`Backend`].
+///
+/// The associated consts make [`Backend`] itself non-object-safe; every
+/// `Backend` automatically implements this companion, which is what
+/// [`BackendRegistry::get`] hands back to drivers.
+pub trait DynBackend {
+    /// [`Backend::NAME`].
+    fn name(&self) -> &'static str;
+    /// [`Backend::DESCRIPTION`].
+    fn description(&self) -> &'static str;
+    /// [`Backend::required_pipeline`].
+    fn required_pipeline(&self) -> &'static [&'static str];
+    /// [`Backend::validate`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Backend::validate`].
+    fn validate(&self, ctx: &Context) -> CalyxResult<()>;
+    /// [`Backend::emit`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Backend::emit`].
+    fn emit(&self, ctx: &Context, out: &mut dyn io::Write) -> CalyxResult<()>;
+}
+
+impl<B: Backend> DynBackend for B {
+    fn name(&self) -> &'static str {
+        B::NAME
+    }
+
+    fn description(&self) -> &'static str {
+        B::DESCRIPTION
+    }
+
+    fn required_pipeline(&self) -> &'static [&'static str] {
+        Backend::required_pipeline(self)
+    }
+
+    fn validate(&self, ctx: &Context) -> CalyxResult<()> {
+        Backend::validate(self, ctx)
+    }
+
+    fn emit(&self, ctx: &Context, out: &mut dyn io::Write) -> CalyxResult<()> {
+        Backend::emit(self, ctx, out)
+    }
+}
+
+/// A backend known to the registry.
+pub struct RegisteredBackend {
+    /// The backend's unique kebab-case name.
+    pub name: &'static str,
+    /// One-line description (from [`Backend::DESCRIPTION`]).
+    pub description: &'static str,
+    /// The backend's declared pipeline (see
+    /// [`Backend::required_pipeline`]), captured at registration.
+    pub required_pipeline: &'static [&'static str],
+    ctor: fn(&BackendOpts) -> Box<dyn DynBackend>,
+}
+
+impl RegisteredBackend {
+    /// Construct an instance of this backend from driver options.
+    pub fn construct(&self, opts: &BackendOpts) -> Box<dyn DynBackend> {
+        (self.ctor)(opts)
+    }
+}
+
+/// A registry of named backends, mirroring
+/// [`PassRegistry`](calyx_core::passes::PassRegistry).
+///
+/// [`BackendRegistry::default`] knows every backend in this crate;
+/// drivers can [`register`](BackendRegistry::register) their own on top.
+pub struct BackendRegistry {
+    backends: Vec<RegisteredBackend>,
+}
+
+impl Default for BackendRegistry {
+    /// The standard registry: `calyx`, `verilog`, `area`, `sim`, and
+    /// `interp`, in listing order.
+    fn default() -> Self {
+        let mut reg = BackendRegistry::empty();
+        reg.register::<crate::print::CalyxBackend>();
+        reg.register::<crate::verilog::VerilogBackend>();
+        reg.register::<crate::area::AreaBackend>();
+        reg.register::<crate::simulate::SimBackend>();
+        reg.register::<crate::simulate::InterpBackend>();
+        reg
+    }
+}
+
+impl BackendRegistry {
+    /// The standard registry (same as [`BackendRegistry::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry with no backends, for drivers that want full control
+    /// over what is selectable.
+    pub fn empty() -> Self {
+        BackendRegistry {
+            backends: Vec::new(),
+        }
+    }
+
+    /// Register backend `B` under [`Backend::NAME`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name is already taken or is not kebab-case —
+    /// backend names are compile-time constants, so a collision is a
+    /// programming error, not an input error.
+    pub fn register<B: Backend + 'static>(&mut self) {
+        assert!(
+            is_kebab_case(B::NAME),
+            "backend name `{}` is not kebab-case",
+            B::NAME
+        );
+        assert!(
+            self.find(B::NAME).is_none(),
+            "backend name `{}` registered twice",
+            B::NAME
+        );
+        self.backends.push(RegisteredBackend {
+            name: B::NAME,
+            description: B::DESCRIPTION,
+            required_pipeline: Backend::required_pipeline(&B::from_opts(&BackendOpts::default())),
+            ctor: |opts| Box::new(B::from_opts(opts)),
+        });
+    }
+
+    /// All registered backends, in registration order.
+    pub fn backends(&self) -> &[RegisteredBackend] {
+        &self.backends
+    }
+
+    fn find(&self, name: &str) -> Option<&RegisteredBackend> {
+        self.backends.iter().find(|b| b.name == name)
+    }
+
+    /// Construct the backend registered as `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Undefined`] naming the offending entry and
+    /// listing the valid choices when `name` is unknown.
+    pub fn get(&self, name: &str, opts: &BackendOpts) -> CalyxResult<Box<dyn DynBackend>> {
+        self.find(name).map(|b| b.construct(opts)).ok_or_else(|| {
+            Error::undefined(format!(
+                "backend `{name}`; valid backends: {}",
+                self.backends
+                    .iter()
+                    .map(|b| b.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calyx_core::passes::PassManager;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn default_registry_has_all_five_backends() {
+        let reg = BackendRegistry::default();
+        let names: Vec<&str> = reg.backends().iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["calyx", "verilog", "area", "sim", "interp"]);
+    }
+
+    #[test]
+    fn registered_names_are_unique_kebab_case_and_described() {
+        let reg = BackendRegistry::default();
+        let mut seen = BTreeSet::new();
+        for b in reg.backends() {
+            assert!(is_kebab_case(b.name), "`{}` not kebab-case", b.name);
+            assert!(seen.insert(b.name), "duplicate backend name `{}`", b.name);
+            assert!(!b.description.is_empty());
+        }
+    }
+
+    /// Every declared pipeline must name real passes/aliases in the pass
+    /// registry — this is the cross-registry integrity the driver's
+    /// auto-append relies on.
+    #[test]
+    fn required_pipelines_resolve_in_the_pass_registry() {
+        for b in BackendRegistry::default().backends() {
+            let required = b.required_pipeline;
+            PassManager::from_names(required).unwrap_or_else(|e| {
+                panic!("backend `{}` declares unresolvable pipeline: {e}", b.name)
+            });
+        }
+    }
+
+    #[test]
+    fn unknown_backend_is_an_error_listing_choices() {
+        let err = match BackendRegistry::default().get("verilgo", &BackendOpts::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown backend resolved"),
+        };
+        match err {
+            Error::Undefined(msg) => {
+                assert!(msg.contains("verilgo"), "{msg}");
+                assert!(msg.contains("verilog"), "{msg}");
+                assert!(msg.contains("interp"), "{msg}");
+            }
+            other => panic!("expected Undefined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut reg = BackendRegistry::empty();
+        reg.register::<crate::print::CalyxBackend>();
+        reg.register::<crate::print::CalyxBackend>();
+    }
+
+    struct BadName;
+    impl Backend for BadName {
+        const NAME: &'static str = "Bad_Name";
+        const DESCRIPTION: &'static str = "never registers";
+        fn from_opts(_: &BackendOpts) -> Self {
+            BadName
+        }
+        fn required_pipeline(&self) -> &'static [&'static str] {
+            &[]
+        }
+        fn validate(&self, _: &Context) -> CalyxResult<()> {
+            Ok(())
+        }
+        fn emit(&self, _: &Context, _: &mut dyn io::Write) -> CalyxResult<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not kebab-case")]
+    fn non_kebab_case_name_panics() {
+        BackendRegistry::empty().register::<BadName>();
+    }
+
+    /// The hand-written backend table in the README must quote the exact
+    /// registry strings (the same ones `futil --list-backends` prints),
+    /// or the copies drift apart — same guard as the pass table.
+    #[test]
+    fn readme_backend_table_quotes_registry() {
+        let readme = include_str!("../../../README.md");
+        for b in BackendRegistry::default().backends() {
+            let pipeline = if b.required_pipeline.is_empty() {
+                "—".to_string()
+            } else {
+                format!("`{}`", b.required_pipeline.join(" "))
+            };
+            let row = format!("| `{}` | {} | {} |", b.name, b.description, pipeline);
+            assert!(
+                readme.contains(&row),
+                "README backend table out of sync for `{}`: expected row `{row}`",
+                b.name
+            );
+        }
+    }
+}

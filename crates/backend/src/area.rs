@@ -26,9 +26,11 @@
 //! Absolute numbers are not Vivado's; *ratios* between designs estimated by
 //! the same model are the quantities the paper's figures plot.
 
+use crate::api::{Backend, BackendOpts, ReportFormat};
 use calyx_core::errors::{CalyxResult, Error};
-use calyx_core::ir::{Atom, CellType, CompOp, Component, Context, Guard, Id, PortRef};
+use calyx_core::ir::{validate, Atom, CellType, CompOp, Component, Context, Guard, Id, PortRef};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io;
 use std::ops::Add;
 
 /// An FPGA resource estimate.
@@ -45,6 +47,49 @@ pub struct Area {
     pub brams: u64,
     /// Number of `std_reg` cells (datapath + control).
     pub register_cells: u64,
+}
+
+impl Area {
+    /// The report's metrics as `(name, value)` pairs, in report order.
+    /// Single source of truth for both output formats — a metric added
+    /// here appears in text and JSON alike.
+    pub fn metrics(&self) -> [(&'static str, u64); 5] {
+        [
+            ("luts", self.luts),
+            ("ffs", self.ffs),
+            ("dsps", self.dsps),
+            ("brams", self.brams),
+            ("register_cells", self.register_cells),
+        ]
+    }
+
+    /// Write the stable, line-oriented text report: one `name value` pair
+    /// per line, in [`Area::metrics`] order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures from `out`.
+    pub fn write_text(&self, out: &mut dyn io::Write) -> io::Result<()> {
+        for (name, value) in self.metrics() {
+            writeln!(out, "{name} {value}")?;
+        }
+        Ok(())
+    }
+
+    /// Write the report as a single JSON object (keys as in
+    /// [`Area::metrics`]), terminated by a newline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures from `out`.
+    pub fn write_json(&self, out: &mut dyn io::Write) -> io::Result<()> {
+        write!(out, "{{")?;
+        for (idx, (name, value)) in self.metrics().into_iter().enumerate() {
+            let sep = if idx == 0 { "" } else { "," };
+            write!(out, "{sep}\"{name}\":{value}")?;
+        }
+        writeln!(out, "}}")
+    }
 }
 
 impl Add for Area {
@@ -66,6 +111,48 @@ fn ceil_div(a: u64, b: u64) -> u64 {
 
 fn log2_ceil(v: u64) -> u64 {
     u64::from(calyx_core::utils::bits_needed(v.saturating_sub(1)))
+}
+
+/// The `area` backend: estimate the entrypoint's FPGA resources and
+/// report them as a stable, line-oriented text table (or JSON, per
+/// [`BackendOpts::format`]).
+///
+/// Requires a lowered design — the estimate prices FSM guard logic and
+/// sharing-induced multiplexers, which only exist after lowering.
+pub struct AreaBackend {
+    format: ReportFormat,
+}
+
+impl Backend for AreaBackend {
+    const NAME: &'static str = "area";
+    const DESCRIPTION: &'static str =
+        "estimate FPGA resources (LUTs/FFs/DSPs/BRAMs) of the lowered design";
+
+    fn from_opts(opts: &BackendOpts) -> Self {
+        AreaBackend {
+            format: opts.format,
+        }
+    }
+
+    fn required_pipeline(&self) -> &'static [&'static str] {
+        &["lower"]
+    }
+
+    fn validate(&self, ctx: &Context) -> CalyxResult<()> {
+        ctx.entry()?;
+        validate::require_lowered(ctx)
+    }
+
+    fn emit(&self, ctx: &Context, out: &mut dyn io::Write) -> CalyxResult<()> {
+        // Estimate fully before writing: a failure mid-model must not
+        // leave a truncated report behind.
+        let area = estimate(ctx, ctx.entrypoint.as_str())?;
+        match self.format {
+            ReportFormat::Text => area.write_text(out)?,
+            ReportFormat::Json => area.write_json(out)?,
+        }
+        Ok(())
+    }
 }
 
 /// Estimate the resources of the design rooted at `top`.
@@ -90,11 +177,7 @@ fn component_area(ctx: &Context, name: Id, cache: &mut HashMap<Id, Area>) -> Cal
         .components
         .get(name)
         .ok_or_else(|| Error::undefined(format!("component `{name}`")))?;
-    if !comp.control.is_empty() || !comp.groups.is_empty() {
-        return Err(Error::malformed(format!(
-            "area estimation requires a lowered design; `{name}` has control"
-        )));
-    }
+    validate::require_lowered_component(comp)?;
     let mut total = Area::default();
     for cell in comp.cells.iter() {
         total = total

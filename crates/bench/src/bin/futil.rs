@@ -1,23 +1,27 @@
 //! A `futil`-style command-line driver for the Calyx compiler, mirroring
 //! the artifact's binary (paper appendix A): read a textual Calyx program,
-//! run a pass pipeline built from `-p` flags, and print the result, emit
-//! SystemVerilog, or simulate.
+//! run a pass pipeline built from `-p` flags, and hand the result to a
+//! backend selected from the `BackendRegistry` with `-b`.
 //!
 //! ```text
 //! futil <file.futil> [flags]
 //!   -p <pass-or-alias>  append a pass or pipeline alias (repeatable;
-//!                       default: lower). Aliases: none, lower,
-//!                       lower-static, opt, all.
-//!   -b calyx            print Calyx (default)
-//!   -b verilog          emit SystemVerilog
-//!   -b sim              simulate and report cycles + final state
+//!                       default: the backend's required pipeline).
+//!   -b <backend>        backend (default: calyx); see --list-backends
+//!   -o <file>           write the backend's output to <file>
+//!                       (default: stdout)
 //!   --cycles N          simulation budget (default 1_000_000)
+//!   --format text|json  report format for report-style backends
 //!   --time              report per-pass wall-clock timings on stderr
 //!   --stats             report per-pass analysis-cache statistics
 //!                       (hits/misses/recomputes) on stderr
 //!   --list-passes       list registered passes and aliases, then exit
+//!   --list-backends     list registered backends, then exit
 //!   -h, --help          print usage and exit
 //! ```
+//!
+//! Both lists — and the `-b` choices in the usage text — are derived from
+//! the registries, so help can never drift from what is registered.
 //!
 //! Example:
 //!
@@ -27,37 +31,46 @@
 //!   wires { group g { r.in = 8'"'"'d7; r.write_en = 1'"'"'d1; g[done] = r.done; } }
 //!   control { g; }
 //! }' > /tmp/t.futil
-//! cargo run -p calyx-bench --bin futil -- /tmp/t.futil -p lower -b sim
+//! cargo run -p calyx-bench --bin futil -- /tmp/t.futil -b sim
 //! ```
 
-use calyx_backend::verilog;
-use calyx_core::ir::{parse_context, Printer};
+use calyx_backend::{BackendOpts, BackendRegistry, ReportFormat};
+use calyx_core::ir::parse_context;
 use calyx_core::passes::{PassManager, PassRegistry};
-use calyx_sim::rtl::Simulator;
+use std::io::Write;
 use std::process::exit;
 
-const USAGE: &str = "usage: futil <file.futil> [flags]
+/// The usage text, with the backend list derived from the registry.
+fn usage(backends: &BackendRegistry) -> String {
+    let names: Vec<&str> = backends.backends().iter().map(|b| b.name).collect();
+    format!(
+        "usage: futil <file.futil> [flags]
   -p <pass-or-alias>  append a pass or pipeline alias to the pipeline
-                      (repeatable; default: lower). Run --list-passes
-                      for the full registry.
-  -b calyx|verilog|sim
-                      backend: print Calyx (default), emit SystemVerilog,
-                      or simulate
+                      (repeatable; default: the backend's required
+                      pipeline). Run --list-passes for the full registry.
+  -b {}
+                      backend (default: calyx); run --list-backends for
+                      descriptions and required pipelines
+  -o <file>           write the backend's output to <file>
+                      (default: stdout)
   --cycles N          simulation budget (default 1_000_000)
+  --format text|json  report format for report-style backends
   --time              report per-pass wall-clock timings on stderr
   --stats             report per-pass analysis-cache statistics
                       (hits/misses/recomputes) on stderr
   --list-passes       list registered passes and aliases, then exit
+  --list-backends     list registered backends, then exit
   -h, --help          print this message and exit
-";
-
-const BACKENDS: &[&str] = &["calyx", "verilog", "sim"];
+",
+        names.join("|")
+    )
+}
 
 /// A *user error* in the invocation (not in the input program): print the
 /// message and the usage text to stderr and exit 2.
-fn usage_error(msg: &str) -> ! {
+fn usage_error(backends: &BackendRegistry, msg: &str) -> ! {
     eprintln!("futil: {msg}");
-    eprint!("{USAGE}");
+    eprint!("{}", usage(backends));
     exit(2);
 }
 
@@ -73,12 +86,27 @@ fn list_passes() {
     }
 }
 
+fn list_backends(backends: &BackendRegistry) {
+    println!("backends:");
+    for b in backends.backends() {
+        let required = b.required_pipeline;
+        let pipeline = if required.is_empty() {
+            String::new()
+        } else {
+            format!(" [pipeline: {}]", required.join(" -> "))
+        };
+        println!("  {:<22}{}{}", b.name, b.description, pipeline);
+    }
+}
+
 fn main() {
+    let backends = BackendRegistry::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file = None;
     let mut pipeline: Vec<String> = Vec::new();
-    let mut backend = "calyx".to_string();
-    let mut cycles: u64 = 1_000_000;
+    let mut backend_name = "calyx".to_string();
+    let mut out_path: Option<String> = None;
+    let mut opts = BackendOpts::default();
     let mut time = false;
     let mut stats = false;
 
@@ -87,16 +115,27 @@ fn main() {
         match arg.as_str() {
             "-p" => match it.next() {
                 Some(p) => pipeline.push(p),
-                None => usage_error("`-p` expects a pass or alias name"),
+                None => usage_error(&backends, "`-p` expects a pass or alias name"),
             },
             "-b" => match it.next() {
-                Some(b) => backend = b,
-                None => usage_error("`-b` expects a backend name"),
+                Some(b) => backend_name = b,
+                None => usage_error(&backends, "`-b` expects a backend name"),
+            },
+            "-o" => match it.next() {
+                Some(o) => out_path = Some(o),
+                None => usage_error(&backends, "`-o` expects a file path"),
             },
             "--cycles" => {
-                cycles = match it.next().map(|s| s.parse()) {
+                opts.cycles = match it.next().map(|s| s.parse()) {
                     Some(Ok(n)) => n,
-                    _ => usage_error("`--cycles` expects a number"),
+                    _ => usage_error(&backends, "`--cycles` expects a number"),
+                }
+            }
+            "--format" => {
+                opts.format = match it.next().as_deref() {
+                    Some("text") => ReportFormat::Text,
+                    Some("json") => ReportFormat::Json,
+                    _ => usage_error(&backends, "`--format` expects `text` or `json`"),
                 }
             }
             "--time" => time = true,
@@ -105,28 +144,40 @@ fn main() {
                 list_passes();
                 exit(0);
             }
+            "--list-backends" => {
+                list_backends(&backends);
+                exit(0);
+            }
             // Help is not an error: print to stdout and exit 0.
             "-h" | "--help" => {
-                print!("{USAGE}");
+                print!("{}", usage(&backends));
                 exit(0);
             }
             f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
-            other => usage_error(&format!("unexpected argument `{other}`")),
+            other => usage_error(&backends, &format!("unexpected argument `{other}`")),
         }
     }
     let Some(file) = file else {
-        usage_error("no input file");
+        usage_error(&backends, "no input file");
     };
-    // Unknown backends get a distinct message listing the valid choices.
-    if !BACKENDS.contains(&backend.as_str()) {
-        eprintln!(
-            "futil: unknown backend `{backend}`; valid backends: {}",
-            BACKENDS.join(", ")
-        );
-        exit(2);
-    }
+    // Unknown backends get the registry's message, which lists every valid
+    // choice.
+    let backend = match backends.get(&backend_name, &opts) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("futil: {e}");
+            exit(2);
+        }
+    };
+    // No explicit pipeline: run what the backend declares it needs
+    // (`lower` for backends that accept any program, like `calyx`).
     if pipeline.is_empty() {
-        pipeline.push("lower".to_string());
+        let required = backend.required_pipeline();
+        if required.is_empty() {
+            pipeline.push("lower".to_string());
+        } else {
+            pipeline.extend(required.iter().map(|s| s.to_string()));
+        }
     }
     let names: Vec<&str> = pipeline.iter().map(String::as_str).collect();
     // Unknown passes/aliases get the registry's message, which lists every
@@ -187,44 +238,61 @@ fn main() {
         exit(1);
     }
 
-    match backend.as_str() {
-        "calyx" => print!("{}", Printer::print_context(&ctx)),
-        "verilog" => match verilog::emit(&ctx) {
-            Ok(sv) => print!("{sv}"),
-            Err(e) => {
-                eprintln!("futil: {e} (run with `-p lower` first?)");
-                exit(1);
-            }
-        },
-        "sim" => {
-            let mut sim = match Simulator::new(&ctx, ctx.entrypoint.as_str()) {
-                Ok(s) => s,
+    // The backend's precondition gate: an explicit pipeline that leaves
+    // the program in the wrong shape fails here, cleanly, before any
+    // output exists.
+    if let Err(e) = backend.validate(&ctx) {
+        eprintln!(
+            "futil: backend `{}` precondition failed: {e}",
+            backend.name()
+        );
+        let required = backend.required_pipeline();
+        // Suggest the backend's pipeline only when it wasn't already run
+        // — validate failures are not always pipeline-shaped.
+        let already_ran = required.iter().all(|r| pipeline.iter().any(|p| p == r));
+        if !required.is_empty() && !already_ran {
+            eprintln!(
+                "futil: note: `{}` requires the pipeline `-p {}`",
+                backend.name(),
+                required.join(" -p ")
+            );
+        }
+        exit(1);
+    }
+
+    // Stream emission to the selected sink. With `-o`, stream to a
+    // sibling temp file and rename into place on success, so a failed
+    // emission never truncates or corrupts an existing output file.
+    let emit_result = match &out_path {
+        Some(path) => {
+            let tmp = format!("{path}.tmp");
+            let file = match std::fs::File::create(&tmp) {
+                Ok(f) => f,
                 Err(e) => {
-                    eprintln!("futil: {e} (simulation needs `-p lower`/`opt`)");
+                    eprintln!("futil: cannot write `{tmp}`: {e}");
                     exit(1);
                 }
             };
-            match sim.run(cycles) {
-                Ok(stats) => {
-                    println!("done in {} cycles", stats.cycles);
-                    // Report external memories and registers of the entry
-                    // component, best-effort.
-                    let main = ctx.entry().expect("entrypoint checked at parse");
-                    for cell in main.cells.iter() {
-                        let name = cell.name.as_str();
-                        if let Ok(mem) = sim.memory(&[name]) {
-                            println!("{name} = {mem:?}");
-                        } else if let Ok(v) = sim.register_value(&[name]) {
-                            println!("{name} = {v}");
-                        }
-                    }
-                }
-                Err(e) => {
-                    eprintln!("futil: simulation failed: {e}");
-                    exit(1);
-                }
+            let mut sink = std::io::BufWriter::new(file);
+            let result = backend
+                .emit(&ctx, &mut sink)
+                .and_then(|()| sink.flush().map_err(Into::into))
+                .and_then(|()| std::fs::rename(&tmp, path).map_err(Into::into));
+            if result.is_err() {
+                let _ = std::fs::remove_file(&tmp);
             }
+            result
         }
-        _ => unreachable!("backend validated above"),
+        None => {
+            let stdout = std::io::stdout();
+            let mut sink = stdout.lock();
+            backend
+                .emit(&ctx, &mut sink)
+                .and_then(|()| sink.flush().map_err(Into::into))
+        }
+    };
+    if let Err(e) = emit_result {
+        eprintln!("futil: {e}");
+        exit(1);
     }
 }

@@ -1,0 +1,186 @@
+//! End-to-end tests of the `futil` binary's backend surface: registry-
+//! driven `-b`, `--list-backends`, `-o`, pipeline auto-append, and clean
+//! precondition failures.
+
+use calyx_backend::BackendRegistry;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn counter() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/counter.futil")
+}
+
+fn futil(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_futil"))
+        .args(args)
+        .output()
+        .expect("futil spawns")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// An explicit pipeline that leaves the precondition unmet fails with a
+/// clean error — exit 1, no partial output — naming the backend and the
+/// missing passes.
+#[test]
+fn unmet_precondition_is_a_clean_exit_1_with_no_output() {
+    let file = counter();
+    let out = futil(&[file.to_str().unwrap(), "-b", "verilog", "-p", "none"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(out.stdout.is_empty(), "partial output: {}", stdout(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("backend `verilog` precondition failed"),
+        "{err}"
+    );
+    assert!(err.contains("-p lower"), "{err}");
+}
+
+/// Unknown backends exit 2 with the registry's message listing the valid
+/// choices (derived, not hardcoded).
+#[test]
+fn unknown_backend_exits_2_listing_registry_choices() {
+    let file = counter();
+    let out = futil(&[file.to_str().unwrap(), "-b", "verilgo"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    for b in BackendRegistry::default().backends() {
+        assert!(err.contains(b.name), "missing `{}` in: {err}", b.name);
+    }
+}
+
+/// `--list-backends` names every registered backend with its description
+/// and required pipeline.
+#[test]
+fn list_backends_reflects_the_registry() {
+    let out = futil(&["--list-backends"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for b in BackendRegistry::default().backends() {
+        assert!(text.contains(b.name), "{text}");
+        assert!(text.contains(b.description), "{text}");
+    }
+    assert!(text.contains("[pipeline: lower]"), "{text}");
+}
+
+/// The usage text derives its `-b` choices from the registry.
+#[test]
+fn help_derives_backend_list_from_registry() {
+    let out = futil(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let names: Vec<&str> = BackendRegistry::default()
+        .backends()
+        .iter()
+        .map(|b| b.name)
+        .collect();
+    assert!(
+        stdout(&out).contains(&format!("-b {}", names.join("|"))),
+        "{}",
+        stdout(&out)
+    );
+}
+
+/// The full smoke matrix: every registered backend accepts the counter
+/// with no explicit pipeline (the driver appends the backend's required
+/// pipeline) and produces non-empty output.
+#[test]
+fn every_backend_runs_the_counter_end_to_end() {
+    let file = counter();
+    for b in BackendRegistry::default().backends() {
+        let out = futil(&[file.to_str().unwrap(), "-b", b.name]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "backend `{}`: {}",
+            b.name,
+            stderr(&out)
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "backend `{}` emitted nothing",
+            b.name
+        );
+    }
+}
+
+/// `-o` streams to a file; the bytes match the stdout mode.
+#[test]
+fn output_file_matches_stdout() {
+    let file = counter();
+    let via_stdout = futil(&[file.to_str().unwrap(), "-p", "lower", "-b", "verilog"]);
+    assert_eq!(via_stdout.status.code(), Some(0));
+
+    let target = std::env::temp_dir().join("futil_cli_counter.sv");
+    let _ = std::fs::remove_file(&target);
+    let out = futil(&[
+        file.to_str().unwrap(),
+        "-p",
+        "lower",
+        "-b",
+        "verilog",
+        "-o",
+        target.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(out.stdout.is_empty(), "stdout not empty with -o");
+    let written = std::fs::read(&target).unwrap();
+    assert_eq!(written, via_stdout.stdout);
+    let _ = std::fs::remove_file(&target);
+}
+
+/// A failed emission with `-o` must not destroy an existing output file
+/// (emission goes to a temp file renamed into place on success).
+#[test]
+fn failed_emission_preserves_existing_output_file() {
+    let file = counter();
+    let target = std::env::temp_dir().join("futil_cli_preserved.out");
+    std::fs::write(&target, b"previous good output").unwrap();
+    // Valid program, runtime failure: the 2-cycle budget times out.
+    let out = futil(&[
+        file.to_str().unwrap(),
+        "-b",
+        "sim",
+        "--cycles",
+        "2",
+        "-o",
+        target.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert_eq!(
+        std::fs::read(&target).unwrap(),
+        b"previous good output",
+        "failed emission clobbered the existing file"
+    );
+    let _ = std::fs::remove_file(&target);
+}
+
+/// `--cycles` flows through `BackendOpts` to the sim backend: an
+/// impossible budget fails, and with a diagnostic quoting the budget.
+#[test]
+fn cycle_budget_reaches_the_sim_backend() {
+    let file = counter();
+    let out = futil(&[file.to_str().unwrap(), "-b", "sim", "--cycles", "2"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("2 cycles"), "{}", stderr(&out));
+}
+
+/// `--format json` flows through `BackendOpts` to the area backend.
+#[test]
+fn area_backend_reports_text_and_json() {
+    let file = counter();
+    let text = futil(&[file.to_str().unwrap(), "-b", "area"]);
+    assert_eq!(text.status.code(), Some(0), "{}", stderr(&text));
+    assert!(stdout(&text).starts_with("luts "), "{}", stdout(&text));
+
+    let json = futil(&[file.to_str().unwrap(), "-b", "area", "--format", "json"]);
+    assert_eq!(json.status.code(), Some(0));
+    let body = stdout(&json);
+    assert!(body.trim_end().starts_with("{\"luts\":"), "{body}");
+    assert!(body.trim_end().ends_with('}'), "{body}");
+}

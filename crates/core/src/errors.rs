@@ -32,6 +32,18 @@ pub enum Error {
     BuildError(String),
     /// A name lookup failed.
     Undefined(String),
+    /// An output sink failed while a backend was streaming emission
+    /// (wraps [`std::io::Error`], stringified so the error stays `Clone`
+    /// and comparable).
+    Io(String),
+    /// A backend failed at run time (e.g. a simulation timeout) on an
+    /// otherwise well-formed program.
+    Backend {
+        /// Name of the failing backend.
+        backend: &'static str,
+        /// Explanation of what went wrong.
+        msg: String,
+    },
 }
 
 impl Error {
@@ -57,6 +69,14 @@ impl Error {
     pub fn undefined(msg: impl fmt::Display) -> Self {
         Error::Undefined(msg.to_string())
     }
+
+    /// Construct a [`Error::Backend`] for backend `backend`.
+    pub fn backend(backend: &'static str, msg: impl fmt::Display) -> Self {
+        Error::Backend {
+            backend,
+            msg: msg.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -69,7 +89,17 @@ impl fmt::Display for Error {
             Error::Pass { pass, msg } => write!(f, "pass `{pass}` failed: {msg}"),
             Error::BuildError(msg) => write!(f, "IR construction error: {msg}"),
             Error::Undefined(msg) => write!(f, "undefined name: {msg}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::Backend { backend, msg } => {
+                write!(f, "backend `{backend}` failed: {msg}")
+            }
         }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
     }
 }
 

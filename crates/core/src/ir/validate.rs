@@ -61,6 +61,60 @@ fn validate_group(comp: &Component, group: &Group) -> CalyxResult<()> {
     Ok(())
 }
 
+/// Check that the lowering pipeline has run: no component may retain
+/// groups or control statements. This is the structural precondition
+/// shared by every consumer of control-free Calyx (SystemVerilog
+/// emission, area estimation, RTL simulation — the paper's §4.2 contract
+/// between the compiler and its backends).
+///
+/// # Errors
+///
+/// Returns [`Error::Malformed`] naming the first offending component.
+pub fn require_lowered(ctx: &Context) -> CalyxResult<()> {
+    for comp in ctx.components.iter() {
+        require_lowered_component(comp)?;
+    }
+    Ok(())
+}
+
+/// Per-component version of [`require_lowered`].
+///
+/// # Errors
+///
+/// Returns [`Error::Malformed`] when the component retains groups or
+/// control.
+pub fn require_lowered_component(comp: &Component) -> CalyxResult<()> {
+    if !comp.groups.is_empty() || !comp.control.is_empty() {
+        return Err(Error::malformed(format!(
+            "component `{}` still has groups/control; run lowering first",
+            comp.name
+        )));
+    }
+    Ok(())
+}
+
+/// Check that the design rooted at the entrypoint is a single component
+/// (no component-typed cells) — the reference interpreter's elaboration
+/// precondition.
+///
+/// # Errors
+///
+/// Returns [`Error::Malformed`] naming the first component instance, or
+/// [`Error::Undefined`] when the entrypoint is missing.
+pub fn require_single_component(ctx: &Context) -> CalyxResult<()> {
+    let entry = ctx.entry()?;
+    for cell in entry.cells.iter() {
+        if let super::CellType::Component { name } = &cell.prototype {
+            return Err(Error::malformed(format!(
+                "`{}` instantiates component `{name}`; the interpreter only \
+                 supports single-component designs",
+                cell.name
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Direction of `port` from the *component's* point of view: may this
 /// reference be used as an assignment destination?
 fn writable(comp: &Component, port: &PortRef) -> CalyxResult<bool> {

@@ -25,6 +25,7 @@ use super::{
     InferStaticTiming, MinimizeRegs, RemoveGroups, ResourceSharing, StaticTiming, WellFormed,
 };
 use crate::errors::{CalyxResult, Error};
+use crate::utils::is_kebab_case;
 
 /// The latency-insensitive lowering pipeline (the paper's §4.2 workflow).
 pub const ALIAS_LOWER: &[&str] = &[
@@ -257,17 +258,6 @@ impl PassManager {
     pub fn from_names(names: &[&str]) -> CalyxResult<PassManager> {
         PassRegistry::default().build(names)
     }
-}
-
-/// Lower-case ASCII words separated by single dashes.
-fn is_kebab_case(name: &str) -> bool {
-    !name.is_empty()
-        && !name.starts_with('-')
-        && !name.ends_with('-')
-        && !name.contains("--")
-        && name
-            .chars()
-            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
 }
 
 #[cfg(test)]

@@ -5,3 +5,16 @@ mod ordered_map;
 
 pub use math::bits_needed;
 pub use ordered_map::{Named, OrderedMap};
+
+/// Lower-case ASCII words separated by single dashes — the naming
+/// convention every registry in the compiler (passes, backends) enforces
+/// for CLI-facing names.
+pub fn is_kebab_case(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with('-')
+        && !name.ends_with('-')
+        && !name.contains("--")
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}

@@ -23,7 +23,9 @@
 pub mod error;
 pub mod interp;
 pub mod prim;
+pub mod report;
 pub mod rtl;
 
 pub use error::{SimError, SimResult};
+pub use report::{write_state_report, StateSource};
 pub use rtl::{RunStats, Simulator};

@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use calyx::backend::{area, verilog};
+use calyx::backend::{area, verilog, Backend, BackendOpts, VerilogBackend};
 use calyx::core::ir::{Builder, Context, Control, Printer};
 use calyx::core::passes;
 use calyx::sim::rtl::Simulator;
@@ -73,10 +73,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(sim.register_value(&["acc"])?, 100);
 
-    // Estimate FPGA resources and emit SystemVerilog.
+    // Estimate FPGA resources and emit SystemVerilog through the Backend
+    // trait — the same streaming path `futil -b verilog -o file.sv` uses.
     let a = area::estimate(&ctx, "main")?;
     println!("estimated area: {a:?}");
-    let sv = verilog::emit(&ctx)?;
+    let backend = VerilogBackend::from_opts(&BackendOpts::default());
+    backend.validate(&ctx)?;
+    let mut sv = Vec::new();
+    backend.emit(&ctx, &mut sv)?;
+    let sv = String::from_utf8(sv)?;
     println!(
         "emitted {} lines of SystemVerilog (showing the module header):",
         verilog::line_count(&sv)

@@ -7,8 +7,9 @@
 //!   (the paper's primary contribution).
 //! - [`sim`]: a cycle-accurate RTL simulator (Verilator substitute) and a
 //!   reference control-tree interpreter.
-//! - [`backend`]: SystemVerilog emission and an FPGA area model (Vivado
-//!   substitute).
+//! - [`backend`]: the `Backend` trait and registry, with the standard
+//!   backends — Calyx printing, SystemVerilog emission, an FPGA area
+//!   model (Vivado substitute), and cycle/state execution reports.
 //! - [`systolic`]: the systolic array generator frontend (paper §6.1).
 //! - [`dahlia`]: the Dahlia imperative language frontend (paper §6.2).
 //! - [`hls`]: an HLS scheduling model standing in for Vivado HLS.
