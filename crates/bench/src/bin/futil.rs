@@ -1,10 +1,17 @@
 //! A `futil`-style command-line driver for the Calyx compiler, mirroring
-//! the artifact's binary (paper appendix A): read a textual Calyx program,
-//! run a pass pipeline built from `-p` flags, and hand the result to a
-//! backend selected from the `BackendRegistry` with `-b`.
+//! the artifact's binary (paper appendix A) — now the paper's full
+//! workflow: a *frontend* selected from the `FrontendRegistry` with `-f`
+//! ingests the input (generator → IR), a pass pipeline built from `-p`
+//! flags compiles it, and a backend selected from the `BackendRegistry`
+//! with `-b` emits the result.
 //!
 //! ```text
-//! futil <file.futil> [flags]
+//! futil <file|-> [flags]
+//!   -f <frontend>       frontend (default: inferred from the file
+//!                       extension, falling back to calyx); see
+//!                       --list-frontends
+//!   --fopt key=value    frontend/generator parameter (repeatable); see
+//!                       --list-frontends for each frontend's keys
 //!   -p <pass-or-alias>  append a pass or pipeline alias (repeatable;
 //!                       default: the backend's required pipeline).
 //!   -b <backend>        backend (default: calyx); see --list-backends
@@ -15,36 +22,45 @@
 //!   --time              report per-pass wall-clock timings on stderr
 //!   --stats             report per-pass analysis-cache statistics
 //!                       (hits/misses/recomputes) on stderr
+//!   --list-frontends    list registered frontends, then exit
 //!   --list-passes       list registered passes and aliases, then exit
 //!   --list-backends     list registered backends, then exit
 //!   -h, --help          print usage and exit
 //! ```
 //!
-//! Both lists — and the `-b` choices in the usage text — are derived from
-//! the registries, so help can never drift from what is registered.
+//! All three lists — and the `-f`/`-b` choices in the usage text — are
+//! derived from the registries, so help can never drift from what is
+//! registered. `-` as the input path reads from stdin. Parse errors are
+//! rendered as caret diagnostics pointing into the offending source
+//! line.
 //!
-//! Example:
+//! Example (no Calyx source in sight — generator straight to RTL):
 //!
 //! ```sh
-//! echo 'component main() -> () {
-//!   cells { r = std_reg(8); }
-//!   wires { group g { r.in = 8'"'"'d7; r.write_en = 1'"'"'d1; g[done] = r.done; } }
-//!   control { g; }
-//! }' > /tmp/t.futil
-//! cargo run -p calyx-bench --bin futil -- /tmp/t.futil -b sim
+//! cargo run -p calyx_bench --bin futil -- - -f systolic \
+//!   --fopt rows=2 --fopt cols=2 --fopt inner=2 -b verilog < /dev/null
 //! ```
 
 use calyx_backend::{BackendOpts, BackendRegistry, ReportFormat};
-use calyx_core::ir::parse_context;
 use calyx_core::passes::{PassManager, PassRegistry};
-use std::io::Write;
+use calyx_frontend::{FrontendOpts, FrontendRegistry};
+use std::io::{Read, Write};
+use std::path::Path;
 use std::process::exit;
 
-/// The usage text, with the backend list derived from the registry.
-fn usage(backends: &BackendRegistry) -> String {
-    let names: Vec<&str> = backends.backends().iter().map(|b| b.name).collect();
+/// The usage text, with the frontend and backend lists derived from the
+/// registries.
+fn usage(frontends: &FrontendRegistry, backends: &BackendRegistry) -> String {
+    let fnames: Vec<&str> = frontends.frontends().iter().map(|f| f.name).collect();
+    let bnames: Vec<&str> = backends.backends().iter().map(|b| b.name).collect();
     format!(
-        "usage: futil <file.futil> [flags]
+        "usage: futil <file|-> [flags]
+  -f {}
+                      frontend (default: inferred from the file
+                      extension, falling back to calyx); run
+                      --list-frontends for descriptions and options
+  --fopt key=value    frontend/generator parameter (repeatable); run
+                      --list-frontends for each frontend's keys
   -p <pass-or-alias>  append a pass or pipeline alias to the pipeline
                       (repeatable; default: the backend's required
                       pipeline). Run --list-passes for the full registry.
@@ -58,20 +74,44 @@ fn usage(backends: &BackendRegistry) -> String {
   --time              report per-pass wall-clock timings on stderr
   --stats             report per-pass analysis-cache statistics
                       (hits/misses/recomputes) on stderr
+  --list-frontends    list registered frontends, then exit
   --list-passes       list registered passes and aliases, then exit
   --list-backends     list registered backends, then exit
   -h, --help          print this message and exit
 ",
-        names.join("|")
+        fnames.join("|"),
+        bnames.join("|")
     )
 }
 
 /// A *user error* in the invocation (not in the input program): print the
 /// message and the usage text to stderr and exit 2.
-fn usage_error(backends: &BackendRegistry, msg: &str) -> ! {
+fn usage_error(frontends: &FrontendRegistry, backends: &BackendRegistry, msg: &str) -> ! {
     eprintln!("futil: {msg}");
-    eprint!("{}", usage(backends));
+    eprint!("{}", usage(frontends, backends));
     exit(2);
+}
+
+fn list_frontends(frontends: &FrontendRegistry) {
+    println!("frontends:");
+    for f in frontends.frontends() {
+        let exts = if f.extensions.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " [extensions: {}]",
+                f.extensions
+                    .iter()
+                    .map(|e| format!(".{e}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )
+        };
+        println!("  {:<22}{}{}", f.name, f.description, exts);
+        for (key, what) in f.options {
+            println!("    --fopt {key:<15}{what}");
+        }
+    }
 }
 
 fn list_passes() {
@@ -100,9 +140,12 @@ fn list_backends(backends: &BackendRegistry) {
 }
 
 fn main() {
+    let frontends = FrontendRegistry::default();
     let backends = BackendRegistry::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file = None;
+    let mut frontend_name: Option<String> = None;
+    let mut fopts = FrontendOpts::default();
     let mut pipeline: Vec<String> = Vec::new();
     let mut backend_name = "calyx".to_string();
     let mut out_path: Option<String> = None;
@@ -113,33 +156,50 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "-f" => match it.next() {
+                Some(f) => frontend_name = Some(f),
+                None => usage_error(&frontends, &backends, "`-f` expects a frontend name"),
+            },
+            "--fopt" => match it.next() {
+                Some(f) => {
+                    if let Err(e) = fopts.push_flag(&f) {
+                        eprintln!("futil: {e}");
+                        exit(2);
+                    }
+                }
+                None => usage_error(&frontends, &backends, "`--fopt` expects `key=value`"),
+            },
             "-p" => match it.next() {
                 Some(p) => pipeline.push(p),
-                None => usage_error(&backends, "`-p` expects a pass or alias name"),
+                None => usage_error(&frontends, &backends, "`-p` expects a pass or alias name"),
             },
             "-b" => match it.next() {
                 Some(b) => backend_name = b,
-                None => usage_error(&backends, "`-b` expects a backend name"),
+                None => usage_error(&frontends, &backends, "`-b` expects a backend name"),
             },
             "-o" => match it.next() {
                 Some(o) => out_path = Some(o),
-                None => usage_error(&backends, "`-o` expects a file path"),
+                None => usage_error(&frontends, &backends, "`-o` expects a file path"),
             },
             "--cycles" => {
                 opts.cycles = match it.next().map(|s| s.parse()) {
                     Some(Ok(n)) => n,
-                    _ => usage_error(&backends, "`--cycles` expects a number"),
+                    _ => usage_error(&frontends, &backends, "`--cycles` expects a number"),
                 }
             }
             "--format" => {
                 opts.format = match it.next().as_deref() {
                     Some("text") => ReportFormat::Text,
                     Some("json") => ReportFormat::Json,
-                    _ => usage_error(&backends, "`--format` expects `text` or `json`"),
+                    _ => usage_error(&frontends, &backends, "`--format` expects `text` or `json`"),
                 }
             }
             "--time" => time = true,
             "--stats" => stats = true,
+            "--list-frontends" => {
+                list_frontends(&frontends);
+                exit(0);
+            }
             "--list-passes" => {
                 list_passes();
                 exit(0);
@@ -150,20 +210,60 @@ fn main() {
             }
             // Help is not an error: print to stdout and exit 0.
             "-h" | "--help" => {
-                print!("{}", usage(&backends));
+                print!("{}", usage(&frontends, &backends));
                 exit(0);
             }
+            // `-` is stdin, not a flag.
+            "-" if file.is_none() => file = Some("-".to_string()),
             f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
-            other => usage_error(&backends, &format!("unexpected argument `{other}`")),
+            other => usage_error(
+                &frontends,
+                &backends,
+                &format!("unexpected argument `{other}`"),
+            ),
         }
     }
     let Some(file) = file else {
-        usage_error(&backends, "no input file");
+        usage_error(&frontends, &backends, "no input file");
     };
     // Unknown backends get the registry's message, which lists every valid
     // choice.
     let backend = match backends.get(&backend_name, &opts) {
         Ok(b) => b,
+        Err(e) => {
+            eprintln!("futil: {e}");
+            exit(2);
+        }
+    };
+    // Resolve the frontend: explicit `-f` wins; otherwise infer from the
+    // input's file extension, falling back to the native parser (with a
+    // hint, since the fallback is a guess).
+    let resolved_frontend = match &frontend_name {
+        Some(name) => name.as_str(),
+        None if file == "-" => {
+            eprintln!("futil: note: reading from stdin; assuming `-f calyx` (pass `-f` to choose)");
+            "calyx"
+        }
+        None => {
+            let ext = Path::new(&file).extension().and_then(|e| e.to_str());
+            match ext.and_then(|e| frontends.by_extension(e)) {
+                Some(f) => f.name,
+                None => {
+                    eprintln!(
+                        "futil: note: no frontend claims `{}`'s extension; assuming `-f calyx` \
+                         (pass `-f` to choose)",
+                        file
+                    );
+                    "calyx"
+                }
+            }
+        }
+    };
+    // Unknown frontends and bad `--fopt` keys/values are usage errors:
+    // the registry message lists the valid frontends, and `from_opts`
+    // names the frontend plus its valid keys.
+    let frontend = match frontends.get(resolved_frontend, &fopts) {
+        Ok(f) => f,
         Err(e) => {
             eprintln!("futil: {e}");
             exit(2);
@@ -190,17 +290,38 @@ fn main() {
         }
     };
 
-    let src = match std::fs::read_to_string(&file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("futil: cannot read `{file}`: {e}");
-            exit(1);
+    let src = if file == "-" {
+        let mut s = String::new();
+        match std::io::stdin().read_to_string(&mut s) {
+            Ok(_) => s,
+            Err(e) => {
+                eprintln!("futil: cannot read stdin: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        match std::fs::read_to_string(&file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("futil: cannot read `{file}`: {e}");
+                exit(1);
+            }
         }
     };
-    let mut ctx = match parse_context(&src) {
+    let mut ctx = match frontend.parse(&src) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("futil: {e}");
+            // Parse errors point into the source: file, line, column,
+            // the offending line, and a caret under the column.
+            let shown = if file == "-" {
+                "<stdin>"
+            } else {
+                file.as_str()
+            };
+            match e.caret_diagnostic(shown, &src) {
+                Some(diagnostic) => eprintln!("futil: {diagnostic}"),
+                None => eprintln!("futil: frontend `{}`: {e}", frontend.name()),
+            }
             exit(1);
         }
     };

@@ -77,6 +77,49 @@ impl Error {
             msg: msg.to_string(),
         }
     }
+
+    /// Render a file-anchored caret diagnostic for an [`Error::Parse`]
+    /// against the source text it was produced from: the message
+    /// prefixed with `file:line:col`, then the offending source line
+    /// with a `^` caret under the column —
+    ///
+    /// ```text
+    /// parse error at prog.futil:3:9: expected `=`
+    ///  3 | group g {
+    ///    |         ^
+    /// ```
+    ///
+    /// Returns `None` for every other variant (they carry no position),
+    /// so drivers can fall back to plain [`fmt::Display`]. When the
+    /// recorded line is out of range for `src` (e.g. an unexpected end
+    /// of input), only the header is rendered. Tabs in the source line
+    /// are preserved in the caret gutter so the caret stays aligned.
+    pub fn caret_diagnostic(&self, file: &str, src: &str) -> Option<String> {
+        let Error::Parse { msg, line, col } = self else {
+            return None;
+        };
+        let mut out = format!("parse error at {file}:{line}:{col}: {msg}");
+        let text = match line.checked_sub(1).and_then(|i| src.lines().nth(i)) {
+            Some(text) => text,
+            None => return Some(out),
+        };
+        // The caret gutter mirrors each pre-column character as a space
+        // (tabs stay tabs) so the `^` lands under the column even with
+        // mixed indentation; a column past the end clamps to just after
+        // the line, so a wild column can't push the caret into the void.
+        let clamped = col.saturating_sub(1).min(text.chars().count());
+        let gutter: String = text
+            .chars()
+            .take(clamped)
+            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .collect();
+        let margin = line.to_string();
+        out.push_str(&format!(
+            "\n {margin} | {text}\n {blank} | {gutter}^",
+            blank = " ".repeat(margin.len())
+        ));
+        Some(out)
+    }
 }
 
 impl fmt::Display for Error {
@@ -107,3 +150,66 @@ impl std::error::Error for Error {}
 
 /// Convenience alias used throughout the compiler.
 pub type CalyxResult<T> = Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caret_diagnostic_underlines_the_column() {
+        let err = Error::Parse {
+            msg: "expected `=`".to_string(),
+            line: 2,
+            col: 9,
+        };
+        let src = "cells {\n  group g {\n}\n";
+        let rendered = err.caret_diagnostic("prog.futil", src).unwrap();
+        assert_eq!(
+            rendered,
+            "parse error at prog.futil:2:9: expected `=`\n \
+             2 |   group g {\n   |         ^"
+        );
+    }
+
+    #[test]
+    fn caret_diagnostic_preserves_tabs_in_the_gutter() {
+        let err = Error::Parse {
+            msg: "bad".to_string(),
+            line: 1,
+            col: 3,
+        };
+        let rendered = err.caret_diagnostic("f", "\t\tx").unwrap();
+        assert!(rendered.ends_with(" | \t\tx\n   | \t\t^"), "{rendered:?}");
+    }
+
+    #[test]
+    fn caret_diagnostic_degrades_to_the_header_past_eof() {
+        let err = Error::Parse {
+            msg: "unexpected end of input".to_string(),
+            line: 9,
+            col: 1,
+        };
+        assert_eq!(
+            err.caret_diagnostic("f.futil", "one line\n").unwrap(),
+            "parse error at f.futil:9:1: unexpected end of input"
+        );
+    }
+
+    #[test]
+    fn caret_diagnostic_clamps_columns_past_the_line_end() {
+        let err = Error::Parse {
+            msg: "expected `;`".to_string(),
+            line: 1,
+            col: 50,
+        };
+        let rendered = err.caret_diagnostic("f", "g").unwrap();
+        assert!(rendered.ends_with(" 1 | g\n   |  ^"), "{rendered:?}");
+    }
+
+    #[test]
+    fn non_parse_errors_have_no_diagnostic() {
+        assert!(Error::malformed("nope")
+            .caret_diagnostic("f", "src")
+            .is_none());
+    }
+}

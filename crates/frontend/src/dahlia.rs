@@ -1,0 +1,72 @@
+//! The `dahlia` frontend: the Dahlia-to-Calyx compiler (paper §6.2)
+//! behind the [`Frontend`] API.
+
+use crate::api::{Frontend, FrontendOpts};
+use calyx_core::errors::CalyxResult;
+use calyx_core::ir::Context;
+
+/// Compiles Dahlia, the imperative accelerator language, to Calyx.
+///
+/// A thin wrapper over [`calyx_dahlia::compile`] (parse → check → lower
+/// → emit), so `.fuse` sources entering through the registry produce the
+/// same [`Context`] as the library entry point (pinned by
+/// `tests/frontend_registry.rs`).
+pub struct DahliaFrontend;
+
+impl Frontend for DahliaFrontend {
+    const NAME: &'static str = "dahlia";
+    const DESCRIPTION: &'static str = "compile Dahlia, the imperative accelerator language";
+
+    fn extensions() -> &'static [&'static str] {
+        &["fuse"]
+    }
+
+    fn from_opts(opts: &FrontendOpts) -> CalyxResult<Self> {
+        opts.expect_keys(Self::NAME, Self::options())?;
+        Ok(DahliaFrontend)
+    }
+
+    fn parse(&self, src: &str) -> CalyxResult<Context> {
+        calyx_dahlia::compile(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calyx_core::errors::Error;
+    use calyx_core::ir::Printer;
+
+    const DOTPROD: &str = "
+        decl a: ubit<32>[4];
+        decl b: ubit<32>[4];
+        decl out: ubit<32>[1];
+        let acc: ubit<32> = 0;
+        ---
+        for (let i: ubit<3> = 0..4) {
+          let t: ubit<32> = a[i] * b[i];
+          ---
+          acc := acc + t;
+        }
+        ---
+        out[0] := acc;
+    ";
+
+    #[test]
+    fn wraps_compile_exactly() {
+        let frontend = DahliaFrontend::from_opts(&FrontendOpts::default()).unwrap();
+        let via_frontend = frontend.parse(DOTPROD).unwrap();
+        let direct = calyx_dahlia::compile(DOTPROD).unwrap();
+        assert_eq!(
+            Printer::print_context(&via_frontend),
+            Printer::print_context(&direct)
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let frontend = DahliaFrontend::from_opts(&FrontendOpts::default()).unwrap();
+        let err = frontend.parse("let x ubit<32> = 0;").unwrap_err();
+        assert!(matches!(err, Error::Parse { .. }), "{err}");
+    }
+}

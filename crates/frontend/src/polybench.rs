@@ -1,0 +1,171 @@
+//! The `polybench` frontend: the paper's evaluation kernels (§7.2) as a
+//! generator behind the [`Frontend`] API.
+//!
+//! Selecting a kernel by name emits that benchmark's seed Calyx program
+//! — the same Dahlia-compiled context the correctness harness and the
+//! figure benches start from — so any kernel can be driven through an
+//! arbitrary pipeline and backend from the command line:
+//!
+//! ```text
+//! futil - -f polybench --fopt kernel=gemm -p opt -b verilog
+//! ```
+//!
+//! The kernel name comes from `--fopt kernel=<name>` (which wins) or
+//! from the input text itself, so a file containing just `gemm` works
+//! too.
+
+use crate::api::{Frontend, FrontendOpts};
+use calyx_core::errors::{CalyxResult, Error};
+use calyx_core::ir::Context;
+use calyx_polybench::{kernel, KERNELS};
+
+/// Emits the seed program of a PolyBench kernel, selected by name or by
+/// the paper's figure-axis abbreviation.
+///
+/// `n` is the problem size (default 4) and `unroll` the unroll factor
+/// (default 1; only the ten unrollable kernels accept more — the Dahlia
+/// checker reports the rest).
+pub struct PolybenchFrontend {
+    kernel: Option<String>,
+    n: u64,
+    unroll: u64,
+}
+
+impl Frontend for PolybenchFrontend {
+    const NAME: &'static str = "polybench";
+    const DESCRIPTION: &'static str = "emit the seed program of a PolyBench kernel (paper §7.2)";
+
+    fn extensions() -> &'static [&'static str] {
+        &["poly"]
+    }
+
+    fn options() -> &'static [(&'static str, &'static str)] {
+        &[
+            ("kernel", "kernel name or figure abbreviation (e.g. gemm)"),
+            ("n", "problem size (default 4)"),
+            (
+                "unroll",
+                "unroll factor (default 1; unrollable kernels only)",
+            ),
+        ]
+    }
+
+    fn from_opts(opts: &FrontendOpts) -> CalyxResult<Self> {
+        opts.expect_keys(Self::NAME, Self::options())?;
+        let n = opts.get_u64(Self::NAME, "n")?.unwrap_or(4);
+        let unroll = opts.get_u64(Self::NAME, "unroll")?.unwrap_or(1);
+        for (key, value) in [("n", n), ("unroll", unroll)] {
+            if value == 0 {
+                return Err(Error::malformed(format!(
+                    "frontend `polybench`: `{key}` must be at least 1"
+                )));
+            }
+        }
+        Ok(PolybenchFrontend {
+            kernel: opts.get("kernel").map(str::to_string),
+            n,
+            unroll,
+        })
+    }
+
+    fn parse(&self, src: &str) -> CalyxResult<Context> {
+        let name = match (&self.kernel, src.trim()) {
+            (Some(k), _) => k.as_str(),
+            (None, "") => {
+                return Err(Error::malformed(
+                    "frontend `polybench`: no kernel selected; pass `--fopt kernel=<name>` \
+                     or put the kernel name in the input",
+                ))
+            }
+            (None, from_src) => from_src,
+        };
+        let def = kernel(name).ok_or_else(|| {
+            Error::undefined(format!(
+                "kernel `{name}`; valid kernels: {}",
+                KERNELS
+                    .iter()
+                    .map(|k| k.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+        let dahlia_src = (def.source)(self.n, self.unroll);
+        calyx_dahlia::compile(&dahlia_src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calyx_core::ir::Printer;
+
+    fn frontend(pairs: &[(&str, &str)]) -> CalyxResult<PolybenchFrontend> {
+        let mut opts = FrontendOpts::default();
+        for (k, v) in pairs {
+            opts.set(*k, *v);
+        }
+        PolybenchFrontend::from_opts(&opts)
+    }
+
+    #[test]
+    fn kernel_flag_matches_compile_kernel() {
+        let ctx = frontend(&[("kernel", "gemm")]).unwrap().parse("").unwrap();
+        let def = kernel("gemm").unwrap();
+        let (_, direct) = calyx_polybench::compile_kernel(def, 4, 1).unwrap();
+        assert_eq!(
+            Printer::print_context(&ctx),
+            Printer::print_context(&direct)
+        );
+    }
+
+    #[test]
+    fn kernel_name_can_come_from_the_source_text() {
+        let via_src = frontend(&[]).unwrap().parse("mvt\n").unwrap();
+        let (_, direct) = calyx_polybench::compile_kernel(kernel("mvt").unwrap(), 4, 1).unwrap();
+        assert_eq!(
+            Printer::print_context(&via_src),
+            Printer::print_context(&direct)
+        );
+        // `--fopt kernel=` wins over the source text.
+        let flag_wins = frontend(&[("kernel", "mvt")])
+            .unwrap()
+            .parse("gemm")
+            .unwrap();
+        assert_eq!(
+            Printer::print_context(&flag_wins),
+            Printer::print_context(&direct)
+        );
+    }
+
+    #[test]
+    fn n_and_unroll_flow_through() {
+        let ctx = frontend(&[("kernel", "gemm"), ("n", "8"), ("unroll", "2")])
+            .unwrap()
+            .parse("")
+            .unwrap();
+        let (_, direct) = calyx_polybench::compile_kernel(kernel("gemm").unwrap(), 8, 2).unwrap();
+        assert_eq!(
+            Printer::print_context(&ctx),
+            Printer::print_context(&direct)
+        );
+    }
+
+    #[test]
+    fn unknown_kernel_lists_choices() {
+        let err = frontend(&[("kernel", "gmem")])
+            .unwrap()
+            .parse("")
+            .unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("kernel `gmem`"), "{msg}");
+        assert!(msg.contains("gemm"), "{msg}");
+        assert!(msg.contains("trisolv"), "{msg}");
+    }
+
+    #[test]
+    fn missing_kernel_and_invalid_sizes_are_errors() {
+        assert!(frontend(&[]).unwrap().parse("").is_err());
+        assert!(frontend(&[("n", "0")]).is_err());
+        assert!(frontend(&[("unroll", "x")]).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! The `systolic` frontend: the PE-parametric systolic array generator
+//! (paper §6.1) behind the [`Frontend`] API.
+//!
+//! This frontend shows what "source text" means for a pure generator:
+//! the input is a tiny configuration file naming the array dimensions,
+//!
+//! ```text
+//! # out = A (rows x inner) . B (inner x cols)
+//! rows  = 2
+//! cols  = 2
+//! inner = 2
+//! width = 32   # optional, defaults to 32
+//! ```
+//!
+//! and every key can also arrive (or be overridden) via the driver's
+//! `--fopt key=value` flags, so `futil - -f systolic --fopt rows=2 …`
+//! generates an array with no config file at all.
+
+use crate::api::{Frontend, FrontendOpts};
+use calyx_core::errors::{CalyxResult, Error};
+use calyx_core::ir::Context;
+use calyx_systolic::{generate, SystolicConfig};
+
+/// Dimensions parsed so far — from the config file, the `--fopt` flags,
+/// or both (flags win).
+#[derive(Debug, Clone, Copy, Default)]
+struct Dims {
+    rows: Option<u64>,
+    cols: Option<u64>,
+    inner: Option<u64>,
+    width: Option<u64>,
+}
+
+impl Dims {
+    fn set(&mut self, key: &str, value: u64) -> bool {
+        match key {
+            "rows" => self.rows = Some(value),
+            "cols" => self.cols = Some(value),
+            "inner" => self.inner = Some(value),
+            "width" => self.width = Some(value),
+            _ => return false,
+        }
+        true
+    }
+
+    /// Fill any dimension still unset from `other`.
+    fn or(self, other: Dims) -> Dims {
+        Dims {
+            rows: self.rows.or(other.rows),
+            cols: self.cols.or(other.cols),
+            inner: self.inner.or(other.inner),
+            width: self.width.or(other.width),
+        }
+    }
+}
+
+/// Generates a matrix-multiply systolic array from `rows`/`cols`/
+/// `inner`/`width` dimensions.
+///
+/// Dimensions come from a `key = value` config file (see the module
+/// docs above) and/or `--fopt` flags; flags override the file. `rows`,
+/// `cols`, and `inner` are required; `width` defaults to 32 bits.
+pub struct SystolicFrontend {
+    flags: Dims,
+}
+
+/// Parse the `key = value` configuration format, reporting malformed
+/// lines as [`Error::Parse`] with 1-based positions (so the driver can
+/// render caret diagnostics into the config file).
+fn parse_config(src: &str) -> CalyxResult<Dims> {
+    let mut dims = Dims::default();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        // `#` starts a comment; blank lines are allowed.
+        let text = raw.split('#').next().unwrap_or("");
+        if text.trim().is_empty() {
+            continue;
+        }
+        // 1-based *character* column of byte offset `at` in the raw
+        // line (`text` is a prefix of `raw`, so offsets are shared) —
+        // columns are positional, never found by substring search,
+        // so `width = wid` points at the value, not inside the key.
+        let col_at = |at: usize| raw[..at].chars().count() + 1;
+        // Byte offset of the first non-whitespace character of `part`,
+        // which starts at byte `base` of the line.
+        let start_of =
+            |part: &str, base: usize| base + part.find(|c: char| !c.is_whitespace()).unwrap_or(0);
+        let Some(eq) = text.find('=') else {
+            return Err(Error::Parse {
+                msg: format!("expected `key = value`, got `{}`", text.trim()),
+                line,
+                col: col_at(start_of(text, 0)),
+            });
+        };
+        let (key_part, value_part) = (&text[..eq], &text[eq + 1..]);
+        let (key, value) = (key_part.trim(), value_part.trim());
+        let parsed: u64 = value.parse().map_err(|_| Error::Parse {
+            msg: format!("`{key}` expects a number, got `{value}`"),
+            line,
+            col: col_at(start_of(value_part, eq + 1)),
+        })?;
+        if !dims.set(key, parsed) {
+            return Err(Error::Parse {
+                msg: format!("unknown dimension `{key}`; expected rows, cols, inner, or width"),
+                line,
+                col: col_at(start_of(key_part, 0)),
+            });
+        }
+    }
+    Ok(dims)
+}
+
+impl Frontend for SystolicFrontend {
+    const NAME: &'static str = "systolic";
+    const DESCRIPTION: &'static str = "generate a matrix-multiply systolic array (paper §6.1)";
+
+    fn extensions() -> &'static [&'static str] {
+        &["systolic"]
+    }
+
+    fn options() -> &'static [(&'static str, &'static str)] {
+        &[
+            (
+                "rows",
+                "rows of the PE grid (= rows of A and of the result)",
+            ),
+            (
+                "cols",
+                "columns of the PE grid (= columns of B and of the result)",
+            ),
+            ("inner", "the shared (reduction) dimension"),
+            ("width", "data width in bits (default 32)"),
+        ]
+    }
+
+    fn from_opts(opts: &FrontendOpts) -> CalyxResult<Self> {
+        opts.expect_keys(Self::NAME, Self::options())?;
+        let mut flags = Dims::default();
+        for (key, _) in Self::options() {
+            if let Some(value) = opts.get_u64(Self::NAME, key)? {
+                flags.set(key, value);
+            }
+        }
+        Ok(SystolicFrontend { flags })
+    }
+
+    fn parse(&self, src: &str) -> CalyxResult<Context> {
+        let dims = self.flags.or(parse_config(src)?);
+        let require = |dim: Option<u64>, key: &str| -> CalyxResult<u64> {
+            match dim {
+                Some(0) => Err(Error::malformed(format!(
+                    "frontend `systolic`: `{key}` must be at least 1"
+                ))),
+                Some(v) => Ok(v),
+                None => Err(Error::malformed(format!(
+                    "frontend `systolic`: missing dimension `{key}`; set it in the \
+                     config file (`{key} = N`) or with `--fopt {key}=N`"
+                ))),
+            }
+        };
+        let rows = require(dims.rows, "rows")?;
+        let cols = require(dims.cols, "cols")?;
+        let inner = require(dims.inner, "inner")?;
+        let width = dims.width.unwrap_or(32);
+        if !(1..=64).contains(&width) {
+            return Err(Error::malformed(format!(
+                "frontend `systolic`: `width` must be between 1 and 64 bits, got {width}"
+            )));
+        }
+        Ok(generate(&SystolicConfig {
+            rows: rows as usize,
+            cols: cols as usize,
+            inner: inner as usize,
+            width: width as u32,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calyx_core::ir::Printer;
+
+    fn frontend(pairs: &[(&str, &str)]) -> CalyxResult<SystolicFrontend> {
+        let mut opts = FrontendOpts::default();
+        for (k, v) in pairs {
+            opts.set(*k, *v);
+        }
+        SystolicFrontend::from_opts(&opts)
+    }
+
+    #[test]
+    fn config_file_matches_direct_generation() {
+        let src = "\
+            # 2x3 array over a reduction of 4\n\
+            rows  = 2\n\
+            cols  = 3\n\
+            inner = 4\n\
+            width = 16\n";
+        let ctx = frontend(&[]).unwrap().parse(src).unwrap();
+        let direct = generate(&SystolicConfig {
+            rows: 2,
+            cols: 3,
+            inner: 4,
+            width: 16,
+        });
+        assert_eq!(
+            Printer::print_context(&ctx),
+            Printer::print_context(&direct)
+        );
+    }
+
+    #[test]
+    fn fopts_alone_suffice_and_override_the_file() {
+        let via_flags = frontend(&[("rows", "2"), ("cols", "2"), ("inner", "2")])
+            .unwrap()
+            .parse("")
+            .unwrap();
+        let direct = generate(&SystolicConfig::square(2));
+        assert_eq!(
+            Printer::print_context(&via_flags),
+            Printer::print_context(&direct)
+        );
+
+        // A flag overrides the same key in the file.
+        let overridden = frontend(&[("rows", "2")])
+            .unwrap()
+            .parse("rows = 7\ncols = 2\ninner = 2\n")
+            .unwrap();
+        assert_eq!(
+            Printer::print_context(&overridden),
+            Printer::print_context(&direct)
+        );
+    }
+
+    #[test]
+    fn missing_dimension_is_a_clear_error() {
+        let err = frontend(&[("rows", "2"), ("cols", "2")])
+            .unwrap()
+            .parse("")
+            .unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("missing dimension `inner`"), "{msg}");
+        assert!(msg.contains("--fopt inner=N"), "{msg}");
+    }
+
+    #[test]
+    fn malformed_config_lines_carry_positions() {
+        let err = frontend(&[]).unwrap().parse("rows = 2\nbogus = 3\n");
+        match err {
+            Err(Error::Parse { line: 2, col, .. }) => assert_eq!(col, 1),
+            other => panic!("expected positioned parse error, got {other:?}"),
+        }
+        let err = frontend(&[]).unwrap().parse("rows = two\n");
+        match err {
+            Err(Error::Parse { line: 1, col, .. }) => assert_eq!(col, 8),
+            other => panic!("expected positioned parse error, got {other:?}"),
+        }
+        // The caret points at the value's *position*, even when the
+        // value text also occurs earlier in the line (`wid` is a prefix
+        // of `width`).
+        let err = frontend(&[]).unwrap().parse("width = wid\n");
+        match err {
+            Err(Error::Parse { line: 1, col, .. }) => assert_eq!(col, 9),
+            other => panic!("expected positioned parse error, got {other:?}"),
+        }
+        assert!(frontend(&[]).unwrap().parse("rows 2\n").is_err());
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        assert!(frontend(&[("rows", "x")]).is_err());
+        let zero = frontend(&[("rows", "0"), ("cols", "2"), ("inner", "2")])
+            .unwrap()
+            .parse("");
+        assert!(zero.is_err());
+        let wide = frontend(&[
+            ("rows", "2"),
+            ("cols", "2"),
+            ("inner", "2"),
+            ("width", "65"),
+        ])
+        .unwrap()
+        .parse("");
+        assert!(wide.is_err());
+    }
+}

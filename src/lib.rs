@@ -10,6 +10,8 @@
 //! - [`backend`]: the `Backend` trait and registry, with the standard
 //!   backends — Calyx printing, SystemVerilog emission, an FPGA area
 //!   model (Vivado substitute), and cycle/state execution reports.
+//! - [`frontend`]: the `Frontend` trait and registry — every generator
+//!   below (plus the native parser) behind one ingestion API.
 //! - [`systolic`]: the systolic array generator frontend (paper §6.1).
 //! - [`dahlia`]: the Dahlia imperative language frontend (paper §6.2).
 //! - [`hls`]: an HLS scheduling model standing in for Vivado HLS.
@@ -53,6 +55,7 @@
 pub use calyx_backend as backend;
 pub use calyx_core as core;
 pub use calyx_dahlia as dahlia;
+pub use calyx_frontend as frontend;
 pub use calyx_hls as hls;
 pub use calyx_polybench as polybench;
 pub use calyx_sim as sim;

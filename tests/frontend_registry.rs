@@ -1,0 +1,187 @@
+//! The `Frontend` trait contract over real designs: registry-based
+//! ingestion must be byte-identical to the original library entry
+//! points, options must plumb through, and unknown names must fail with
+//! errors listing the valid choices.
+
+use calyx::core::errors::Error;
+use calyx::core::ir::{parse_context, Context, Printer};
+use calyx::frontend::{Frontend, FrontendOpts, FrontendRegistry};
+use calyx::polybench::{compile_kernel, KERNELS};
+
+fn print(ctx: &Context) -> String {
+    Printer::print_context(ctx)
+}
+
+fn parse_via_registry(name: &str, opts: &FrontendOpts, src: &str) -> Context {
+    FrontendRegistry::default()
+        .get(name, opts)
+        .unwrap()
+        .parse(src)
+        .unwrap()
+}
+
+/// `-f calyx` is byte-identical to the pre-registry `parse_context`
+/// path on every PolyBench kernel (each kernel's Calyx text is obtained
+/// by compiling the Dahlia source and printing it).
+#[test]
+fn calyx_frontend_is_byte_identical_to_parse_context_on_all_kernels() {
+    assert_eq!(KERNELS.len(), 19);
+    for def in KERNELS {
+        let (_, ctx) = compile_kernel(def, 4, 1).unwrap();
+        let text = print(&ctx);
+
+        let via_registry = parse_via_registry("calyx", &FrontendOpts::default(), &text);
+        let direct = parse_context(&text).unwrap();
+        assert_eq!(
+            print(&via_registry).as_bytes(),
+            print(&direct).as_bytes(),
+            "calyx frontend drift on `{}`",
+            def.name
+        );
+    }
+}
+
+/// `-f dahlia` matches `calyx_dahlia::compile` on every kernel's Dahlia
+/// source.
+#[test]
+fn dahlia_frontend_matches_compile_on_all_kernels() {
+    for def in KERNELS {
+        let src = (def.source)(4, 1);
+        let via_registry = parse_via_registry("dahlia", &FrontendOpts::default(), &src);
+        let direct = calyx::dahlia::compile(&src).unwrap();
+        assert_eq!(
+            print(&via_registry).as_bytes(),
+            print(&direct).as_bytes(),
+            "dahlia frontend drift on `{}`",
+            def.name
+        );
+    }
+}
+
+/// `-f systolic` with `--fopt` dimensions matches the generator called
+/// directly, and the config-file path agrees with the flags path.
+#[test]
+fn systolic_frontend_matches_direct_generation() {
+    let mut opts = FrontendOpts::default();
+    for flag in ["rows=2", "cols=3", "inner=4", "width=16"] {
+        opts.push_flag(flag).unwrap();
+    }
+    let via_flags = parse_via_registry("systolic", &opts, "");
+    let via_file = parse_via_registry(
+        "systolic",
+        &FrontendOpts::default(),
+        "rows = 2\ncols = 3\ninner = 4\nwidth = 16\n",
+    );
+    let direct = calyx::systolic::generate(&calyx::systolic::SystolicConfig {
+        rows: 2,
+        cols: 3,
+        inner: 4,
+        width: 16,
+    });
+    assert_eq!(print(&via_flags).as_bytes(), print(&direct).as_bytes());
+    assert_eq!(print(&via_file).as_bytes(), print(&direct).as_bytes());
+}
+
+/// `-f polybench` emits the same seed program as `compile_kernel` for
+/// every kernel.
+#[test]
+fn polybench_frontend_matches_compile_kernel_on_all_kernels() {
+    for def in KERNELS {
+        let mut opts = FrontendOpts::default();
+        opts.set("kernel", def.name);
+        let via_registry = parse_via_registry("polybench", &opts, "");
+        let (_, direct) = compile_kernel(def, 4, 1).unwrap();
+        assert_eq!(
+            print(&via_registry).as_bytes(),
+            print(&direct).as_bytes(),
+            "polybench frontend drift on `{}`",
+            def.name
+        );
+    }
+}
+
+/// Third-party frontends register like first-party ones: selectable by
+/// name, discoverable by extension, options plumbed through.
+#[test]
+fn third_party_registration_works() {
+    struct ConstantFrontend {
+        width: u64,
+    }
+    impl Frontend for ConstantFrontend {
+        const NAME: &'static str = "constant";
+        const DESCRIPTION: &'static str = "a register holding a constant";
+        fn extensions() -> &'static [&'static str] {
+            &["const"]
+        }
+        fn options() -> &'static [(&'static str, &'static str)] {
+            &[("width", "register width in bits (default 8)")]
+        }
+        fn from_opts(opts: &FrontendOpts) -> Result<Self, Error> {
+            opts.expect_keys(Self::NAME, Self::options())?;
+            Ok(ConstantFrontend {
+                width: opts.get_u64(Self::NAME, "width")?.unwrap_or(8),
+            })
+        }
+        fn parse(&self, src: &str) -> Result<Context, Error> {
+            let value: u64 = src.trim().parse().map_err(|_| Error::Parse {
+                msg: format!("expected a number, got `{}`", src.trim()),
+                line: 1,
+                col: 1,
+            })?;
+            parse_context(&format!(
+                "component main() -> () {{
+                   cells {{ r = std_reg({w}); }}
+                   wires {{ group g {{ r.in = {w}'d{value}; r.write_en = 1'd1; g[done] = r.done; }} }}
+                   control {{ g; }}
+                 }}",
+                w = self.width
+            ))
+        }
+    }
+
+    let mut registry = FrontendRegistry::default();
+    registry.register::<ConstantFrontend>();
+    assert_eq!(registry.by_extension("const").unwrap().name, "constant");
+
+    let mut opts = FrontendOpts::default();
+    opts.set("width", "16");
+    let ctx = registry.get("constant", &opts).unwrap().parse("7").unwrap();
+    assert!(print(&ctx).contains("16'd7"), "{}", print(&ctx));
+
+    // And its parse errors participate in caret diagnostics.
+    let err = registry
+        .get("constant", &opts)
+        .unwrap()
+        .parse("seven")
+        .unwrap_err();
+    let rendered = err.caret_diagnostic("in.const", "seven").unwrap();
+    assert!(rendered.contains("in.const:1:1"), "{rendered}");
+    assert!(rendered.ends_with("^"), "{rendered}");
+}
+
+/// Unknown frontends and unknown `--fopt` keys fail with errors listing
+/// the valid choices (the driver turns these into exit-2 usage errors).
+#[test]
+fn unknown_names_list_valid_choices() {
+    let registry = FrontendRegistry::default();
+    let err = match registry.get("verilog", &FrontendOpts::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("backend name resolved as a frontend"),
+    };
+    let msg = format!("{err}");
+    for f in registry.frontends() {
+        assert!(msg.contains(f.name), "missing `{}` in: {msg}", f.name);
+    }
+
+    let mut opts = FrontendOpts::default();
+    opts.set("size", "4");
+    let err = match registry.get("polybench", &opts) {
+        Err(e) => e,
+        Ok(_) => panic!("unknown key accepted"),
+    };
+    let msg = format!("{err}");
+    assert!(msg.contains("frontend `polybench`"), "{msg}");
+    for key in ["kernel", "n", "unroll"] {
+        assert!(msg.contains(key), "missing `{key}` in: {msg}");
+    }
+}
