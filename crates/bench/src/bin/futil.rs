@@ -7,6 +7,8 @@
 //!
 //! ```text
 //! futil <file|-> [flags]
+//! futil check <file|-> [-f <frontend>] [--fopt k=v] [--format text|json]
+//!                      [--deny warnings]
 //!   -f <frontend>       frontend (default: inferred from the file
 //!                       extension, falling back to calyx); see
 //!                       --list-frontends
@@ -18,21 +20,32 @@
 //!   -o <file>           write the backend's output to <file>
 //!                       (default: stdout)
 //!   --cycles N          simulation budget (default 1_000_000)
-//!   --format text|json  report format for report-style backends
+//!   --format text|json  report format for report-style backends and
+//!                       for `futil check`
+//!   --check             run every lint before compiling; diagnostics go
+//!                       to stderr and errors stop the run
+//!   --deny warnings     treat warning diagnostics as fatal
 //!   --time              report per-pass wall-clock timings on stderr
 //!   --stats             report per-pass analysis-cache statistics
 //!                       (hits/misses/recomputes) on stderr
 //!   --list-frontends    list registered frontends, then exit
 //!   --list-passes       list registered passes and aliases, then exit
 //!   --list-backends     list registered backends, then exit
+//!   --list-lints        list registered lints, then exit
 //!   -h, --help          print usage and exit
 //! ```
 //!
-//! All three lists — and the `-f`/`-b` choices in the usage text — are
+//! All four lists — and the `-f`/`-b` choices in the usage text — are
 //! derived from the registries, so help can never drift from what is
 //! registered. `-` as the input path reads from stdin. Parse errors are
 //! rendered as caret diagnostics pointing into the offending source
 //! line.
+//!
+//! `futil check` runs the `LintRegistry` instead of compiling: every
+//! finding is reported at once (caret-annotated text, or `--format json`
+//! for the schema-stable report), and the exit status is 1 when any
+//! error-severity diagnostic — or, under `--deny warnings`, any
+//! diagnostic at all — was produced.
 //!
 //! Example (no Calyx source in sight — generator straight to RTL):
 //!
@@ -42,8 +55,10 @@
 //! ```
 
 use calyx_backend::{BackendOpts, BackendRegistry, ReportFormat};
+use calyx_core::analysis::AnalysisCache;
+use calyx_core::lint::LintRegistry;
 use calyx_core::passes::{PassManager, PassRegistry};
-use calyx_frontend::{FrontendOpts, FrontendRegistry};
+use calyx_frontend::{DynFrontend, FrontendOpts, FrontendRegistry};
 use std::io::{Read, Write};
 use std::path::Path;
 use std::process::exit;
@@ -55,6 +70,8 @@ fn usage(frontends: &FrontendRegistry, backends: &BackendRegistry) -> String {
     let bnames: Vec<&str> = backends.backends().iter().map(|b| b.name).collect();
     format!(
         "usage: futil <file|-> [flags]
+       futil check <file|-> [-f <frontend>] [--fopt k=v] \
+[--format text|json] [--deny warnings]
   -f {}
                       frontend (default: inferred from the file
                       extension, falling back to calyx); run
@@ -70,13 +87,18 @@ fn usage(frontends: &FrontendRegistry, backends: &BackendRegistry) -> String {
   -o <file>           write the backend's output to <file>
                       (default: stdout)
   --cycles N          simulation budget (default 1_000_000)
-  --format text|json  report format for report-style backends
+  --format text|json  report format for report-style backends and for
+                      `futil check`
+  --check             run every lint before compiling; diagnostics go to
+                      stderr and error-severity findings stop the run
+  --deny warnings     treat warning diagnostics as fatal
   --time              report per-pass wall-clock timings on stderr
   --stats             report per-pass analysis-cache statistics
                       (hits/misses/recomputes) on stderr
   --list-frontends    list registered frontends, then exit
   --list-passes       list registered passes and aliases, then exit
   --list-backends     list registered backends, then exit
+  --list-lints        list registered lints, then exit
   -h, --help          print this message and exit
 ",
         fnames.join("|"),
@@ -90,6 +112,13 @@ fn usage_error(frontends: &FrontendRegistry, backends: &BackendRegistry, msg: &s
     eprintln!("futil: {msg}");
     eprint!("{}", usage(frontends, backends));
     exit(2);
+}
+
+/// The shared two-column row every `--list-*` flag prints: a name padded
+/// to a fixed width, then its description. Callers append bracketed
+/// extras (extensions, pipelines, codes) after the row.
+fn list_row(name: &str, description: &str) -> String {
+    format!("  {name:<22}{description}")
 }
 
 fn list_frontends(frontends: &FrontendRegistry) {
@@ -107,7 +136,7 @@ fn list_frontends(frontends: &FrontendRegistry) {
                     .join(" ")
             )
         };
-        println!("  {:<22}{}{}", f.name, f.description, exts);
+        println!("{}{}", list_row(f.name, f.description), exts);
         for (key, what) in f.options {
             println!("    --fopt {key:<15}{what}");
         }
@@ -118,11 +147,11 @@ fn list_passes() {
     let registry = PassRegistry::default();
     println!("passes:");
     for pass in registry.passes() {
-        println!("  {:<22}{}", pass.name, pass.description);
+        println!("{}", list_row(pass.name, pass.description));
     }
     println!("\naliases:");
     for (alias, expansion) in registry.aliases() {
-        println!("  {:<22}{}", alias, expansion.join(" -> "));
+        println!("{}", list_row(alias, &expansion.join(" -> ")));
     }
 }
 
@@ -135,14 +164,190 @@ fn list_backends(backends: &BackendRegistry) {
         } else {
             format!(" [pipeline: {}]", required.join(" -> "))
         };
-        println!("  {:<22}{}{}", b.name, b.description, pipeline);
+        println!("{}{}", list_row(b.name, b.description), pipeline);
     }
+}
+
+fn list_lints() {
+    let registry = LintRegistry::default();
+    println!("lints:");
+    for l in registry.lints() {
+        println!(
+            "{} [{}, {}]",
+            list_row(l.name, l.description),
+            l.code,
+            l.severity
+        );
+    }
+}
+
+/// Read the input program (`-` reads stdin), exiting 1 on I/O failure.
+fn read_input(file: &str) -> String {
+    if file == "-" {
+        let mut s = String::new();
+        match std::io::stdin().read_to_string(&mut s) {
+            Ok(_) => s,
+            Err(e) => {
+                eprintln!("futil: cannot read stdin: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("futil: cannot read `{file}`: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
+/// The input name shown in diagnostics.
+fn shown_name(file: &str) -> &str {
+    if file == "-" {
+        "<stdin>"
+    } else {
+        file
+    }
+}
+
+/// Resolve the frontend name: explicit `-f` wins; otherwise infer from
+/// the input's file extension, falling back to the native parser (with a
+/// hint, since the fallback is a guess).
+fn resolve_frontend_name<'a>(
+    frontends: &FrontendRegistry,
+    explicit: Option<&'a str>,
+    file: &str,
+) -> &'a str {
+    match explicit {
+        Some(name) => name,
+        None if file == "-" => {
+            eprintln!("futil: note: reading from stdin; assuming `-f calyx` (pass `-f` to choose)");
+            "calyx"
+        }
+        None => {
+            let ext = Path::new(file).extension().and_then(|e| e.to_str());
+            match ext.and_then(|e| frontends.by_extension(e)) {
+                Some(f) => f.name,
+                None => {
+                    eprintln!(
+                        "futil: note: no frontend claims `{file}`'s extension; assuming `-f calyx` \
+                         (pass `-f` to choose)"
+                    );
+                    "calyx"
+                }
+            }
+        }
+    }
+}
+
+/// Parse `src` with `frontend`, rendering parse errors as caret
+/// diagnostics and exiting 1 on failure.
+fn parse_input(frontend: &dyn DynFrontend, file: &str, src: &str) -> calyx_core::ir::Context {
+    match frontend.parse(src) {
+        Ok(c) => c,
+        Err(e) => {
+            // Parse errors point into the source: file, line, column,
+            // the offending line, and a caret under the column.
+            match e.caret_diagnostic(shown_name(file), src) {
+                Some(diagnostic) => eprintln!("futil: {diagnostic}"),
+                None => eprintln!("futil: frontend `{}`: {e}", frontend.name()),
+            }
+            exit(1);
+        }
+    }
+}
+
+/// The `futil check` subcommand: run every registered lint, report every
+/// finding, exit 1 when the program should not be compiled as-is.
+fn run_check(frontends: &FrontendRegistry, backends: &BackendRegistry, args: Vec<String>) -> ! {
+    let mut file = None;
+    let mut frontend_name: Option<String> = None;
+    let mut fopts = FrontendOpts::default();
+    let mut format = ReportFormat::Text;
+    let mut deny_warnings = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-f" => match it.next() {
+                Some(f) => frontend_name = Some(f),
+                None => usage_error(frontends, backends, "`-f` expects a frontend name"),
+            },
+            "--fopt" => match it.next() {
+                Some(f) => {
+                    if let Err(e) = fopts.push_flag(&f) {
+                        eprintln!("futil: {e}");
+                        exit(2);
+                    }
+                }
+                None => usage_error(frontends, backends, "`--fopt` expects `key=value`"),
+            },
+            "--format" => {
+                format = match it.next().as_deref() {
+                    Some("text") => ReportFormat::Text,
+                    Some("json") => ReportFormat::Json,
+                    _ => usage_error(frontends, backends, "`--format` expects `text` or `json`"),
+                }
+            }
+            "--deny" => match it.next().as_deref() {
+                Some("warnings") => deny_warnings = true,
+                _ => usage_error(frontends, backends, "`--deny` expects `warnings`"),
+            },
+            "--list-lints" => {
+                list_lints();
+                exit(0);
+            }
+            "-h" | "--help" => {
+                print!("{}", usage(frontends, backends));
+                exit(0);
+            }
+            "-" if file.is_none() => file = Some("-".to_string()),
+            f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+            other => usage_error(
+                frontends,
+                backends,
+                &format!("unexpected argument `{other}` for `futil check`"),
+            ),
+        }
+    }
+    let Some(file) = file else {
+        usage_error(frontends, backends, "no input file");
+    };
+    let resolved = resolve_frontend_name(frontends, frontend_name.as_deref(), &file);
+    let frontend = match frontends.get(resolved, &fopts) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("futil: {e}");
+            exit(2);
+        }
+    };
+    let src = read_input(&file);
+    let ctx = parse_input(frontend.as_ref(), &file, &src);
+    let sink = LintRegistry::default().check_all(&ctx, &mut AnalysisCache::new());
+    match format {
+        ReportFormat::Text => {
+            // A clean check prints nothing.
+            let rendered = sink.render_text(shown_name(&file), &src);
+            if !rendered.is_empty() {
+                println!("{rendered}");
+            }
+        }
+        ReportFormat::Json => println!("{}", sink.render_json(shown_name(&file))),
+    }
+    let failing = sink.errors() > 0 || (deny_warnings && !sink.is_empty());
+    exit(i32::from(failing));
 }
 
 fn main() {
     let frontends = FrontendRegistry::default();
     let backends = BackendRegistry::default();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // The `check` subcommand takes over the whole invocation.
+    if args.first().map(String::as_str) == Some("check") {
+        args.remove(0);
+        run_check(&frontends, &backends, args);
+    }
     let mut file = None;
     let mut frontend_name: Option<String> = None;
     let mut fopts = FrontendOpts::default();
@@ -152,6 +357,8 @@ fn main() {
     let mut opts = BackendOpts::default();
     let mut time = false;
     let mut stats = false;
+    let mut check = false;
+    let mut deny_warnings = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -194,6 +401,11 @@ fn main() {
                     _ => usage_error(&frontends, &backends, "`--format` expects `text` or `json`"),
                 }
             }
+            "--check" => check = true,
+            "--deny" => match it.next().as_deref() {
+                Some("warnings") => deny_warnings = true,
+                _ => usage_error(&frontends, &backends, "`--deny` expects `warnings`"),
+            },
             "--time" => time = true,
             "--stats" => stats = true,
             "--list-frontends" => {
@@ -206,6 +418,10 @@ fn main() {
             }
             "--list-backends" => {
                 list_backends(&backends);
+                exit(0);
+            }
+            "--list-lints" => {
+                list_lints();
                 exit(0);
             }
             // Help is not an error: print to stdout and exit 0.
@@ -235,30 +451,7 @@ fn main() {
             exit(2);
         }
     };
-    // Resolve the frontend: explicit `-f` wins; otherwise infer from the
-    // input's file extension, falling back to the native parser (with a
-    // hint, since the fallback is a guess).
-    let resolved_frontend = match &frontend_name {
-        Some(name) => name.as_str(),
-        None if file == "-" => {
-            eprintln!("futil: note: reading from stdin; assuming `-f calyx` (pass `-f` to choose)");
-            "calyx"
-        }
-        None => {
-            let ext = Path::new(&file).extension().and_then(|e| e.to_str());
-            match ext.and_then(|e| frontends.by_extension(e)) {
-                Some(f) => f.name,
-                None => {
-                    eprintln!(
-                        "futil: note: no frontend claims `{}`'s extension; assuming `-f calyx` \
-                         (pass `-f` to choose)",
-                        file
-                    );
-                    "calyx"
-                }
-            }
-        }
-    };
+    let resolved_frontend = resolve_frontend_name(&frontends, frontend_name.as_deref(), &file);
     // Unknown frontends and bad `--fopt` keys/values are usage errors:
     // the registry message lists the valid frontends, and `from_opts`
     // names the frontend plus its valid keys.
@@ -290,41 +483,23 @@ fn main() {
         }
     };
 
-    let src = if file == "-" {
-        let mut s = String::new();
-        match std::io::stdin().read_to_string(&mut s) {
-            Ok(_) => s,
-            Err(e) => {
-                eprintln!("futil: cannot read stdin: {e}");
-                exit(1);
-            }
+    let src = read_input(&file);
+    let mut ctx = parse_input(frontend.as_ref(), &file, &src);
+
+    // `--check`: run every lint before compiling. Diagnostics go to
+    // stderr (stdout belongs to the backend), and the run stops on
+    // error-severity findings — or any finding under `--deny warnings`.
+    if check {
+        let sink = LintRegistry::default().check_all(&ctx, &mut AnalysisCache::new());
+        let rendered = sink.render_text(shown_name(&file), &src);
+        if !rendered.is_empty() {
+            eprintln!("{rendered}");
         }
-    } else {
-        match std::fs::read_to_string(&file) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("futil: cannot read `{file}`: {e}");
-                exit(1);
-            }
-        }
-    };
-    let mut ctx = match frontend.parse(&src) {
-        Ok(c) => c,
-        Err(e) => {
-            // Parse errors point into the source: file, line, column,
-            // the offending line, and a caret under the column.
-            let shown = if file == "-" {
-                "<stdin>"
-            } else {
-                file.as_str()
-            };
-            match e.caret_diagnostic(shown, &src) {
-                Some(diagnostic) => eprintln!("futil: {diagnostic}"),
-                None => eprintln!("futil: frontend `{}`: {e}", frontend.name()),
-            }
+        if sink.errors() > 0 || (deny_warnings && !sink.is_empty()) {
+            eprintln!("futil: `--check` found fatal diagnostics; not compiling");
             exit(1);
         }
-    };
+    }
 
     let result = pm.run(&mut ctx);
     if time {

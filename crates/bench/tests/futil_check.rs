@@ -1,0 +1,269 @@
+//! End-to-end tests of `futil check`: the bad-example corpus maps to the
+//! expected diagnostic codes and exit statuses, the flagship par-race
+//! report is pinned byte-for-byte (text and JSON — the JSON schema is a
+//! stable interface), `--deny warnings` promotes warnings to exit 1,
+//! `--check` lints before compiling, and `--list-lints` reflects the
+//! registry.
+
+use calyx_core::lint::LintRegistry;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+/// The repository root, so relative `examples/bad/...` paths appear
+/// verbatim in the pinned diagnostics.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn futil(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_futil"))
+        .args(args)
+        .current_dir(repo_root())
+        .output()
+        .expect("futil spawns")
+}
+
+/// Run `futil` with `input` piped to stdin (for the `-` input path).
+fn futil_stdin(args: &[&str], input: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_futil"))
+        .args(args)
+        .current_dir(repo_root())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("futil spawns");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("stdin writes");
+    child.wait_with_output().expect("futil exits")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Every file in the bad corpus trips exactly the lint it demonstrates:
+/// the named codes appear in the report, and the exit status is 1 for
+/// error-severity findings, 0 for warning-only files.
+#[test]
+fn bad_corpus_reports_the_expected_codes() {
+    // (file, codes that must appear, exit status without --deny).
+    // well-formed findings quote whole-program violations, not spans, so
+    // that file is the one entry with no caret expectation.
+    let corpus: &[(&str, &[&str], i32)] = &[
+        ("par_race.futil", &["C0101", "C0103"], 1),
+        ("comb_cycle.futil", &["C0102"], 1),
+        ("multiple_drivers.futil", &["C0103"], 1),
+        ("unreachable_control.futil", &["C0104"], 1),
+        ("dead_cell.futil", &["C0201"], 0),
+        ("dead_group.futil", &["C0202"], 0),
+        ("unused_port.futil", &["C0203"], 0),
+        ("width_truncation.futil", &["C0204"], 0),
+    ];
+    // The corpus and the table must cover each other.
+    let mut listed: Vec<&str> = corpus.iter().map(|(f, _, _)| *f).collect();
+    listed.push("well_formed.futil");
+    for entry in std::fs::read_dir(repo_root().join("examples/bad")).unwrap() {
+        let name = entry.unwrap().file_name();
+        assert!(
+            listed.contains(&name.to_str().unwrap()),
+            "examples/bad/{name:?} has no expectation in this test"
+        );
+    }
+    for &(file, codes, exit) in corpus {
+        let path = format!("examples/bad/{file}");
+        let out = futil(&["check", &path]);
+        assert_eq!(out.status.code(), Some(exit), "{path}: {}", stdout(&out));
+        let text = stdout(&out);
+        for code in codes {
+            assert!(text.contains(code), "{path}: missing {code} in:\n{text}");
+        }
+        // Every finding carries a position here, so a caret must render.
+        assert!(text.contains('^'), "{path}: no caret in:\n{text}");
+    }
+}
+
+/// `well_formed.futil` packs two structural violations into one program;
+/// the collecting validator reports both in a single run instead of
+/// stopping at the first.
+#[test]
+fn well_formed_reports_every_violation_at_once() {
+    let out = futil(&["check", "examples/bad/well_formed.futil"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert_eq!(text.matches("error[C0100]").count(), 2, "{text}");
+    assert!(text.contains("width mismatch"), "{text}");
+    assert!(text.contains("never writes `set[done]`"), "{text}");
+    assert!(text.contains("2 errors"), "{text}");
+}
+
+/// The flagship report, byte-for-byte: three errors in one run (the race
+/// itself plus both double-driven ports), each with a caret into the
+/// source and notes pointing at the other group.
+#[test]
+fn par_race_text_report_is_pinned() {
+    let out = futil(&["check", "examples/bad/par_race.futil"]);
+    assert_eq!(out.status.code(), Some(1));
+    let expected = "\
+error[C0101] examples/bad/par_race.futil:10:11: groups `wa` and `wb` may run in the same `par` and both write register `r`
+ 10 |     group wa {
+    |           ^
+  note: simultaneous accesses to one state element have undefined order in Calyx
+  note: `wb` is declared at line 15
+error[C0103] examples/bad/par_race.futil:11:7: port `r.in` is driven unconditionally by both group `wa` and group `wb`, which may run in the same `par`
+ 11 |       r.in = 8'd1;
+    |       ^
+  note: a port must have exactly one active driver per cycle
+  note: the other driver is at line 16
+error[C0103] examples/bad/par_race.futil:12:7: port `r.write_en` is driven unconditionally by both group `wa` and group `wb`, which may run in the same `par`
+ 12 |       r.write_en = 1'd1;
+    |       ^
+  note: a port must have exactly one active driver per cycle
+  note: the other driver is at line 17
+3 errors, 0 warnings
+";
+    assert_eq!(stdout(&out), expected);
+}
+
+/// The JSON report is a stable machine interface: pinned byte-for-byte.
+#[test]
+fn par_race_json_report_is_pinned() {
+    let out = futil(&["check", "examples/bad/par_race.futil", "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let expected = r#"{
+  "file": "examples/bad/par_race.futil",
+  "errors": 3,
+  "warnings": 0,
+  "diagnostics": [
+    {"code": "C0101", "lint": "par-race", "severity": "error", "line": 10, "col": 11, "message": "groups `wa` and `wb` may run in the same `par` and both write register `r`", "notes": ["simultaneous accesses to one state element have undefined order in Calyx", "`wb` is declared at line 15"]},
+    {"code": "C0103", "lint": "multiple-drivers", "severity": "error", "line": 11, "col": 7, "message": "port `r.in` is driven unconditionally by both group `wa` and group `wb`, which may run in the same `par`", "notes": ["a port must have exactly one active driver per cycle", "the other driver is at line 16"]},
+    {"code": "C0103", "lint": "multiple-drivers", "severity": "error", "line": 12, "col": 7, "message": "port `r.write_en` is driven unconditionally by both group `wa` and group `wb`, which may run in the same `par`", "notes": ["a port must have exactly one active driver per cycle", "the other driver is at line 17"]}
+  ]
+}
+"#;
+    assert_eq!(stdout(&out), expected);
+}
+
+/// A clean program prints nothing in text mode (and a zero-count JSON
+/// object in JSON mode) and exits 0.
+#[test]
+fn clean_program_is_silent_and_exits_0() {
+    let out = futil(&["check", "examples/counter.futil"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(
+        out.stdout.is_empty(),
+        "clean check printed: {}",
+        stdout(&out)
+    );
+
+    let json = futil(&["check", "examples/counter.futil", "--format", "json"]);
+    assert_eq!(json.status.code(), Some(0));
+    let body = stdout(&json);
+    assert!(body.contains("\"errors\": 0"), "{body}");
+    assert!(body.contains("\"warnings\": 0"), "{body}");
+}
+
+/// `--deny warnings` promotes warning-only findings to exit 1 — the CI
+/// posture for keeping a codebase lint-clean.
+#[test]
+fn deny_warnings_promotes_warnings_to_exit_1() {
+    let out = futil(&["check", "examples/bad/dead_cell.futil"]);
+    assert_eq!(out.status.code(), Some(0));
+
+    let denied = futil(&[
+        "check",
+        "examples/bad/dead_cell.futil",
+        "--deny",
+        "warnings",
+    ]);
+    assert_eq!(denied.status.code(), Some(1));
+
+    // A clean program stays clean even under --deny.
+    let clean = futil(&["check", "examples/counter.futil", "--deny", "warnings"]);
+    assert_eq!(clean.status.code(), Some(0));
+}
+
+/// `--check` in compile mode lints after parsing and refuses to compile
+/// a program with error-severity findings; diagnostics go to stderr so
+/// stdout stays reserved for the backend.
+#[test]
+fn check_flag_gates_compilation() {
+    let out = futil(&["examples/bad/par_race.futil", "--check", "-b", "verilog"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        out.stdout.is_empty(),
+        "emitted despite --check: {}",
+        stdout(&out)
+    );
+    let err = stderr(&out);
+    assert!(err.contains("C0101"), "{err}");
+    assert!(err.contains("not compiling"), "{err}");
+
+    // A clean program compiles straight through.
+    let out = futil(&["examples/counter.futil", "--check", "-b", "verilog"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("module main"), "{}", stdout(&out));
+}
+
+/// `futil check -` reads stdin and anchors diagnostics to `<stdin>`.
+#[test]
+fn check_reads_stdin() {
+    let src =
+        std::fs::read_to_string(repo_root().join("examples/bad/width_truncation.futil")).unwrap();
+    let out = futil_stdin(&["check", "-"], &src);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("<stdin>:9:14"), "{text}");
+    assert!(text.contains("C0204"), "{text}");
+}
+
+/// `--list-lints` names every registered lint with its description, code,
+/// and severity — derived from the registry, so it can never drift.
+#[test]
+fn list_lints_reflects_the_registry() {
+    for args in [&["--list-lints"][..], &["check", "--list-lints"][..]] {
+        let out = futil(args);
+        assert_eq!(out.status.code(), Some(0));
+        let text = stdout(&out);
+        for l in LintRegistry::default().lints() {
+            assert!(text.contains(l.name), "missing `{}`: {text}", l.name);
+            assert!(text.contains(l.description), "missing `{}`: {text}", l.name);
+            assert!(text.contains(l.code), "missing `{}`: {text}", l.code);
+        }
+    }
+}
+
+/// Invocation mistakes are usage errors (exit 2), not lint findings.
+#[test]
+fn check_usage_errors_exit_2() {
+    let out = futil(&["check"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("no input file"), "{}", stderr(&out));
+
+    let out = futil(&["check", "examples/counter.futil", "--deny", "errors"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("`--deny` expects"),
+        "{}",
+        stderr(&out)
+    );
+
+    let out = futil(&["check", "examples/counter.futil", "--format", "xml"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Compile-only flags are rejected under `check`.
+    let out = futil(&["check", "examples/counter.futil", "-b", "verilog"]);
+    assert_eq!(out.status.code(), Some(2));
+}

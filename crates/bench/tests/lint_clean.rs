@@ -1,0 +1,67 @@
+//! The lints' false-positive guard: every program this repository ships
+//! or generates must check clean of error-severity findings — all 19
+//! PolyBench kernels and every `examples/*.futil` outside the
+//! deliberately-broken `examples/bad/` corpus.
+
+use calyx_core::analysis::AnalysisCache;
+use calyx_core::lint::LintRegistry;
+use calyx_polybench::{compile_kernel, KERNELS};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+/// All 19 paper kernels, straight out of the Dahlia frontend, carry no
+/// error-severity findings. (Generated IR has no source positions, so
+/// this also exercises the position-free rendering path.)
+#[test]
+fn polybench_kernels_check_clean() {
+    let registry = LintRegistry::default();
+    assert_eq!(KERNELS.len(), 19);
+    for def in KERNELS {
+        let (_, ctx) = compile_kernel(def, 4, 1)
+            .unwrap_or_else(|e| panic!("kernel `{}` fails to compile: {e}", def.name));
+        let sink = registry.check_all(&ctx, &mut AnalysisCache::new());
+        assert_eq!(
+            sink.errors(),
+            0,
+            "kernel `{}` has lint errors:\n{}",
+            def.name,
+            sink.render_text(def.name, "")
+        );
+    }
+}
+
+/// Every shipped example program (minus the bad corpus) passes
+/// `futil check` — exit 0 means zero error-severity findings.
+#[test]
+fn shipped_examples_check_clean() {
+    let root = repo_root();
+    let mut checked = 0;
+    for entry in std::fs::read_dir(root.join("examples")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("futil") {
+            continue;
+        }
+        let out = Command::new(env!("CARGO_BIN_EXE_futil"))
+            .arg("check")
+            .arg(&path)
+            .current_dir(&root)
+            .output()
+            .expect("futil spawns");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{} has lint errors:\n{}",
+            path.display(),
+            String::from_utf8_lossy(&out.stdout)
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no examples/*.futil found");
+}

@@ -99,27 +99,45 @@ impl Error {
             return None;
         };
         let mut out = format!("parse error at {file}:{line}:{col}: {msg}");
-        let text = match line.checked_sub(1).and_then(|i| src.lines().nth(i)) {
-            Some(text) => text,
-            None => return Some(out),
-        };
-        // The caret gutter mirrors each pre-column character as a space
-        // (tabs stay tabs) so the `^` lands under the column even with
-        // mixed indentation; a column past the end clamps to just after
-        // the line, so a wild column can't push the caret into the void.
-        let clamped = col.saturating_sub(1).min(text.chars().count());
-        let gutter: String = text
-            .chars()
-            .take(clamped)
-            .map(|c| if c == '\t' { '\t' } else { ' ' })
-            .collect();
-        let margin = line.to_string();
-        out.push_str(&format!(
-            "\n {margin} | {text}\n {blank} | {gutter}^",
-            blank = " ".repeat(margin.len())
-        ));
+        if let Some(snippet) = caret_snippet(src, *line, *col) {
+            out.push('\n');
+            out.push_str(&snippet);
+        }
         Some(out)
     }
+}
+
+/// Render the two-line source snippet under a caret diagnostic header:
+/// the offending source line with its line-number margin, then a `^`
+/// caret under the 1-based `col` —
+///
+/// ```text
+///  3 | group g {
+///    |         ^
+/// ```
+///
+/// Shared by [`Error::caret_diagnostic`] and the lint
+/// [`Diagnostic`](crate::lint::Diagnostic) renderer so every positioned
+/// message in the toolchain draws spans the same way. Returns `None`
+/// when `line` is out of range for `src` (e.g. an unexpected end of
+/// input), letting callers degrade to a bare header.
+pub fn caret_snippet(src: &str, line: usize, col: usize) -> Option<String> {
+    let text = line.checked_sub(1).and_then(|i| src.lines().nth(i))?;
+    // The caret gutter mirrors each pre-column character as a space
+    // (tabs stay tabs) so the `^` lands under the column even with
+    // mixed indentation; a column past the end clamps to just after
+    // the line, so a wild column can't push the caret into the void.
+    let clamped = col.saturating_sub(1).min(text.chars().count());
+    let gutter: String = text
+        .chars()
+        .take(clamped)
+        .map(|c| if c == '\t' { '\t' } else { ' ' })
+        .collect();
+    let margin = line.to_string();
+    Some(format!(
+        " {margin} | {text}\n {blank} | {gutter}^",
+        blank = " ".repeat(margin.len())
+    ))
 }
 
 impl fmt::Display for Error {
@@ -204,6 +222,15 @@ mod tests {
         };
         let rendered = err.caret_diagnostic("f", "g").unwrap();
         assert!(rendered.ends_with(" 1 | g\n   |  ^"), "{rendered:?}");
+    }
+
+    #[test]
+    fn caret_snippet_is_usable_standalone() {
+        assert_eq!(
+            caret_snippet("a\nbcd\n", 2, 2).unwrap(),
+            " 2 | bcd\n   |  ^"
+        );
+        assert!(caret_snippet("a\n", 5, 1).is_none());
     }
 
     #[test]

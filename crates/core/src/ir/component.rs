@@ -206,6 +206,9 @@ pub struct Context {
     pub lib: Library,
     /// The entry-point component (defaults to `main`).
     pub entrypoint: Id,
+    /// Source locations recorded by the parser (empty for generated
+    /// programs); consumed by diagnostics, ignored by compilation.
+    pub sources: super::SourceMap,
 }
 
 impl Default for Context {
@@ -221,6 +224,7 @@ impl Context {
             components: OrderedMap::new(),
             lib: Library::std(),
             entrypoint: Id::new("main"),
+            sources: super::SourceMap::default(),
         }
     }
 

@@ -21,6 +21,7 @@ mod parser;
 mod primitives;
 mod printer;
 mod rewriter;
+mod source_map;
 pub mod validate;
 
 pub use attributes::{attr, Attributes};
@@ -34,3 +35,4 @@ pub use parser::{parse_context, parse_guard};
 pub use primitives::{Library, PrimitiveDef, PrimitivePort, WidthSpec};
 pub use printer::Printer;
 pub use rewriter::Rewriter;
+pub use source_map::{Loc, SourceMap, Truncation};

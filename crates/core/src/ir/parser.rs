@@ -24,7 +24,7 @@
 use super::cell::Group;
 use super::{
     Assignment, Atom, Attributes, CellType, CompOp, Component, Context, Control, Direction, Guard,
-    Id, PortDef, PrimitiveDef, PrimitivePort, WidthSpec,
+    Id, Loc, PortDef, PrimitiveDef, PrimitivePort, SourceMap, Truncation, WidthSpec,
 };
 use crate::errors::{CalyxResult, Error};
 
@@ -72,8 +72,12 @@ struct Spanned {
     col: usize,
 }
 
-fn lex(src: &str) -> CalyxResult<Vec<Spanned>> {
+/// Tokenize `src`, additionally reporting every sized literal whose value
+/// was truncated to its declared width — masking happens here, so the
+/// lexer is the only place the over-wide value is still observable.
+fn lex(src: &str) -> CalyxResult<(Vec<Spanned>, Vec<Truncation>)> {
     let mut toks = Vec::new();
+    let mut truncations = Vec::new();
     let bytes = src.as_bytes();
     let mut i = 0;
     let mut line = 1;
@@ -178,6 +182,20 @@ fn lex(src: &str) -> CalyxResult<Vec<Spanned>> {
                         line,
                         col,
                     })?;
+                    let width = first as u32;
+                    let kept = if width >= 64 {
+                        val
+                    } else {
+                        val & ((1u64 << width) - 1)
+                    };
+                    if kept != val {
+                        truncations.push(Truncation {
+                            loc: Loc { line, col },
+                            width,
+                            val,
+                            kept,
+                        });
+                    }
                     let len = k - i;
                     push!(
                         Tok::Sized {
@@ -217,7 +235,7 @@ fn lex(src: &str) -> CalyxResult<Vec<Spanned>> {
         line,
         col,
     });
-    Ok(toks)
+    Ok((toks, truncations))
 }
 
 // ---------------------------------------------------------------------------
@@ -246,6 +264,16 @@ impl Parser {
             self.pos += 1;
         }
         t
+    }
+
+    /// The position of the *current* (not yet consumed) token — captured
+    /// before consuming a name to record where that name is declared.
+    fn loc(&self) -> Loc {
+        let sp = &self.toks[self.pos];
+        Loc {
+            line: sp.line,
+            col: sp.col,
+        }
     }
 
     fn err(&self, msg: impl std::fmt::Display) -> Error {
@@ -350,8 +378,10 @@ impl Parser {
         Ok(attrs)
     }
 
-    /// `name: width, ...` until the closing paren.
-    fn port_list(&mut self, direction: Direction) -> CalyxResult<Vec<PortDef>> {
+    /// `name: width, ...` until the closing paren, with each port's
+    /// declaration position (dropped by `extern` signatures, recorded in
+    /// the source map for component signatures).
+    fn port_list(&mut self, direction: Direction) -> CalyxResult<Vec<(PortDef, Loc)>> {
         let mut ports = Vec::new();
         self.expect(Tok::LParen, "`(`")?;
         if self.eat(Tok::RParen) {
@@ -359,12 +389,13 @@ impl Parser {
         }
         loop {
             let attrs = self.at_attributes()?;
+            let loc = self.loc();
             let name = self.ident("port name")?;
             self.expect(Tok::Colon, "`:`")?;
             let width = self.num("port width")? as u32;
             let mut def = PortDef::new(name, width, direction);
             def.attributes = attrs;
-            ports.push(def);
+            ports.push((def, loc));
             if !self.eat(Tok::Comma) {
                 break;
             }
@@ -584,13 +615,18 @@ struct RawComponent {
     control: Control,
 }
 
-fn parse_component(p: &mut Parser) -> CalyxResult<RawComponent> {
+fn parse_component(p: &mut Parser, sources: &mut SourceMap) -> CalyxResult<RawComponent> {
     p.keyword("component")?;
     let name = p.ident("component name")?;
     let attrs = p.angle_attributes()?;
     let inputs = p.port_list(Direction::Input)?;
     p.expect(Tok::Arrow, "`->`")?;
     let outputs = p.port_list(Direction::Output)?;
+    for (def, loc) in inputs.iter().chain(outputs.iter()) {
+        sources.record_port(name, def.name, *loc);
+    }
+    let inputs: Vec<PortDef> = inputs.into_iter().map(|(d, _)| d).collect();
+    let outputs: Vec<PortDef> = outputs.into_iter().map(|(d, _)| d).collect();
     p.expect(Tok::LBrace, "`{`")?;
 
     // cells { ... }
@@ -599,6 +635,7 @@ fn parse_component(p: &mut Parser) -> CalyxResult<RawComponent> {
     let mut cells = Vec::new();
     while !p.eat(Tok::RBrace) {
         let cattrs = p.at_attributes()?;
+        let cloc = p.loc();
         let cname = p.ident("cell name")?;
         p.expect(Tok::Eq, "`=`")?;
         let proto = p.ident("primitive or component name")?;
@@ -614,6 +651,7 @@ fn parse_component(p: &mut Parser) -> CalyxResult<RawComponent> {
             p.expect(Tok::RParen, "`)`")?;
         }
         p.expect(Tok::Semi, "`;`")?;
+        sources.record_cell(name, cname, cloc);
         cells.push(RawCell {
             attrs: cattrs,
             name: cname,
@@ -630,16 +668,22 @@ fn parse_component(p: &mut Parser) -> CalyxResult<RawComponent> {
     while !p.eat(Tok::RBrace) {
         if p.at_keyword("group") {
             p.next();
+            let gloc = p.loc();
             let gname = p.ident("group name")?;
             let gattrs = p.angle_attributes()?;
             p.expect(Tok::LBrace, "`{`")?;
+            sources.record_group(name, gname, gloc);
             let mut group = Group::new(gname);
             group.attributes = gattrs;
             while !p.eat(Tok::RBrace) {
+                let aloc = p.loc();
+                sources.record_assignment(name, Some(gname), group.assignments.len(), aloc);
                 group.assignments.push(p.assignment()?);
             }
             groups.push(group);
         } else {
+            let aloc = p.loc();
+            sources.record_assignment(name, None, continuous.len(), aloc);
             continuous.push(p.assignment()?);
         }
     }
@@ -693,7 +737,7 @@ fn parse_extern(p: &mut Parser) -> CalyxResult<Vec<PrimitiveDef>> {
         let ports = inputs
             .iter()
             .chain(outputs.iter())
-            .map(|pd| PrimitivePort {
+            .map(|(pd, _)| PrimitivePort {
                 name: pd.name,
                 width: WidthSpec::Const(pd.width),
                 direction: pd.direction,
@@ -718,7 +762,11 @@ fn parse_extern(p: &mut Parser) -> CalyxResult<Vec<PrimitiveDef>> {
 /// resolution errors (undefined primitives/components, bad parameters) as
 /// [`Error::Undefined`]/[`Error::BuildError`].
 pub fn parse_context(src: &str) -> CalyxResult<Context> {
-    let toks = lex(src)?;
+    let (toks, truncations) = lex(src)?;
+    let mut sources = SourceMap::default();
+    for t in truncations {
+        sources.record_truncation(t);
+    }
     let mut p = Parser { toks, pos: 0 };
     let mut raws = Vec::new();
     let mut ctx = Context::new();
@@ -740,7 +788,7 @@ pub fn parse_context(src: &str) -> CalyxResult<Context> {
                     ctx.lib.add(def);
                 }
             }
-            Tok::Ident(s) if s == "component" => raws.push(parse_component(&mut p)?),
+            Tok::Ident(s) if s == "component" => raws.push(parse_component(&mut p, &mut sources)?),
             other => return Err(p.err(format!("expected top-level item, found {other:?}"))),
         }
     }
@@ -793,6 +841,7 @@ pub fn parse_context(src: &str) -> CalyxResult<Context> {
         comp.control = raw.control;
         ctx.add_component(comp);
     }
+    ctx.sources = sources;
     Ok(ctx)
 }
 
@@ -803,7 +852,7 @@ pub fn parse_context(src: &str) -> CalyxResult<Context> {
 ///
 /// Returns [`Error::Parse`] on malformed guards.
 pub fn parse_guard(src: &str) -> CalyxResult<Guard> {
-    let toks = lex(src)?;
+    let (toks, _) = lex(src)?;
     let mut p = Parser { toks, pos: 0 };
     let e = p.gexpr()?;
     if *p.peek() != Tok::Eof {
@@ -998,6 +1047,44 @@ mod tests {
             }
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn source_map_records_declaration_sites() {
+        let src = "component main(x: 8) -> () {\n\
+                   \x20 cells { r = std_reg(4); }\n\
+                   \x20 wires {\n\
+                   \x20   group g { r.in = 4'd20; r.write_en = 1'd1; g[done] = r.done; }\n\
+                   \x20 }\n\
+                   \x20 control { g; }\n\
+                   }\n";
+        let ctx = parse_context(src).unwrap();
+        let (main, r, g) = (Id::new("main"), Id::new("r"), Id::new("g"));
+        let sm = &ctx.sources;
+        assert_eq!(
+            sm.port(main, Id::new("x")),
+            Some(super::Loc { line: 1, col: 16 })
+        );
+        assert_eq!(sm.cell(main, r), Some(super::Loc { line: 2, col: 11 }));
+        assert_eq!(sm.group(main, g), Some(super::Loc { line: 4, col: 11 }));
+        // First assignment of `g` starts at its destination port.
+        assert_eq!(
+            sm.assignment(main, Some(g), 0),
+            Some(super::Loc { line: 4, col: 15 })
+        );
+        // `4'd20` does not fit 4 bits: recorded as a truncation, value masked.
+        let t = sm.truncations();
+        assert_eq!(t.len(), 1);
+        assert_eq!((t[0].width, t[0].val, t[0].kept), (4, 20, 4));
+        assert_eq!(t[0].loc, super::Loc { line: 4, col: 22 });
+        let main_comp = ctx.component("main").unwrap();
+        let grp = main_comp.groups.get(g).unwrap();
+        assert_eq!(grp.assignments[0].src, Atom::constant(4, 4));
+    }
+
+    #[test]
+    fn generated_programs_have_empty_source_maps() {
+        assert!(Context::new().sources.is_empty());
     }
 
     #[test]

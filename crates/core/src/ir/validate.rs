@@ -16,14 +16,46 @@ use crate::errors::{CalyxResult, Error};
 /// # Errors
 ///
 /// Returns [`Error::Malformed`] (or [`Error::Undefined`] from width
-/// resolution) describing the first violation found.
+/// resolution) describing the first violation found. To report *every*
+/// violation at once, use [`collect_context`] (which this wraps).
 pub fn validate_context(ctx: &Context) -> CalyxResult<()> {
-    ctx.entry()?;
-    for comp in ctx.components.iter() {
-        validate_component(comp)
-            .map_err(|e| Error::malformed(format!("in component `{}`: {e}", comp.name)))?;
+    let mut errors = Vec::new();
+    collect_context(ctx, &mut errors);
+    match errors.into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
-    Ok(())
+}
+
+/// Collect *every* structural violation in the program into `sink`, in
+/// the same traversal order [`validate_context`] uses to find its first
+/// error: entry-point existence, then each component's groups,
+/// continuous assignments, and control program. The collecting form is
+/// what the `well-formed` lint runs, so one `futil check` reports all
+/// problems instead of stopping at the first.
+pub fn collect_context(ctx: &Context, sink: &mut Vec<Error>) {
+    if let Err(e) = ctx.entry() {
+        sink.push(e);
+    }
+    for comp in ctx.components.iter() {
+        let start = sink.len();
+        collect_component(comp, sink);
+        for e in &mut sink[start..] {
+            *e = locate(&format!("in component `{}`", comp.name), e);
+        }
+    }
+}
+
+/// Re-wrap `e` with a location prefix. An already-[`Malformed`] error is
+/// unwrapped first so its Display prefix (`malformed program:`) does not
+/// stack up once per nesting level.
+///
+/// [`Malformed`]: Error::Malformed
+fn locate(prefix: &str, e: &Error) -> Error {
+    match e {
+        Error::Malformed(msg) => Error::malformed(format!("{prefix}: {msg}")),
+        other => Error::malformed(format!("{prefix}: {other}")),
+    }
 }
 
 /// Validate one component.
@@ -35,30 +67,43 @@ pub fn validate_context(ctx: &Context) -> CalyxResult<()> {
 /// drivers in the same scope, a group never writes its `done` hole, or the
 /// control program references undefined groups.
 pub fn validate_component(comp: &Component) -> CalyxResult<()> {
-    for group in comp.groups.iter() {
-        validate_group(comp, group)?;
-        check_unique_drivers(comp, &group.assignments, group.name.as_str())?;
+    let mut errors = Vec::new();
+    collect_component(comp, &mut errors);
+    match errors.into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
-    for asgn in &comp.continuous {
-        validate_assignment(comp, asgn)?;
-    }
-    check_unique_drivers(comp, &comp.continuous, "continuous assignments")?;
-    validate_control(comp, &comp.control)
 }
 
-fn validate_group(comp: &Component, group: &Group) -> CalyxResult<()> {
+/// Per-component version of [`collect_context`] (without the component-name
+/// wrapping, which the context-level walk applies).
+pub fn collect_component(comp: &Component, sink: &mut Vec<Error>) {
+    for group in comp.groups.iter() {
+        collect_group(comp, group, sink);
+        check_unique_drivers(comp, &group.assignments, group.name.as_str(), sink);
+    }
+    for asgn in &comp.continuous {
+        if let Err(e) = validate_assignment(comp, asgn) {
+            sink.push(e);
+        }
+    }
+    check_unique_drivers(comp, &comp.continuous, "continuous assignments", sink);
+    collect_control(comp, &comp.control, sink);
+}
+
+fn collect_group(comp: &Component, group: &Group, sink: &mut Vec<Error>) {
     for asgn in &group.assignments {
-        validate_assignment(comp, asgn)
-            .map_err(|e| Error::malformed(format!("in group `{}`: {e}", group.name)))?;
+        if let Err(e) = validate_assignment(comp, asgn) {
+            sink.push(locate(&format!("in group `{}`", group.name), &e));
+        }
     }
     // Every group in a live control program must signal completion.
     if comp.control.used_groups().contains(&group.name) && group.done_writes().count() == 0 {
-        return Err(Error::malformed(format!(
+        sink.push(Error::malformed(format!(
             "group `{}` is enabled by the control program but never writes `{}[done]`",
             group.name, group.name
         )));
     }
-    Ok(())
 }
 
 /// Check that the lowering pipeline has run: no component may retain
@@ -206,37 +251,38 @@ fn validate_guard(comp: &Component, guard: &Guard) -> CalyxResult<()> {
     }
 }
 
-/// Reject two unconditional (guard-`True`) drivers of the same port in the
+/// Report two unconditional (guard-`True`) drivers of the same port in the
 /// same activation scope — a *static* violation of the unique-driver rule.
 /// Dynamically conflicting guarded drivers are caught by the simulator.
 fn check_unique_drivers(
     _comp: &Component,
     assignments: &[Assignment],
     scope: &str,
-) -> CalyxResult<()> {
+    sink: &mut Vec<Error>,
+) {
     let mut unconditional = std::collections::HashSet::new();
     for asgn in assignments {
         if asgn.guard.is_true() && !unconditional.insert(asgn.dst) {
-            return Err(Error::malformed(format!(
+            sink.push(Error::malformed(format!(
                 "port `{}` has multiple unconditional drivers in {scope}",
                 asgn.dst
             )));
         }
     }
-    Ok(())
 }
 
-fn validate_control(comp: &Component, control: &Control) -> CalyxResult<()> {
+fn collect_control(comp: &Component, control: &Control, sink: &mut Vec<Error>) {
     match control {
-        Control::Empty => Ok(()),
+        Control::Empty => {}
         Control::Enable { group, .. } => {
             if !comp.groups.contains(*group) {
-                return Err(Error::undefined(format!("group `{group}` in control")));
+                sink.push(Error::undefined(format!("group `{group}` in control")));
             }
-            Ok(())
         }
         Control::Seq { stmts, .. } | Control::Par { stmts, .. } => {
-            stmts.iter().try_for_each(|s| validate_control(comp, s))
+            for s in stmts {
+                collect_control(comp, s, sink);
+            }
         }
         Control::If {
             port,
@@ -245,32 +291,32 @@ fn validate_control(comp: &Component, control: &Control) -> CalyxResult<()> {
             fbranch,
             ..
         } => {
-            validate_cond(comp, port, cond)?;
-            validate_control(comp, tbranch)?;
-            validate_control(comp, fbranch)
+            collect_cond(comp, port, cond, sink);
+            collect_control(comp, tbranch, sink);
+            collect_control(comp, fbranch, sink);
         }
         Control::While {
             port, cond, body, ..
         } => {
-            validate_cond(comp, port, cond)?;
-            validate_control(comp, body)
+            collect_cond(comp, port, cond, sink);
+            collect_control(comp, body, sink);
         }
     }
 }
 
-fn validate_cond(comp: &Component, port: &PortRef, cond: &Option<super::Id>) -> CalyxResult<()> {
-    let w = comp.port_width(port)?;
-    if w != 1 {
-        return Err(Error::malformed(format!(
+fn collect_cond(comp: &Component, port: &PortRef, cond: &Option<super::Id>, sink: &mut Vec<Error>) {
+    match comp.port_width(port) {
+        Ok(w) if w != 1 => sink.push(Error::malformed(format!(
             "condition port `{port}` must be 1 bit, found {w}"
-        )));
+        ))),
+        Ok(_) => {}
+        Err(e) => sink.push(e),
     }
     if let Some(c) = cond {
         if !comp.groups.contains(*c) {
-            return Err(Error::undefined(format!("condition group `{c}`")));
+            sink.push(Error::undefined(format!("condition group `{c}`")));
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -402,6 +448,38 @@ mod tests {
     fn rejects_missing_entrypoint() {
         let ctx = Context::new();
         assert!(validate_context(&ctx).is_err());
+    }
+
+    #[test]
+    fn collect_reports_every_violation_in_validation_order() {
+        let src = r#"
+            component main() -> () {
+              cells { r = std_reg(8); }
+              wires {
+                group g {
+                  r.in = 4'd1;
+                  r.write_en = 1'd1;
+                }
+              }
+              control { seq { g; ghost; } }
+            }
+        "#;
+        let ctx = parse_context(src).expect("parses");
+        let mut errors = Vec::new();
+        collect_context(&ctx, &mut errors);
+        let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        assert_eq!(msgs.len(), 3, "{msgs:#?}");
+        assert!(msgs[0].contains("width mismatch"), "{}", msgs[0]);
+        assert!(msgs[1].contains("never writes `g[done]`"), "{}", msgs[1]);
+        assert!(msgs[2].contains("group `ghost` in control"), "{}", msgs[2]);
+        // Every collected error carries the component wrapper, and the
+        // fail-fast entry point returns exactly the first one.
+        assert!(msgs.iter().all(|m| m.contains("in component `main`")));
+        assert_eq!(
+            validate_context(&ctx).unwrap_err().to_string(),
+            msgs[0],
+            "validate_context must return the first collected error"
+        );
     }
 
     #[test]

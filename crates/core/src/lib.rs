@@ -22,6 +22,10 @@
 //!   latency-sensitive `StaticTiming` compiler, and the optimization passes
 //!   described in the paper (resource sharing, register sharing, latency
 //!   inference).
+//! - [`lint`]: the `futil check` diagnostics engine — accumulating,
+//!   position-carrying diagnostics and a registry of read-only lints
+//!   (par-race detection, combinational cycles, dead code, …) that reuse
+//!   the cached analyses.
 //!
 //! # Example
 //!
@@ -60,5 +64,6 @@
 pub mod analysis;
 pub mod errors;
 pub mod ir;
+pub mod lint;
 pub mod passes;
 pub mod utils;

@@ -1,0 +1,91 @@
+//! `dead-group` (C0202): groups the control program never enables.
+
+use super::diagnostic::{Diagnostic, Severity};
+use super::registry::Lint;
+use super::sink::DiagnosticSink;
+use crate::analysis::AnalysisCache;
+use crate::ir::Context;
+
+/// Flags groups that no control statement enables (directly or as a `with`
+/// condition group). Mirrors what the `dead-group-removal` pass deletes.
+#[derive(Default)]
+pub struct DeadGroup;
+
+impl Lint for DeadGroup {
+    const NAME: &'static str = "dead-group";
+    const CODE: &'static str = "C0202";
+    const DESCRIPTION: &'static str = "groups the control program never enables";
+    const SEVERITY: Severity = Severity::Warning;
+
+    fn check(&self, ctx: &Context, _cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
+        for comp in ctx.components.iter() {
+            let used = comp.control.used_groups();
+            for group in comp.groups.iter() {
+                if used.contains(&group.name) {
+                    continue;
+                }
+                sink.push(
+                    Diagnostic::new(
+                        Self::SEVERITY,
+                        Self::CODE,
+                        Self::NAME,
+                        format!(
+                            "group `{}` is never enabled by the control program",
+                            group.name
+                        ),
+                    )
+                    .at(ctx.sources.group(comp.name, group.name))
+                    .note("the dead-group-removal pass will delete it during compilation"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_context;
+
+    fn check(src: &str) -> DiagnosticSink {
+        let ctx = parse_context(src).unwrap();
+        let mut sink = DiagnosticSink::new();
+        DeadGroup.check(&ctx, &mut AnalysisCache::new(), &mut sink);
+        sink
+    }
+
+    #[test]
+    fn unenabled_group_warns() {
+        let sink = check(
+            r#"component main() -> () {
+                cells { r = std_reg(8); }
+                wires {
+                  group g { r.in = 8'd1; r.write_en = 1'd1; g[done] = r.done; }
+                  group never { never[done] = 1'd1; }
+                }
+                control { g; }
+            }"#,
+        );
+        assert_eq!(sink.warnings(), 1, "{:?}", sink.diagnostics());
+        assert!(
+            sink.diagnostics()[0].message.contains("`never`"),
+            "{}",
+            sink.diagnostics()[0].message
+        );
+    }
+
+    #[test]
+    fn with_condition_groups_count_as_enabled() {
+        let sink = check(
+            r#"component main() -> () {
+                cells { lt = std_lt(8); r = std_reg(8); }
+                wires {
+                  group cond { lt.left = r.out; lt.right = 8'd9; cond[done] = 1'd1; }
+                  group g { r.in = 8'd1; r.write_en = 1'd1; g[done] = r.done; }
+                }
+                control { while lt.out with cond { g; } }
+            }"#,
+        );
+        assert!(sink.is_empty(), "{:?}", sink.diagnostics());
+    }
+}

@@ -1,0 +1,150 @@
+//! The diagnostic value lints produce.
+
+use crate::errors::caret_snippet;
+use crate::ir::Loc;
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// `Error` means the program's behavior is undefined or it cannot mean
+/// what was written (races, cycles, structural violations); `Warning`
+/// means the program is well-defined but carries dead weight or a likely
+/// mistake. The ordering (`Warning < Error`) lets callers write
+/// `severity >= Severity::Error` thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Hygiene problem; compilation may proceed.
+    Warning,
+    /// Semantic problem; the program should not be compiled as-is.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding: severity, a stable code (`C0101`), the producing lint's
+/// name, a message, an optional source position, and structured notes.
+///
+/// Codes are stable across releases — tooling may match on them — while
+/// messages are free to improve. Positions come from the parser's
+/// [`SourceMap`](crate::ir::SourceMap) side table, so generated programs
+/// simply produce position-free diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `C0101`.
+    pub code: &'static str,
+    /// Kebab-case name of the lint that produced this (e.g. `par-race`).
+    pub lint: &'static str,
+    /// Human-readable explanation of the finding.
+    pub message: String,
+    /// Position of the offending construct, when the source map knows it.
+    pub loc: Option<Loc>,
+    /// Supporting details rendered as indented `note:` lines.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no position and no notes; chain
+    /// [`at`](Diagnostic::at) and [`note`](Diagnostic::note) to add them.
+    pub fn new(
+        severity: Severity,
+        code: &'static str,
+        lint: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            code,
+            lint,
+            message: message.into(),
+            loc: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a source position (no-op for `None`, so lookups from the
+    /// source map can be passed straight through).
+    pub fn at(mut self, loc: Option<Loc>) -> Self {
+        self.loc = loc;
+        self
+    }
+
+    /// Append a note line.
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Render the diagnostic as text against the source it was produced
+    /// from, using the same caret machinery as parse errors:
+    ///
+    /// ```text
+    /// error[C0101] prog.futil:6:11: groups `wa` and `wb` ...
+    ///  6 |     group wa {
+    ///    |           ^
+    ///   note: `wb` is declared at line 7
+    /// ```
+    ///
+    /// Diagnostics without a position render only the header and notes.
+    pub fn render_text(&self, file: &str, src: &str) -> String {
+        let anchor = match self.loc {
+            Some(l) => format!("{file}:{}:{}", l.line, l.col),
+            None => file.to_string(),
+        };
+        let mut out = format!(
+            "{}[{}] {anchor}: {}",
+            self.severity, self.code, self.message
+        );
+        if let Some(l) = self.loc {
+            if let Some(snippet) = caret_snippet(src, l.line, l.col) {
+                out.push('\n');
+                out.push_str(&snippet);
+            }
+        }
+        for note in &self.notes {
+            out.push_str("\n  note: ");
+            out.push_str(note);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_prints() {
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+        assert_eq!(Severity::Warning.to_string(), "warning");
+    }
+
+    #[test]
+    fn renders_with_caret_and_notes() {
+        let d = Diagnostic::new(Severity::Error, "C0101", "par-race", "bad things")
+            .at(Some(Loc { line: 1, col: 3 }))
+            .note("more context");
+        assert_eq!(
+            d.render_text("f.futil", "abcd\n"),
+            "error[C0101] f.futil:1:3: bad things\n 1 | abcd\n   |   ^\n  note: more context"
+        );
+    }
+
+    #[test]
+    fn renders_header_only_without_position() {
+        let d = Diagnostic::new(Severity::Warning, "C0201", "dead-cell", "unused");
+        assert_eq!(
+            d.render_text("f.futil", "x"),
+            "warning[C0201] f.futil: unused"
+        );
+    }
+}

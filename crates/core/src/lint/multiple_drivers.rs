@@ -1,0 +1,193 @@
+//! `multiple-drivers` (C0103): one port, several unconditional drivers
+//! that can be active at the same time.
+//!
+//! The validator (C0100) already rejects duplicate unconditional drivers
+//! *within* one scope; this lint catches the cross-scope case it cannot
+//! see — a continuous assignment contending with a group, or two groups a
+//! `par` may activate together. Sequenced groups driving the same port are
+//! fine (that is how time-multiplexing works), so group pairs are only
+//! flagged when the conflict analysis says they may overlap.
+
+use super::diagnostic::{Diagnostic, Severity};
+use super::registry::Lint;
+use super::sink::DiagnosticSink;
+use crate::analysis::{AnalysisCache, ParConflicts};
+use crate::ir::{Component, Context, Id, PortRef};
+use std::collections::BTreeMap;
+
+/// Flags ports driven unconditionally from two same-activation scopes.
+#[derive(Default)]
+pub struct MultipleDrivers;
+
+impl Lint for MultipleDrivers {
+    const NAME: &'static str = "multiple-drivers";
+    const CODE: &'static str = "C0103";
+    const DESCRIPTION: &'static str =
+        "ports driven unconditionally from scopes that may be active together";
+    const SEVERITY: Severity = Severity::Error;
+
+    fn check(&self, ctx: &Context, cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
+        for comp in ctx.components.iter() {
+            check_component(ctx, comp, cache, sink);
+        }
+    }
+}
+
+/// A driving scope: `None` is the continuous section.
+type Scope = Option<Id>;
+
+fn scope_name(s: Scope) -> String {
+    match s {
+        None => "the continuous assignments".to_string(),
+        Some(g) => format!("group `{g}`"),
+    }
+}
+
+fn check_component(
+    ctx: &Context,
+    comp: &Component,
+    cache: &mut AnalysisCache,
+    sink: &mut DiagnosticSink,
+) {
+    // port -> first unconditional write per scope (index kept for spans).
+    let mut drivers: BTreeMap<PortRef, Vec<(Scope, usize)>> = BTreeMap::new();
+    let mut scan = |scope: Scope, asgns: &[crate::ir::Assignment]| {
+        for (index, asgn) in asgns.iter().enumerate() {
+            if !asgn.guard.is_true() || asgn.dst.is_hole() {
+                continue;
+            }
+            let entry = drivers.entry(asgn.dst).or_default();
+            if !entry.iter().any(|&(s, _)| s == scope) {
+                entry.push((scope, index));
+            }
+        }
+    };
+    scan(None, &comp.continuous);
+    for group in comp.groups.iter() {
+        scan(Some(group.name), &group.assignments);
+    }
+    let conflicts = cache.get::<ParConflicts>(comp);
+    for (port, sites) in &drivers {
+        for (i, &(a, a_idx)) in sites.iter().enumerate() {
+            for &(b, b_idx) in &sites[i + 1..] {
+                let contend = match (a, b) {
+                    // The continuous section is always active.
+                    (None, _) | (_, None) => true,
+                    (Some(ga), Some(gb)) => conflicts.conflict(ga, gb),
+                };
+                if !contend {
+                    continue;
+                }
+                let mut d = Diagnostic::new(
+                    MultipleDrivers::SEVERITY,
+                    MultipleDrivers::CODE,
+                    MultipleDrivers::NAME,
+                    format!(
+                        "port `{port}` is driven unconditionally by both {} and {}{}",
+                        scope_name(a),
+                        scope_name(b),
+                        if a.is_some() && b.is_some() {
+                            ", which may run in the same `par`"
+                        } else {
+                            ""
+                        }
+                    ),
+                )
+                .at(ctx.sources.assignment(comp.name, a, a_idx))
+                .note("a port must have exactly one active driver per cycle");
+                if let Some(loc) = ctx.sources.assignment(comp.name, b, b_idx) {
+                    d = d.note(format!("the other driver is at line {}", loc.line));
+                }
+                sink.push(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_context;
+
+    fn check(src: &str) -> DiagnosticSink {
+        let ctx = parse_context(src).unwrap();
+        let mut sink = DiagnosticSink::new();
+        MultipleDrivers.check(&ctx, &mut AnalysisCache::new(), &mut sink);
+        sink
+    }
+
+    #[test]
+    fn continuous_vs_group_contend() {
+        let sink = check(
+            r#"component main() -> () {
+                cells { a = std_add(8); r = std_reg(8); }
+                wires {
+                  a.left = 8'd1;
+                  group g {
+                    a.left = r.out; a.right = 8'd1;
+                    r.in = a.out; r.write_en = 1'd1;
+                    g[done] = r.done;
+                  }
+                }
+                control { g; }
+            }"#,
+        );
+        assert_eq!(sink.errors(), 1, "{:?}", sink.diagnostics());
+        let d = &sink.diagnostics()[0];
+        assert!(d.message.contains("`a.left`"), "{}", d.message);
+        assert!(d.message.contains("continuous"), "{}", d.message);
+        assert!(d.loc.is_some());
+    }
+
+    #[test]
+    fn parallel_groups_contend() {
+        let sink = check(
+            r#"component main() -> () {
+                cells { w = std_wire(8); r = std_reg(8); s = std_reg(8); }
+                wires {
+                  group ga { w.in = 8'd1; r.in = w.out; r.write_en = 1'd1; ga[done] = r.done; }
+                  group gb { w.in = 8'd2; s.in = w.out; s.write_en = 1'd1; gb[done] = s.done; }
+                }
+                control { par { ga; gb; } }
+            }"#,
+        );
+        assert_eq!(sink.errors(), 1, "{:?}", sink.diagnostics());
+        assert!(
+            sink.diagnostics()[0]
+                .message
+                .contains("may run in the same `par`"),
+            "{}",
+            sink.diagnostics()[0].message
+        );
+    }
+
+    #[test]
+    fn sequenced_groups_share_fine() {
+        let sink = check(
+            r#"component main() -> () {
+                cells { w = std_wire(8); r = std_reg(8); s = std_reg(8); }
+                wires {
+                  group ga { w.in = 8'd1; r.in = w.out; r.write_en = 1'd1; ga[done] = r.done; }
+                  group gb { w.in = 8'd2; s.in = w.out; s.write_en = 1'd1; gb[done] = s.done; }
+                }
+                control { seq { ga; gb; } }
+            }"#,
+        );
+        assert!(sink.is_empty(), "{:?}", sink.diagnostics());
+    }
+
+    #[test]
+    fn guarded_drivers_do_not_contend() {
+        let sink = check(
+            r#"component main() -> () {
+                cells { w = std_wire(8); c = std_lt(8); r = std_reg(8); }
+                wires {
+                  w.in = c.out ? 8'd1;
+                  group g { w.in = 8'd2; r.in = w.out; r.write_en = 1'd1; g[done] = r.done; }
+                }
+                control { g; }
+            }"#,
+        );
+        assert!(sink.is_empty(), "{:?}", sink.diagnostics());
+    }
+}

@@ -1,0 +1,250 @@
+//! The named lint registry — the check-side mirror of
+//! [`PassRegistry`](crate::passes::PassRegistry).
+
+use super::diagnostic::Severity;
+use super::sink::DiagnosticSink;
+use super::{
+    CombCycle, DeadCell, DeadGroup, MultipleDrivers, ParRace, UnreachableControl, UnusedPort,
+    WellFormedLint, WidthTruncation,
+};
+use crate::analysis::AnalysisCache;
+use crate::errors::{CalyxResult, Error};
+use crate::ir::Context;
+use crate::utils::is_kebab_case;
+
+/// A single check that reads a program and reports findings.
+///
+/// Lints are read-only: they take `&Context` and may pull cached analyses
+/// ([`ReadWriteSets`](crate::analysis::ReadWriteSets),
+/// [`ParConflicts`](crate::analysis::ParConflicts), …) through the
+/// [`AnalysisCache`], but never mutate the IR. Findings go into the
+/// [`DiagnosticSink`] — push everything you find; the driver decides what
+/// is fatal.
+pub trait Lint {
+    /// Unique kebab-case lint name (the `--list-lints` name).
+    const NAME: &'static str;
+    /// Stable diagnostic code, `C` plus four digits (e.g. `C0101`).
+    const CODE: &'static str;
+    /// One-line description shown by `futil --list-lints`.
+    const DESCRIPTION: &'static str;
+    /// Severity of every diagnostic this lint produces.
+    const SEVERITY: Severity;
+
+    /// Check `ctx`, pushing findings into `sink`.
+    fn check(&self, ctx: &Context, cache: &mut AnalysisCache, sink: &mut DiagnosticSink);
+}
+
+/// A lint known to the registry.
+#[derive(Debug)]
+pub struct RegisteredLint {
+    /// The lint's unique kebab-case name.
+    pub name: &'static str,
+    /// The lint's stable diagnostic code.
+    pub code: &'static str,
+    /// One-line description (from [`Lint::DESCRIPTION`]).
+    pub description: &'static str,
+    /// Severity of the lint's diagnostics.
+    pub severity: Severity,
+    /// Runs the lint over a program.
+    pub run: fn(&Context, &mut AnalysisCache, &mut DiagnosticSink),
+}
+
+/// A registry of named lints.
+///
+/// [`LintRegistry::default`] knows every lint in this crate; tools can
+/// [`register`](LintRegistry::register) their own on top — same
+/// contract as the pass, backend, and frontend registries.
+pub struct LintRegistry {
+    lints: Vec<RegisteredLint>,
+}
+
+impl Default for LintRegistry {
+    /// The standard registry: all lints in this crate, well-formedness
+    /// first (structural violations make later findings noisy), then
+    /// errors before warnings.
+    fn default() -> Self {
+        let mut reg = LintRegistry::empty();
+        reg.register::<WellFormedLint>();
+        reg.register::<ParRace>();
+        reg.register::<CombCycle>();
+        reg.register::<MultipleDrivers>();
+        reg.register::<UnreachableControl>();
+        reg.register::<DeadCell>();
+        reg.register::<DeadGroup>();
+        reg.register::<UnusedPort>();
+        reg.register::<WidthTruncation>();
+        reg
+    }
+}
+
+impl LintRegistry {
+    /// The standard registry (same as [`LintRegistry::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry with no lints, for tools that want full control.
+    pub fn empty() -> Self {
+        LintRegistry { lints: Vec::new() }
+    }
+
+    /// Register lint `L` under its own [`Lint::NAME`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name or code is already taken, the name is not
+    /// kebab-case, or the code is not `C` + four digits — these are
+    /// compile-time constants, so a collision is a programming error.
+    pub fn register<L: Lint + Default + 'static>(&mut self) {
+        let name = L::NAME;
+        let code = L::CODE;
+        assert!(is_kebab_case(name), "lint name `{name}` is not kebab-case");
+        assert!(
+            code.len() == 5
+                && code.starts_with('C')
+                && code[1..].bytes().all(|b| b.is_ascii_digit()),
+            "lint code `{code}` is not `C` followed by four digits"
+        );
+        assert!(
+            self.find(name).is_none(),
+            "lint name `{name}` registered twice"
+        );
+        assert!(
+            !self.lints.iter().any(|l| l.code == code),
+            "lint code `{code}` registered twice"
+        );
+        self.lints.push(RegisteredLint {
+            name,
+            code,
+            description: L::DESCRIPTION,
+            severity: L::SEVERITY,
+            run: |ctx, cache, sink| L::default().check(ctx, cache, sink),
+        });
+    }
+
+    /// All registered lints, in registration order.
+    pub fn lints(&self) -> &[RegisteredLint] {
+        &self.lints
+    }
+
+    fn find(&self, name: &str) -> Option<&RegisteredLint> {
+        self.lints.iter().find(|l| l.name == name)
+    }
+
+    /// Look up a lint by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Undefined`] listing the valid choices.
+    pub fn get(&self, name: &str) -> CalyxResult<&RegisteredLint> {
+        self.find(name).ok_or_else(|| {
+            Error::undefined(format!(
+                "lint `{name}`; valid lints: {}",
+                self.lints
+                    .iter()
+                    .map(|l| l.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+    }
+
+    /// Run every registered lint over `ctx`, then sort the findings by
+    /// source position. This is what `futil check` runs.
+    pub fn check_all(&self, ctx: &Context, cache: &mut AnalysisCache) -> DiagnosticSink {
+        let mut sink = DiagnosticSink::new();
+        for lint in &self.lints {
+            (lint.run)(ctx, cache, &mut sink);
+        }
+        sink.sort_by_location();
+        sink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn default_registry_has_all_nine_lints() {
+        let reg = LintRegistry::default();
+        assert_eq!(reg.lints().len(), 9);
+    }
+
+    #[test]
+    fn names_and_codes_are_unique_and_well_formed() {
+        let reg = LintRegistry::default();
+        let mut names = BTreeSet::new();
+        let mut codes = BTreeSet::new();
+        for lint in reg.lints() {
+            assert!(is_kebab_case(lint.name), "`{}` not kebab-case", lint.name);
+            assert!(names.insert(lint.name), "duplicate name `{}`", lint.name);
+            assert!(codes.insert(lint.code), "duplicate code `{}`", lint.code);
+            assert!(!lint.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn error_lints_use_01xx_codes_and_warning_lints_02xx() {
+        for lint in LintRegistry::default().lints() {
+            let expected = match lint.severity {
+                Severity::Error => "C01",
+                Severity::Warning => "C02",
+            };
+            assert!(
+                lint.code.starts_with(expected),
+                "`{}` has severity {} but code `{}`",
+                lint.name,
+                lint.severity,
+                lint.code
+            );
+        }
+    }
+
+    #[test]
+    fn get_unknown_lint_lists_choices() {
+        let reg = LintRegistry::default();
+        let err = reg.get("par-rac").unwrap_err();
+        match err {
+            Error::Undefined(msg) => {
+                assert!(msg.contains("par-rac"), "{msg}");
+                assert!(msg.contains("par-race"), "{msg}");
+                assert!(msg.contains("dead-cell"), "{msg}");
+            }
+            other => panic!("expected Undefined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut reg = LintRegistry::default();
+        reg.register::<ParRace>();
+    }
+
+    /// The hand-written lint tables in `lint/mod.rs` and the README must
+    /// quote the exact registry strings (the same ones `futil --list-lints`
+    /// prints), or the copies drift apart.
+    #[test]
+    fn doc_tables_quote_registry_descriptions() {
+        let mod_docs = include_str!("mod.rs");
+        let readme = include_str!("../../../../README.md");
+        for lint in LintRegistry::default().lints() {
+            let row = format!(
+                "| `{}` | `{}` | {} | {} |",
+                lint.code, lint.name, lint.severity, lint.description
+            );
+            assert!(
+                mod_docs.contains(&row),
+                "lint/mod.rs table out of sync for `{}`: expected row `{row}`",
+                lint.name
+            );
+            assert!(
+                readme.contains(&row),
+                "README lint table out of sync for `{}`: expected row `{row}`",
+                lint.name
+            );
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! `unreachable-control` (C0104): branches and loops whose condition is
+//! provably constant.
+//!
+//! Conditions in Calyx are ports, usually a `std_wire` the condition group
+//! drives. When every driver of that wire is an unconditional constant the
+//! branch decision is fixed at compile time: one `if` arm can never run,
+//! and a `while` either never enters its body or never leaves it.
+
+use super::diagnostic::{Diagnostic, Severity};
+use super::registry::Lint;
+use super::sink::DiagnosticSink;
+use crate::analysis::AnalysisCache;
+use crate::ir::{Atom, Component, Context, Control, Id, PortRef};
+
+/// Flags `if`/`while` statements with provably constant conditions.
+#[derive(Default)]
+pub struct UnreachableControl;
+
+impl Lint for UnreachableControl {
+    const NAME: &'static str = "unreachable-control";
+    const CODE: &'static str = "C0104";
+    const DESCRIPTION: &'static str =
+        "if/while conditions that are provably constant (dead branches, infinite loops)";
+    const SEVERITY: Severity = Severity::Error;
+
+    fn check(&self, ctx: &Context, _cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
+        for comp in ctx.components.iter() {
+            visit(ctx, comp, &comp.control, sink);
+        }
+    }
+}
+
+/// The provable constant value of `port`, if it is a `std_wire` output
+/// whose every `in` driver (anywhere in the component) is the same
+/// unconditional constant.
+fn const_value(comp: &Component, port: &PortRef) -> Option<u64> {
+    let cell = comp.cells.get(port.cell_parent()?)?;
+    if !cell.is_primitive("std_wire") || port.port.as_str() != "out" {
+        return None;
+    }
+    let in_port = PortRef::cell(cell.name, "in");
+    let mut value = None;
+    for asgn in comp.all_assignments() {
+        if asgn.dst != in_port {
+            continue;
+        }
+        match (asgn.guard.is_true(), asgn.src) {
+            (true, Atom::Const { val, .. }) => match value {
+                None => value = Some(val),
+                Some(v) if v == val => {}
+                Some(_) => return None,
+            },
+            // A guarded or non-constant driver makes the value unknowable.
+            _ => return None,
+        }
+    }
+    value
+}
+
+fn report(
+    ctx: &Context,
+    comp: &Component,
+    sink: &mut DiagnosticSink,
+    cond: Option<Id>,
+    port: &PortRef,
+    msg: String,
+) {
+    let loc = cond
+        .and_then(|g| ctx.sources.group(comp.name, g))
+        .or_else(|| {
+            port.cell_parent()
+                .and_then(|c| ctx.sources.cell(comp.name, c))
+        });
+    sink.push(
+        Diagnostic::new(
+            UnreachableControl::SEVERITY,
+            UnreachableControl::CODE,
+            UnreachableControl::NAME,
+            msg,
+        )
+        .at(loc)
+        .note(format!(
+            "every driver of `{port}` is the same unconditional constant"
+        )),
+    );
+}
+
+fn visit(ctx: &Context, comp: &Component, control: &Control, sink: &mut DiagnosticSink) {
+    match control {
+        Control::Empty | Control::Enable { .. } => {}
+        Control::Seq { stmts, .. } | Control::Par { stmts, .. } => {
+            for s in stmts {
+                visit(ctx, comp, s, sink);
+            }
+        }
+        Control::If {
+            port,
+            cond,
+            tbranch,
+            fbranch,
+            ..
+        } => {
+            if let Some(v) = const_value(comp, port) {
+                if v == 0 && !tbranch.is_empty() {
+                    report(
+                        ctx,
+                        comp,
+                        sink,
+                        *cond,
+                        port,
+                        format!(
+                            "`if {port}` always takes the else branch: the condition is always 0"
+                        ),
+                    );
+                } else if v != 0 && !fbranch.is_empty() {
+                    report(
+                        ctx,
+                        comp,
+                        sink,
+                        *cond,
+                        port,
+                        format!(
+                            "`if {port}` never takes the else branch: the condition is always 1"
+                        ),
+                    );
+                }
+            }
+            visit(ctx, comp, tbranch, sink);
+            visit(ctx, comp, fbranch, sink);
+        }
+        Control::While {
+            port, cond, body, ..
+        } => {
+            if let Some(v) = const_value(comp, port) {
+                if v == 0 && !body.is_empty() {
+                    report(
+                        ctx,
+                        comp,
+                        sink,
+                        *cond,
+                        port,
+                        format!("`while {port}` body is unreachable: the condition is always 0"),
+                    );
+                } else if v != 0 {
+                    report(
+                        ctx,
+                        comp,
+                        sink,
+                        *cond,
+                        port,
+                        format!("`while {port}` never terminates: the condition is always 1"),
+                    );
+                }
+            }
+            visit(ctx, comp, body, sink);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_context;
+
+    fn check(src: &str) -> DiagnosticSink {
+        let ctx = parse_context(src).unwrap();
+        let mut sink = DiagnosticSink::new();
+        UnreachableControl.check(&ctx, &mut AnalysisCache::new(), &mut sink);
+        sink
+    }
+
+    const BODY: &str = r#"group step { r.in = 8'd1; r.write_en = 1'd1; step[done] = r.done; }"#;
+
+    #[test]
+    fn while_always_zero_is_unreachable() {
+        let sink = check(&format!(
+            r#"component main() -> () {{
+                cells {{ cnd = std_wire(1); r = std_reg(8); }}
+                wires {{ cnd.in = 1'd0; {BODY} }}
+                control {{ while cnd.out {{ step; }} }}
+            }}"#
+        ));
+        assert_eq!(sink.errors(), 1, "{:?}", sink.diagnostics());
+        assert!(
+            sink.diagnostics()[0].message.contains("unreachable"),
+            "{}",
+            sink.diagnostics()[0].message
+        );
+    }
+
+    #[test]
+    fn while_always_one_never_terminates() {
+        let sink = check(&format!(
+            r#"component main() -> () {{
+                cells {{ cnd = std_wire(1); r = std_reg(8); }}
+                wires {{ cnd.in = 1'd1; {BODY} }}
+                control {{ while cnd.out {{ step; }} }}
+            }}"#
+        ));
+        assert_eq!(sink.errors(), 1, "{:?}", sink.diagnostics());
+        assert!(
+            sink.diagnostics()[0].message.contains("never terminates"),
+            "{}",
+            sink.diagnostics()[0].message
+        );
+    }
+
+    #[test]
+    fn if_constant_condition_has_a_dead_branch() {
+        let sink = check(&format!(
+            r#"component main() -> () {{
+                cells {{ cnd = std_wire(1); r = std_reg(8); }}
+                wires {{
+                  cnd.in = 1'd1;
+                  {BODY}
+                  group alt {{ r.in = 8'd2; r.write_en = 1'd1; alt[done] = r.done; }}
+                }}
+                control {{ if cnd.out {{ step; }} else {{ alt; }} }}
+            }}"#
+        ));
+        assert_eq!(sink.errors(), 1, "{:?}", sink.diagnostics());
+        assert!(
+            sink.diagnostics()[0]
+                .message
+                .contains("never takes the else branch"),
+            "{}",
+            sink.diagnostics()[0].message
+        );
+    }
+
+    #[test]
+    fn genuinely_dynamic_conditions_are_fine() {
+        let sink = check(&format!(
+            r#"component main() -> () {{
+                cells {{ cnd = std_wire(1); lt = std_lt(8); r = std_reg(8); }}
+                wires {{ cnd.in = lt.out; lt.left = r.out; lt.right = 8'd9; {BODY} }}
+                control {{ while cnd.out {{ step; }} }}
+            }}"#
+        ));
+        assert!(sink.is_empty(), "{:?}", sink.diagnostics());
+    }
+}

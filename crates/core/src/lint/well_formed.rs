@@ -1,0 +1,87 @@
+//! `well-formed` (C0100): structural validation, reported exhaustively.
+
+use super::diagnostic::{Diagnostic, Severity};
+use super::registry::Lint;
+use super::sink::DiagnosticSink;
+use crate::analysis::AnalysisCache;
+use crate::ir::{validate, Context};
+
+/// Ports the structural validator onto the diagnostic sink.
+///
+/// `futil`'s compile path runs [`validate::validate_context`] and stops at
+/// the first violation; checking wants *all* of them, so this lint drives
+/// the collecting entry point ([`validate::collect_context`]) and turns
+/// every violation into a diagnostic. The findings carry no source
+/// position — validation errors quote the offending construct by name
+/// instead.
+#[derive(Default)]
+pub struct WellFormedLint;
+
+impl Lint for WellFormedLint {
+    const NAME: &'static str = "well-formed";
+    const CODE: &'static str = "C0100";
+    const DESCRIPTION: &'static str =
+        "structural violations: bad widths, duplicate drivers, undefined names, ghost groups";
+    const SEVERITY: Severity = Severity::Error;
+
+    fn check(&self, ctx: &Context, _cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
+        let mut errors = Vec::new();
+        validate::collect_context(ctx, &mut errors);
+        for e in errors {
+            sink.push(Diagnostic::new(
+                Self::SEVERITY,
+                Self::CODE,
+                Self::NAME,
+                e.to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_context;
+
+    #[test]
+    fn reports_every_structural_violation() {
+        let ctx = parse_context(
+            r#"component main() -> () {
+                cells { r = std_reg(8); }
+                wires {
+                  group g { r.in = 4'd1; r.write_en = 1'd1; }
+                }
+                control { seq { g; ghost; } }
+            }"#,
+        )
+        .unwrap();
+        let mut sink = DiagnosticSink::new();
+        WellFormedLint.check(&ctx, &mut AnalysisCache::new(), &mut sink);
+        // Width mismatch + missing done write + ghost group: all three at
+        // once, where `validate_context` would stop at the first.
+        assert_eq!(sink.errors(), 3, "{:?}", sink.diagnostics());
+        let msgs: Vec<&str> = sink
+            .diagnostics()
+            .iter()
+            .map(|d| d.message.as_str())
+            .collect();
+        assert!(msgs.iter().any(|m| m.contains("width")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("done")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("ghost")), "{msgs:?}");
+    }
+
+    #[test]
+    fn clean_program_reports_nothing() {
+        let ctx = parse_context(
+            r#"component main() -> () {
+                cells { r = std_reg(8); }
+                wires { group g { r.in = 8'd1; r.write_en = 1'd1; g[done] = r.done; } }
+                control { g; }
+            }"#,
+        )
+        .unwrap();
+        let mut sink = DiagnosticSink::new();
+        WellFormedLint.check(&ctx, &mut AnalysisCache::new(), &mut sink);
+        assert!(sink.is_empty(), "{:?}", sink.diagnostics());
+    }
+}

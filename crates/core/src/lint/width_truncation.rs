@@ -1,0 +1,87 @@
+//! `width-truncation` (C0204): literals that did not fit their width.
+//!
+//! `4'd20` silently masks to `4` at parse time (hardware truncation
+//! semantics, matching [`Atom::constant`](crate::ir::Atom::constant)). The
+//! masked value is indistinguishable from an intentional `4'd4` in the IR,
+//! so the lexer records each truncation in the source map and this lint
+//! replays them.
+
+use super::diagnostic::{Diagnostic, Severity};
+use super::registry::Lint;
+use super::sink::DiagnosticSink;
+use crate::analysis::AnalysisCache;
+use crate::ir::Context;
+
+/// Replays the parser's constant-truncation events as warnings.
+#[derive(Default)]
+pub struct WidthTruncation;
+
+impl Lint for WidthTruncation {
+    const NAME: &'static str = "width-truncation";
+    const CODE: &'static str = "C0204";
+    const DESCRIPTION: &'static str = "constants whose value does not fit the declared width";
+    const SEVERITY: Severity = Severity::Warning;
+
+    fn check(&self, ctx: &Context, _cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
+        for t in ctx.sources.truncations() {
+            sink.push(
+                Diagnostic::new(
+                    Self::SEVERITY,
+                    Self::CODE,
+                    Self::NAME,
+                    format!(
+                        "constant `{w}'d{v}` does not fit in {w} bits; it truncates to `{k}`",
+                        w = t.width,
+                        v = t.val,
+                        k = t.kept
+                    ),
+                )
+                .at(Some(t.loc))
+                .note(format!(
+                    "widen the literal or write `{}'d{}`",
+                    t.width, t.kept
+                )),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_context;
+
+    #[test]
+    fn truncated_literal_warns_with_position() {
+        let ctx = parse_context(
+            r#"component main() -> () {
+                cells { r = std_reg(4); }
+                wires { group g { r.in = 4'd20; r.write_en = 1'd1; g[done] = r.done; } }
+                control { g; }
+            }"#,
+        )
+        .unwrap();
+        let mut sink = DiagnosticSink::new();
+        WidthTruncation.check(&ctx, &mut AnalysisCache::new(), &mut sink);
+        assert_eq!(sink.warnings(), 1, "{:?}", sink.diagnostics());
+        let d = &sink.diagnostics()[0];
+        assert!(d.message.contains("`4'd20`"), "{}", d.message);
+        assert!(d.message.contains("truncates to `4`"), "{}", d.message);
+        assert!(d.loc.is_some());
+    }
+
+    #[test]
+    fn fitting_literals_do_not_warn() {
+        let ctx = parse_context(
+            r#"component main() -> () {
+                cells { r = std_reg(4); }
+                wires { group g { r.in = 4'd15; r.write_en = 1'd1; g[done] = r.done; } }
+                control { g; }
+            }"#,
+        )
+        .unwrap();
+        let mut sink = DiagnosticSink::new();
+        WidthTruncation.check(&ctx, &mut AnalysisCache::new(), &mut sink);
+        assert!(sink.is_empty(), "{:?}", sink.diagnostics());
+    }
+}

@@ -1,0 +1,93 @@
+//! The lint registry's extension contract, exercised from outside the
+//! crate: a downstream tool defines its own [`Lint`], registers it on
+//! top of the defaults, and `check_all` runs it alongside the built-in
+//! lints — the same registration idiom the pass, backend, and frontend
+//! registries use.
+
+use calyx_core::analysis::AnalysisCache;
+use calyx_core::ir::parse_context;
+use calyx_core::lint::{Diagnostic, DiagnosticSink, Lint, LintRegistry, Severity};
+
+/// A house style rule no built-in lint knows about: every component must
+/// be named `main`.
+#[derive(Default)]
+struct MainOnly;
+
+impl Lint for MainOnly {
+    const NAME: &'static str = "main-only";
+    const CODE: &'static str = "C9001";
+    const DESCRIPTION: &'static str = "components must be named `main` (house style)";
+    const SEVERITY: Severity = Severity::Warning;
+
+    fn check(
+        &self,
+        ctx: &calyx_core::ir::Context,
+        _cache: &mut AnalysisCache,
+        sink: &mut DiagnosticSink,
+    ) {
+        for comp in ctx.components.iter() {
+            if comp.name.as_str() != "main" {
+                sink.push(Diagnostic::new(
+                    Self::SEVERITY,
+                    Self::CODE,
+                    Self::NAME,
+                    format!("component `{}` is not named `main`", comp.name),
+                ));
+            }
+        }
+    }
+}
+
+fn program() -> calyx_core::ir::Context {
+    parse_context(
+        r#"component helper() -> () {
+            cells { r = std_reg(8); }
+            wires {
+              group set { r.in = 8'd1; r.write_en = 1'd1; set[done] = r.done; }
+            }
+            control { set; }
+        }
+        component main() -> () {
+            cells {}
+            wires {}
+            control {}
+        }"#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn third_party_lints_register_and_run_with_the_defaults() {
+    let mut registry = LintRegistry::default();
+    let builtin = registry.lints().len();
+    registry.register::<MainOnly>();
+    assert_eq!(registry.lints().len(), builtin + 1);
+
+    // Lookup works like any built-in lint.
+    let lint = registry.get("main-only").unwrap();
+    assert_eq!(lint.code, "C9001");
+    assert_eq!(lint.severity, Severity::Warning);
+
+    // check_all runs the custom lint alongside the defaults: `helper`
+    // trips the house rule while the built-ins stay quiet about it.
+    let ctx = program();
+    let sink = registry.check_all(&ctx, &mut AnalysisCache::new());
+    assert!(
+        sink.diagnostics()
+            .iter()
+            .any(|d| d.code == "C9001" && d.message.contains("helper")),
+        "custom lint did not run: {:?}",
+        sink.diagnostics()
+    );
+}
+
+#[test]
+fn third_party_lints_can_start_from_an_empty_registry() {
+    let mut registry = LintRegistry::empty();
+    registry.register::<MainOnly>();
+    assert_eq!(registry.lints().len(), 1);
+
+    let sink = registry.check_all(&program(), &mut AnalysisCache::new());
+    assert_eq!(sink.warnings(), 1, "{:?}", sink.diagnostics());
+    assert_eq!(sink.errors(), 0);
+}
