@@ -91,6 +91,30 @@ impl Default for BackendOpts {
     }
 }
 
+/// Measured throughput of a simulation-style backend's most recent
+/// [`Backend::emit`]: how many cycles the engine stepped and how long the
+/// cycle loop took on the wall clock.
+///
+/// Engine construction (flattening, elaboration) is excluded — the
+/// number answers "how fast does this engine simulate", which is what
+/// `futil --time`/`--stats` report as `cycles/sec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimThroughput {
+    /// Simulated cycles completed.
+    pub cycles: u64,
+    /// Wall-clock time spent inside the cycle loop.
+    pub wall: std::time::Duration,
+}
+
+impl SimThroughput {
+    /// Simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        // Sub-nanosecond walls (empty control) would divide by zero;
+        // clamp to the clock's own resolution instead.
+        self.cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
 /// A consumer of compiled Calyx programs.
 ///
 /// See the [module docs](self) for the contract. Implementations are
@@ -134,6 +158,16 @@ pub trait Backend {
     /// Returns precondition violations, backend-specific failures (e.g.
     /// a simulation timeout), or [`Error::Io`] when `out` fails.
     fn emit(&self, ctx: &Context, out: &mut dyn io::Write) -> CalyxResult<()>;
+
+    /// Throughput of the most recent successful [`Backend::emit`], for
+    /// backends that *run* the program rather than print it.
+    ///
+    /// Non-simulation backends keep the default `None`; drivers print
+    /// the measurement (cycles, wall time, cycles/sec) under
+    /// `--time`/`--stats` when it is present.
+    fn throughput(&self) -> Option<SimThroughput> {
+        None
+    }
 }
 
 /// Object-safe view of a [`Backend`].
@@ -160,6 +194,8 @@ pub trait DynBackend {
     ///
     /// See [`Backend::emit`].
     fn emit(&self, ctx: &Context, out: &mut dyn io::Write) -> CalyxResult<()>;
+    /// [`Backend::throughput`].
+    fn throughput(&self) -> Option<SimThroughput>;
 }
 
 impl<B: Backend> DynBackend for B {
@@ -181,6 +217,10 @@ impl<B: Backend> DynBackend for B {
 
     fn emit(&self, ctx: &Context, out: &mut dyn io::Write) -> CalyxResult<()> {
         Backend::emit(self, ctx, out)
+    }
+
+    fn throughput(&self) -> Option<SimThroughput> {
+        Backend::throughput(self)
     }
 }
 

@@ -41,7 +41,10 @@ pub mod print;
 pub mod simulate;
 pub mod verilog;
 
-pub use api::{Backend, BackendOpts, BackendRegistry, DynBackend, RegisteredBackend, ReportFormat};
+pub use api::{
+    Backend, BackendOpts, BackendRegistry, DynBackend, RegisteredBackend, ReportFormat,
+    SimThroughput,
+};
 pub use area::{estimate, Area, AreaBackend};
 pub use print::CalyxBackend;
 pub use simulate::{InterpBackend, SimBackend};

@@ -12,14 +12,16 @@
 //!   architectural state must agree; diffing the two backends' reports is
 //!   a compiler-correctness check from the command line.
 
-use crate::api::{Backend, BackendOpts};
+use crate::api::{Backend, BackendOpts, SimThroughput};
 use calyx_core::errors::{CalyxResult, Error};
-use calyx_core::ir::{validate, Context};
+use calyx_core::ir::{validate, CellType, Context};
 use calyx_sim::interp::Interpreter;
 use calyx_sim::report::write_state_report;
 use calyx_sim::rtl::Simulator;
 use calyx_sim::SimError;
+use std::cell::Cell;
 use std::io;
+use std::time::Instant;
 
 /// Map a simulation failure into the compiler's error type, naming the
 /// backend that hit it. These are *runtime* failures (timeouts, driver
@@ -33,6 +35,10 @@ fn sim_error(backend: &'static str, e: SimError) -> Error {
 /// SystemVerilog 1:1).
 pub struct SimBackend {
     cycles: u64,
+    /// Cycles/wall-time of the last successful `emit` (see
+    /// [`Backend::throughput`]); interior-mutable because `emit` takes
+    /// `&self`.
+    throughput: Cell<Option<SimThroughput>>,
 }
 
 impl Backend for SimBackend {
@@ -43,6 +49,7 @@ impl Backend for SimBackend {
     fn from_opts(opts: &BackendOpts) -> Self {
         SimBackend {
             cycles: opts.cycles,
+            throughput: Cell::new(None),
         }
     }
 
@@ -59,9 +66,18 @@ impl Backend for SimBackend {
         self.validate(ctx)?;
         let top = ctx.entrypoint.as_str();
         let mut sim = Simulator::new(ctx, top).map_err(|e| sim_error(Self::NAME, e))?;
+        let start = Instant::now();
         let stats = sim.run(self.cycles).map_err(|e| sim_error(Self::NAME, e))?;
+        self.throughput.set(Some(SimThroughput {
+            cycles: stats.cycles,
+            wall: start.elapsed(),
+        }));
         write_state_report(&sim, ctx.entry()?, stats, out)?;
         Ok(())
+    }
+
+    fn throughput(&self) -> Option<SimThroughput> {
+        self.throughput.get()
     }
 }
 
@@ -70,6 +86,8 @@ impl Backend for SimBackend {
 /// `none`, i.e. validation only); the design must be a single component.
 pub struct InterpBackend {
     cycles: u64,
+    /// See [`SimBackend`]'s field of the same name.
+    throughput: Cell<Option<SimThroughput>>,
 }
 
 impl Backend for InterpBackend {
@@ -80,6 +98,7 @@ impl Backend for InterpBackend {
     fn from_opts(opts: &BackendOpts) -> Self {
         InterpBackend {
             cycles: opts.cycles,
+            throughput: Cell::new(None),
         }
     }
 
@@ -87,19 +106,48 @@ impl Backend for InterpBackend {
         &["none"]
     }
 
+    /// The interpreter executes exactly one component, so any
+    /// component-typed cell is rejected here — up front, positioned at
+    /// the offending declaration when the source map knows it — rather
+    /// than surfacing later as a runtime `SimError` mid-emission.
     fn validate(&self, ctx: &Context) -> CalyxResult<()> {
-        validate::require_single_component(ctx)
+        let entry = ctx.entry()?;
+        for cell in entry.cells.iter() {
+            if let CellType::Component { name } = &cell.prototype {
+                let at = ctx
+                    .sources
+                    .cell(entry.name, cell.name)
+                    .map(|loc| format!(" (declared at {}:{})", loc.line, loc.col))
+                    .unwrap_or_default();
+                return Err(Error::malformed(format!(
+                    "cell `{}`{at} instantiates component `{name}`; the interpreter \
+                     only supports single-component designs — lower the design \
+                     (`-p lower`) and use `-b sim` instead",
+                    cell.name
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn emit(&self, ctx: &Context, out: &mut dyn io::Write) -> CalyxResult<()> {
         self.validate(ctx)?;
         let top = ctx.entrypoint.as_str();
         let mut interp = Interpreter::new(ctx, top).map_err(|e| sim_error(Self::NAME, e))?;
+        let start = Instant::now();
         let stats = interp
             .run(self.cycles)
             .map_err(|e| sim_error(Self::NAME, e))?;
+        self.throughput.set(Some(SimThroughput {
+            cycles: stats.cycles,
+            wall: start.elapsed(),
+        }));
         write_state_report(&interp, ctx.entry()?, stats, out)?;
         Ok(())
+    }
+
+    fn throughput(&self) -> Option<SimThroughput> {
+        self.throughput.get()
     }
 }
 
@@ -191,6 +239,63 @@ mod tests {
         )
         .unwrap();
         let backend = InterpBackend::from_opts(&BackendOpts::default());
-        assert!(backend.validate(&ctx).is_err());
+        let err = backend.validate(&ctx).unwrap_err();
+        let msg = format!("{err}");
+        // The rejection is up-front, names the offending cell, and points
+        // at its declaration (the source map knows where `c` was parsed).
+        assert!(msg.contains("cell `c`"), "{msg}");
+        assert!(msg.contains("component `child`"), "{msg}");
+        assert!(msg.contains("declared at "), "{msg}");
+        assert!(msg.contains("`-b sim`"), "{msg}");
+        // Emission on the invalid design fails without writing anything.
+        let mut out = Vec::new();
+        assert!(backend.emit(&ctx, &mut out).is_err());
+        assert!(out.is_empty(), "partial output on precondition failure");
+    }
+
+    #[test]
+    fn interp_rejection_survives_a_missing_source_map() {
+        // Generated programs (frontends, builders) have no source
+        // positions; the message degrades to span-free.
+        let mut ctx = parse_context(
+            r#"
+            component child() -> () {
+              cells { r = std_reg(8); }
+              wires { group g { r.in = 8'd1; r.write_en = 1'd1; g[done] = r.done; } }
+              control { g; }
+            }
+            component main() -> () {
+              cells { c = child(); }
+              wires { group go { c.go = 1'd1; go[done] = c.done; } }
+              control { go; }
+            }"#,
+        )
+        .unwrap();
+        ctx.sources = Default::default();
+        let backend = InterpBackend::from_opts(&BackendOpts::default());
+        let msg = format!("{}", backend.validate(&ctx).unwrap_err());
+        assert!(msg.contains("cell `c`"), "{msg}");
+        assert!(!msg.contains("declared at"), "{msg}");
+    }
+
+    #[test]
+    fn simulation_backends_record_throughput_on_success() {
+        let mut lowered = parse_context(COUNTER).unwrap();
+        passes::lower_pipeline().run(&mut lowered).unwrap();
+        let sim = SimBackend::from_opts(&BackendOpts::default());
+        assert!(
+            Backend::throughput(&sim).is_none(),
+            "throughput before any run"
+        );
+        sim.emit(&lowered, &mut Vec::new()).unwrap();
+        let t = Backend::throughput(&sim).expect("throughput after a successful run");
+        assert!(t.cycles > 0);
+        assert!(t.cycles_per_sec() > 0.0);
+
+        let ctx = parse_context(COUNTER).unwrap();
+        let interp = InterpBackend::from_opts(&BackendOpts::default());
+        interp.emit(&ctx, &mut Vec::new()).unwrap();
+        let t = Backend::throughput(&interp).expect("interp throughput");
+        assert!(t.cycles > 0);
     }
 }

@@ -1,0 +1,185 @@
+//! Criterion bench measuring simulation throughput (cycles/sec) of the
+//! flat arena-indexed engines against the legacy tree-walking engines
+//! they replaced.
+//!
+//! Workloads: a plain register counter plus three representative
+//! PolyBench kernels (gemm, gemver, cholesky — dense loops, mixed
+//! memory traffic, and div/sqrt pipelines respectively). Each engine
+//! family runs both generations over identical inputs:
+//!
+//! - `interp-*`: the reference interpreter on the un-lowered control tree;
+//! - `rtl-*`: the cycle-accurate simulator on the `lower`ed design.
+//!
+//! Besides the usual per-iteration timings, the bench prints one
+//! `cycles/sec` line per engine × workload (min over a few runs), which
+//! is the number quoted in README/CHANGES for the flatten speedup.
+
+use calyx_core::ir::{parse_context, Context};
+use calyx_core::passes;
+use calyx_polybench::{compile_kernel, input_data, kernel, logical_of};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+/// A counter busy-looping long enough to measure the cycle loop rather
+/// than engine construction.
+const COUNTER: &str = r#"
+    component main() -> () {
+      cells {
+        i = std_reg(16);
+        add = std_add(16);
+        lt = std_lt(16);
+      }
+      wires {
+        group init { i.in = 16'd0; i.write_en = 1'd1; init[done] = i.done; }
+        group cond { lt.left = i.out; lt.right = 16'd2000; cond[done] = 1'd1; }
+        group incr {
+          add.left = i.out; add.right = 16'd1;
+          i.in = add.out; i.write_en = 1'd1; incr[done] = i.done;
+        }
+      }
+      control { seq { init; while lt.out with cond { incr; } } }
+    }
+"#;
+
+/// One benchmark subject: the same program in both shapes the two engine
+/// families consume, plus its deterministic memory image.
+struct Workload {
+    name: &'static str,
+    unlowered: Context,
+    lowered: Context,
+    image: Vec<(String, Vec<u64>)>,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+
+    let unlowered = parse_context(COUNTER).expect("counter parses");
+    let mut lowered = parse_context(COUNTER).expect("counter parses");
+    passes::lower_pipeline()
+        .run(&mut lowered)
+        .expect("counter lowers");
+    out.push(Workload {
+        name: "counter",
+        unlowered,
+        lowered,
+        image: Vec::new(),
+    });
+
+    // n=8 (double the differential suite's n=4) gives each kernel enough
+    // cycles that the per-cycle cost dominates engine setup.
+    for name in ["gemm", "gemver", "cholesky"] {
+        let def = kernel(name).expect("registered kernel");
+        let (ast, unlowered) = compile_kernel(def, 8, 1).expect("kernel compiles");
+        let (_, mut lowered) = compile_kernel(def, 8, 1).expect("kernel compiles");
+        passes::lower_pipeline()
+            .run(&mut lowered)
+            .expect("kernel lowers");
+        let mut image = Vec::new();
+        for decl in &ast.decls {
+            let lname = logical_of(decl.name.as_str());
+            let data = input_data(def.name, &lname, decl.size() as usize);
+            let banks = calyx_dahlia::backend::split_banks(decl, &data);
+            for ((bank, _), bank_data) in
+                calyx_dahlia::backend::memory_banks(decl).iter().zip(&banks)
+            {
+                image.push((bank.clone(), bank_data.clone()));
+            }
+        }
+        out.push(Workload {
+            name: def.name,
+            unlowered,
+            lowered,
+            image,
+        });
+    }
+    out
+}
+
+const BUDGET: u64 = 100_000_000;
+
+fn run_flat_interp(w: &Workload) -> u64 {
+    let mut interp =
+        calyx_sim::interp::Interpreter::new(&w.unlowered, "main").expect("interp builds");
+    for (name, data) in &w.image {
+        interp.set_memory(name, data).expect("memory exists");
+    }
+    interp.run(BUDGET).expect("interp completes").cycles
+}
+
+fn run_legacy_interp(w: &Workload) -> u64 {
+    let mut interp =
+        calyx_sim::legacy::interp::Interpreter::new(&w.unlowered, "main").expect("interp builds");
+    for (name, data) in &w.image {
+        interp.set_memory(name, data).expect("memory exists");
+    }
+    interp.run(BUDGET).expect("interp completes").cycles
+}
+
+fn run_flat_rtl(w: &Workload) -> u64 {
+    let mut sim = calyx_sim::rtl::Simulator::new(&w.lowered, "main").expect("sim builds");
+    for (name, data) in &w.image {
+        sim.set_memory(&[name], data).expect("memory exists");
+    }
+    sim.run(BUDGET).expect("sim completes").cycles
+}
+
+fn run_legacy_rtl(w: &Workload) -> u64 {
+    let mut sim = calyx_sim::legacy::rtl::Simulator::new(&w.lowered, "main").expect("sim builds");
+    for (name, data) in &w.image {
+        sim.set_memory(&[name], data).expect("memory exists");
+    }
+    sim.run(BUDGET).expect("sim completes").cycles
+}
+
+/// Min-of-N wall time of `f`, plus the cycle count it simulates.
+fn measure(f: impl Fn() -> u64) -> (u64, Duration) {
+    let mut best = Duration::MAX;
+    let mut cycles = 0;
+    for _ in 0..3 {
+        let start = Instant::now();
+        cycles = criterion::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    (cycles, best)
+}
+
+fn rate_line(label: &str, w: &Workload, f: impl Fn() -> u64) {
+    let (cycles, wall) = measure(f);
+    let rate = cycles as f64 / wall.as_secs_f64().max(1e-9);
+    println!(
+        "rate  sim_throughput/{label}/{:<10} {cycles} cycles in {wall:?} = {:.0} cycles/sec",
+        w.name, rate
+    );
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let workloads = workloads();
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    for w in &workloads {
+        group.bench_with_input(BenchmarkId::new("interp-flat", w.name), w, |b, w| {
+            b.iter(|| run_flat_interp(w));
+        });
+        group.bench_with_input(BenchmarkId::new("interp-legacy", w.name), w, |b, w| {
+            b.iter(|| run_legacy_interp(w));
+        });
+        group.bench_with_input(BenchmarkId::new("rtl-flat", w.name), w, |b, w| {
+            b.iter(|| run_flat_rtl(w));
+        });
+        group.bench_with_input(BenchmarkId::new("rtl-legacy", w.name), w, |b, w| {
+            b.iter(|| run_legacy_rtl(w));
+        });
+    }
+    group.finish();
+
+    // The headline numbers: one cycles/sec line per engine × workload.
+    for w in &workloads {
+        rate_line("interp-flat", w, || run_flat_interp(w));
+        rate_line("interp-legacy", w, || run_legacy_interp(w));
+        rate_line("rtl-flat", w, || run_flat_rtl(w));
+        rate_line("rtl-legacy", w, || run_legacy_rtl(w));
+    }
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

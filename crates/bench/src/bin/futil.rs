@@ -25,9 +25,12 @@
 //!   --check             run every lint before compiling; diagnostics go
 //!                       to stderr and errors stop the run
 //!   --deny warnings     treat warning diagnostics as fatal
-//!   --time              report per-pass wall-clock timings on stderr
+//!   --time              report per-pass wall-clock timings on stderr;
+//!                       simulation backends also report total cycles,
+//!                       wall time, and cycles/sec
 //!   --stats             report per-pass analysis-cache statistics
-//!                       (hits/misses/recomputes) on stderr
+//!                       (hits/misses/recomputes) on stderr, plus the
+//!                       simulation throughput line
 //!   --list-frontends    list registered frontends, then exit
 //!   --list-passes       list registered passes and aliases, then exit
 //!   --list-backends     list registered backends, then exit
@@ -92,9 +95,12 @@ fn usage(frontends: &FrontendRegistry, backends: &BackendRegistry) -> String {
   --check             run every lint before compiling; diagnostics go to
                       stderr and error-severity findings stop the run
   --deny warnings     treat warning diagnostics as fatal
-  --time              report per-pass wall-clock timings on stderr
+  --time              report per-pass wall-clock timings on stderr;
+                      simulation backends also report total cycles, wall
+                      time, and cycles/sec
   --stats             report per-pass analysis-cache statistics
-                      (hits/misses/recomputes) on stderr
+                      (hits/misses/recomputes) on stderr, plus the
+                      simulation throughput line
   --list-frontends    list registered frontends, then exit
   --list-passes       list registered passes and aliases, then exit
   --list-backends     list registered backends, then exit
@@ -200,6 +206,20 @@ fn read_input(file: &str) -> String {
                 exit(1);
             }
         }
+    }
+}
+
+/// Render a cycles-per-second rate with a metric suffix (`412`,
+/// `3.21K`, `1.07M`, …) for the `--time`/`--stats` throughput line.
+fn human_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}K", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
     }
 }
 
@@ -590,5 +610,18 @@ fn main() {
     if let Err(e) = emit_result {
         eprintln!("futil: {e}");
         exit(1);
+    }
+
+    // Simulation backends measure their cycle loop; report it next to
+    // the pass timings (same stderr channel, same flags).
+    if time || stats {
+        if let Some(t) = backend.throughput() {
+            eprintln!(
+                "simulation: {} cycles in {:.3?} ({} cycles/sec)",
+                t.cycles,
+                t.wall,
+                human_rate(t.cycles_per_sec())
+            );
+        }
     }
 }

@@ -1,0 +1,199 @@
+//! Differential suite pinning the flat arena-indexed engines to the
+//! pre-flatten tree-walking engines they replaced.
+//!
+//! The legacy interpreter and RTL simulator survive verbatim in
+//! `calyx_sim::legacy` as oracles. For every PolyBench kernel this suite
+//! runs legacy and flat side by side — the interpreter on the un-lowered
+//! control tree, the RTL engine on both the `lower` and `lower-static`
+//! pipelines — with identical deterministic memory images, and requires
+//! **byte-identical** state reports and **equal cycle counts**. Any
+//! divergence in fixpoint semantics, done-observation protection, control
+//! sequencing, or primitive models introduced by the flattening rewrite
+//! shows up here as a diff, not as a silently-wrong benchmark number.
+
+use calyx_core::ir::Context;
+use calyx_core::passes::PassManager;
+use calyx_dahlia::ast::Program;
+use calyx_dahlia::backend::{memory_banks, split_banks};
+use calyx_polybench::{compile_kernel, input_data, logical_of, KernelDef, KERNELS};
+use calyx_sim::{write_state_report, RunStats, StateSource};
+
+/// Generous cycle budget — every n=4 kernel finishes orders of magnitude
+/// sooner, and a hang in either engine should time out, not wedge CI.
+const BUDGET: u64 = 100_000_000;
+
+/// The deterministic physical-memory image for a compiled kernel: the
+/// same per-bank data `calyx_polybench::simulate` loads, so differential
+/// runs exercise the kernels on their real inputs (non-zero divisors,
+/// live datapaths) rather than all-zero memories.
+fn memory_image(def: &KernelDef, ast: &Program) -> Vec<(String, Vec<u64>)> {
+    let mut image = Vec::new();
+    for decl in &ast.decls {
+        let lname = logical_of(decl.name.as_str());
+        let data = input_data(def.name, &lname, decl.size() as usize);
+        let banks = split_banks(decl, &data);
+        for ((bank_name, _), bank_data) in memory_banks(decl).iter().zip(&banks) {
+            image.push((bank_name.clone(), bank_data.clone()));
+        }
+    }
+    image
+}
+
+/// Render the run the way `futil -b sim`/`-b interp` would: the cycle
+/// count plus every stateful cell. Byte-comparing this string is the
+/// "state reports agree" check.
+fn render(src: &dyn StateSource, ctx: &Context, stats: RunStats) -> String {
+    let mut buf = Vec::new();
+    write_state_report(src, ctx.entry().unwrap(), stats, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+/// Outcome of one engine run: cycles + rendered report, or the rendered
+/// error. Errors participate in the differential too — if the legacy
+/// engine rejects a program, the flat engine must reject it the same way.
+type Outcome = Result<(u64, String), String>;
+
+fn flat_interp(ctx: &Context, image: &[(String, Vec<u64>)]) -> Outcome {
+    let mut interp = calyx_sim::interp::Interpreter::new(ctx, "main").map_err(|e| e.to_string())?;
+    for (name, data) in image {
+        interp.set_memory(name, data).map_err(|e| e.to_string())?;
+    }
+    let stats = interp.run(BUDGET).map_err(|e| e.to_string())?;
+    Ok((stats.cycles, render(&interp, ctx, stats)))
+}
+
+fn legacy_interp(ctx: &Context, image: &[(String, Vec<u64>)]) -> Outcome {
+    let mut interp =
+        calyx_sim::legacy::interp::Interpreter::new(ctx, "main").map_err(|e| e.to_string())?;
+    for (name, data) in image {
+        interp.set_memory(name, data).map_err(|e| e.to_string())?;
+    }
+    let stats = interp.run(BUDGET).map_err(|e| e.to_string())?;
+    Ok((stats.cycles, render(&interp, ctx, stats)))
+}
+
+fn flat_rtl(ctx: &Context, image: &[(String, Vec<u64>)]) -> Outcome {
+    let mut sim = calyx_sim::rtl::Simulator::new(ctx, "main").map_err(|e| e.to_string())?;
+    for (name, data) in image {
+        sim.set_memory(&[name], data).map_err(|e| e.to_string())?;
+    }
+    let stats = sim.run(BUDGET).map_err(|e| e.to_string())?;
+    Ok((stats.cycles, render(&sim, ctx, stats)))
+}
+
+fn legacy_rtl(ctx: &Context, image: &[(String, Vec<u64>)]) -> Outcome {
+    let mut sim = calyx_sim::legacy::rtl::Simulator::new(ctx, "main").map_err(|e| e.to_string())?;
+    for (name, data) in image {
+        sim.set_memory(&[name], data).map_err(|e| e.to_string())?;
+    }
+    let stats = sim.run(BUDGET).map_err(|e| e.to_string())?;
+    Ok((stats.cycles, render(&sim, ctx, stats)))
+}
+
+/// Assert two outcomes match byte-for-byte, with a kernel-labelled diff.
+fn assert_agree(kernel: &str, stage: &str, legacy: &Outcome, flat: &Outcome) {
+    match (legacy, flat) {
+        (Ok((lc, lr)), Ok((fc, fr))) => {
+            assert_eq!(
+                lc, fc,
+                "{kernel} [{stage}]: cycle counts diverge (legacy {lc}, flat {fc})"
+            );
+            assert_eq!(
+                lr, fr,
+                "{kernel} [{stage}]: state reports diverge\n--- legacy ---\n{lr}\n--- flat ---\n{fr}"
+            );
+        }
+        (Err(le), Err(fe)) => {
+            assert_eq!(le, fe, "{kernel} [{stage}]: error messages diverge");
+        }
+        (l, f) => panic!("{kernel} [{stage}]: outcomes diverge\nlegacy: {l:?}\nflat: {f:?}"),
+    }
+}
+
+/// The interpreter differential: every kernel, un-lowered, on the control
+/// tree both engines execute directly.
+#[test]
+fn interpreter_matches_legacy_on_every_kernel() {
+    for def in KERNELS {
+        let (ast, ctx) = compile_kernel(def, 4, 1).unwrap();
+        let image = memory_image(def, &ast);
+        let legacy = legacy_interp(&ctx, &image);
+        let flat = flat_interp(&ctx, &image);
+        assert!(
+            matches!(legacy, Ok((c, _)) if c > 0),
+            "{}: legacy interp did not complete: {legacy:?}",
+            def.name
+        );
+        assert_agree(def.name, "interp", &legacy, &flat);
+    }
+}
+
+/// The RTL differential over the standard `lower` pipeline.
+#[test]
+fn rtl_matches_legacy_on_every_kernel_lowered() {
+    for def in KERNELS {
+        let (ast, mut ctx) = compile_kernel(def, 4, 1).unwrap();
+        PassManager::from_names(&["lower"])
+            .unwrap()
+            .run(&mut ctx)
+            .unwrap();
+        let image = memory_image(def, &ast);
+        let legacy = legacy_rtl(&ctx, &image);
+        let flat = flat_rtl(&ctx, &image);
+        assert!(
+            matches!(legacy, Ok((c, _)) if c > 0),
+            "{}: legacy rtl did not complete: {legacy:?}",
+            def.name
+        );
+        assert_agree(def.name, "lower", &legacy, &flat);
+    }
+}
+
+/// The RTL differential over `lower-static` — static timing produces a
+/// different FSM structure, so it exercises different assignment/guard
+/// shapes than the dynamic pipeline.
+#[test]
+fn rtl_matches_legacy_on_every_kernel_lowered_static() {
+    for def in KERNELS {
+        let (ast, mut ctx) = compile_kernel(def, 4, 1).unwrap();
+        PassManager::from_names(&["lower-static"])
+            .unwrap()
+            .run(&mut ctx)
+            .unwrap();
+        let image = memory_image(def, &ast);
+        let legacy = legacy_rtl(&ctx, &image);
+        let flat = flat_rtl(&ctx, &image);
+        assert!(
+            matches!(legacy, Ok((c, _)) if c > 0),
+            "{}: legacy rtl (static) did not complete: {legacy:?}",
+            def.name
+        );
+        assert_agree(def.name, "lower-static", &legacy, &flat);
+    }
+}
+
+/// The engines must also agree on *failing* programs: a driver conflict
+/// is reported identically (same error text, same conflicting port) by
+/// legacy and flat RTL simulators.
+#[test]
+fn rtl_agrees_with_legacy_on_driver_conflicts() {
+    let src = r#"
+        component main() -> () {
+          cells { w = std_wire(8); }
+          wires {
+            w.in = 8'd1;
+            w.in = 8'd2;
+            done = go ? 1'd1;
+          }
+          control {}
+        }
+    "#;
+    let ctx = calyx_core::ir::parse_context(src).unwrap();
+    let legacy = legacy_rtl(&ctx, &[]);
+    let flat = flat_rtl(&ctx, &[]);
+    assert!(
+        legacy.is_err(),
+        "conflict not detected by legacy: {legacy:?}"
+    );
+    assert_agree("driver-conflict", "lowered", &legacy, &flat);
+}

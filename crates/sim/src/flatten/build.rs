@@ -1,0 +1,765 @@
+//! Construction of the flat IR from a [`Context`].
+//!
+//! Two flattening modes share one primitive-instantiation path:
+//!
+//! - [`flatten_control`] lowers a *single* component for the reference
+//!   interpreter, keeping groups (as assignment ranges) and the control
+//!   tree (as a [`CtrlNode`] arena). Port slots are created on demand for
+//!   every `PortRef` the program mentions — including group holes — which
+//!   reproduces the interpreter's historical "unknown ports read as zero"
+//!   semantics exactly.
+//! - [`flatten_design`] elaborates a *lowered* hierarchy for the RTL
+//!   engine. Subcomponent instances are elaborated in place: a cell's
+//!   ports and the child component's `this` ports are the same arena
+//!   slots, so hierarchy costs nothing at simulation time. All drivers of
+//!   one port are grouped into a contiguous assignment range, and the
+//!   resulting evaluation nodes are topologically sorted once.
+
+use super::index::{
+    AssignIdx, CellIdx, CtrlIdx, GroupIdx, GuardIdx, IndexRange, IndexedMap, PortIdx,
+};
+use super::{
+    topo_sort, CtrlNode, FlatAssign, FlatAtom, FlatCell, FlatCellKind, FlatControl, FlatDesign,
+    FlatGroup, FlatGuard, FlatProgram, Node, PortData,
+};
+use crate::error::{SimError, SimResult};
+use crate::prim::{CombOp, PrimState, UnitOp};
+use calyx_core::ir::{Atom, CellType, Context, Control, Direction, Guard, Id, PortParent, PortRef};
+use std::collections::HashMap;
+
+/// How a flattening mode turns a primitive's port names into arena slots.
+trait PortResolver {
+    /// The slot for port `name` of the cell being instantiated.
+    fn port(&mut self, name: &str) -> SimResult<PortIdx>;
+    /// The declared width of an already-resolved slot.
+    fn width(&self, port: PortIdx) -> u32;
+}
+
+/// Build the behavioral model of one primitive instance. Shared between
+/// both flattening modes; only port-name resolution differs.
+fn instantiate_primitive<R: PortResolver>(
+    prim: &str,
+    params: &[u64],
+    r: &mut R,
+) -> SimResult<(FlatCellKind, PrimState)> {
+    let width = params.first().copied().unwrap_or(1) as u32;
+    if let Some(op) = CombOp::from_name(prim) {
+        let (left, right) = if op.is_binary() {
+            (r.port("left")?, Some(r.port("right")?))
+        } else {
+            (r.port("in")?, None)
+        };
+        let out = r.port("out")?;
+        let out_width = r.width(out);
+        // Combinational primitives carry no state; a zero-width register
+        // placeholder keeps the state arena index-aligned with cells.
+        return Ok((
+            FlatCellKind::Comb {
+                op,
+                left,
+                right,
+                out,
+                in_width: width,
+                out_width,
+            },
+            PrimState::Reg {
+                val: 0,
+                done: false,
+                width: 0,
+            },
+        ));
+    }
+    match prim {
+        "std_reg" => Ok((
+            FlatCellKind::Reg {
+                input: r.port("in")?,
+                write_en: r.port("write_en")?,
+                out: r.port("out")?,
+                done: r.port("done")?,
+            },
+            PrimState::Reg {
+                val: 0,
+                done: false,
+                width,
+            },
+        )),
+        "std_mem_d1" | "std_mem_d2" | "std_mem_d3" => {
+            let ndims = match prim {
+                "std_mem_d1" => 1,
+                "std_mem_d2" => 2,
+                _ => 3,
+            };
+            let dims: Vec<u64> = params[1..=ndims].to_vec();
+            let size: u64 = dims.iter().product();
+            let addrs = (0..ndims)
+                .map(|i| r.port(&format!("addr{i}")))
+                .collect::<SimResult<Vec<_>>>()?;
+            Ok((
+                FlatCellKind::Mem {
+                    addrs,
+                    write_data: r.port("write_data")?,
+                    write_en: r.port("write_en")?,
+                    read_data: r.port("read_data")?,
+                    done: r.port("done")?,
+                },
+                PrimState::Mem {
+                    data: vec![0; size as usize],
+                    dims,
+                    done: false,
+                    width,
+                },
+            ))
+        }
+        "std_mult_pipe" | "std_div_pipe" | "std_sqrt" => {
+            let (op, left, right, out, out2) = match prim {
+                "std_mult_pipe" => (
+                    UnitOp::Mult,
+                    r.port("left")?,
+                    r.port("right")?,
+                    r.port("out")?,
+                    None,
+                ),
+                "std_div_pipe" => (
+                    UnitOp::Div,
+                    r.port("left")?,
+                    r.port("right")?,
+                    r.port("out_quotient")?,
+                    Some(r.port("out_remainder")?),
+                ),
+                _ => {
+                    let input = r.port("in")?;
+                    (UnitOp::Sqrt, input, input, r.port("out")?, None)
+                }
+            };
+            Ok((
+                FlatCellKind::Unit {
+                    left,
+                    right,
+                    go: r.port("go")?,
+                    out,
+                    out2,
+                    done: r.port("done")?,
+                },
+                PrimState::Unit {
+                    op,
+                    operands: (0, 0),
+                    remaining: None,
+                    out: 0,
+                    out2: 0,
+                    done: false,
+                    width,
+                },
+            ))
+        }
+        other => Err(SimError::Elaboration(format!(
+            "primitive `{other}` has no behavioral model"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-component flattening for the interpreter.
+// ---------------------------------------------------------------------------
+
+struct ControlFlattener {
+    prog: FlatProgram,
+    port_map: HashMap<PortRef, PortIdx>,
+    groups: super::IndexedMap<GroupIdx, FlatGroup>,
+    group_map: HashMap<Id, GroupIdx>,
+    ctrl: super::IndexedMap<CtrlIdx, CtrlNode>,
+    cell_index: HashMap<Id, CellIdx>,
+}
+
+impl ControlFlattener {
+    /// The slot for `port`, allocating one with `width` on first mention.
+    fn port_of(&mut self, port: PortRef, width: u32) -> PortIdx {
+        if let Some(&idx) = self.port_map.get(&port) {
+            return idx;
+        }
+        let idx = self.prog.ports.push(PortData {
+            width,
+            path: port.to_string(),
+        });
+        self.port_map.insert(port, idx);
+        idx
+    }
+
+    fn atom_of(&mut self, atom: &Atom) -> FlatAtom {
+        match atom {
+            Atom::Port(p) => FlatAtom::Port(self.port_of(*p, 1)),
+            Atom::Const { val, .. } => FlatAtom::Const(*val),
+        }
+    }
+
+    fn guard_of(&mut self, guard: &Guard) -> GuardIdx {
+        match guard {
+            Guard::True => self.prog.true_guard(),
+            Guard::Port(p) => {
+                let port = self.port_of(*p, 1);
+                self.prog.guards.push(FlatGuard::Port(port))
+            }
+            Guard::Not(g) => {
+                let inner = self.guard_of(g);
+                self.prog.guards.push(FlatGuard::Not(inner))
+            }
+            Guard::And(a, b) => {
+                let (a, b) = (self.guard_of(a), self.guard_of(b));
+                self.prog.guards.push(FlatGuard::And(a, b))
+            }
+            Guard::Or(a, b) => {
+                let (a, b) = (self.guard_of(a), self.guard_of(b));
+                self.prog.guards.push(FlatGuard::Or(a, b))
+            }
+            Guard::Comp(op, l, r) => {
+                let (l, r) = (self.atom_of(l), self.atom_of(r));
+                self.prog.guards.push(FlatGuard::Comp(*op, l, r))
+            }
+        }
+    }
+
+    fn assign_of(&mut self, asgn: &calyx_core::ir::Assignment) -> AssignIdx {
+        let dst = self.port_of(asgn.dst, 1);
+        let src = self.atom_of(&asgn.src);
+        let guard = self.guard_of(&asgn.guard);
+        self.prog.assigns.push(FlatAssign { dst, src, guard })
+    }
+
+    /// The group's index; unknown names get an empty placeholder, which
+    /// (like the tree-walking interpreter) never signals done.
+    fn group_of(&mut self, name: Id) -> GroupIdx {
+        if let Some(&g) = self.group_map.get(&name) {
+            return g;
+        }
+        let g = self.groups.push(FlatGroup {
+            name,
+            assigns: IndexRange::empty(),
+            done_writes: Vec::new(),
+        });
+        self.group_map.insert(name, g);
+        g
+    }
+
+    fn ctrl_of(&mut self, stmt: &Control) -> CtrlIdx {
+        let node = match stmt {
+            Control::Empty => CtrlNode::Empty,
+            Control::Enable { group, .. } => CtrlNode::Enable {
+                group: self.group_of(*group),
+            },
+            Control::Seq { stmts, .. } => CtrlNode::Seq {
+                children: stmts.iter().map(|s| self.ctrl_of(s)).collect(),
+            },
+            Control::Par { stmts, .. } => CtrlNode::Par {
+                children: stmts.iter().map(|s| self.ctrl_of(s)).collect(),
+            },
+            Control::If {
+                port,
+                cond,
+                tbranch,
+                fbranch,
+                ..
+            } => {
+                let port = self.port_of(*port, 1);
+                let cond = cond.map(|c| self.group_of(c));
+                let tbranch = self.ctrl_of(tbranch);
+                let fbranch = self.ctrl_of(fbranch);
+                CtrlNode::If {
+                    port,
+                    cond,
+                    tbranch,
+                    fbranch,
+                }
+            }
+            Control::While {
+                port, cond, body, ..
+            } => {
+                let port = self.port_of(*port, 1);
+                let cond = cond.map(|c| self.group_of(c));
+                let body = self.ctrl_of(body);
+                CtrlNode::While { port, cond, body }
+            }
+        };
+        self.ctrl.push(node)
+    }
+}
+
+struct CellPortResolver<'a> {
+    f: &'a mut ControlFlattener,
+    cell: Id,
+    width: u32,
+}
+
+impl PortResolver for CellPortResolver<'_> {
+    fn port(&mut self, name: &str) -> SimResult<PortIdx> {
+        // Ports missing from the cell's declaration are allocated with the
+        // primitive's data width — the interpreter never errors on them.
+        Ok(self.f.port_of(PortRef::cell(self.cell, name), self.width))
+    }
+
+    fn width(&self, port: PortIdx) -> u32 {
+        self.f.prog.ports[port].width
+    }
+}
+
+/// Flatten component `top` of `ctx` for the reference interpreter.
+///
+/// # Errors
+///
+/// Returns [`SimError::Elaboration`] when the component does not exist,
+/// instantiates other components, or uses unmodeled primitives.
+pub fn flatten_control(ctx: &Context, top: &str) -> SimResult<FlatControl> {
+    let comp = ctx
+        .components
+        .get(Id::new(top))
+        .ok_or_else(|| SimError::Elaboration(format!("no component `{top}`")))?;
+
+    let mut f = ControlFlattener {
+        prog: FlatProgram::new(),
+        port_map: HashMap::new(),
+        groups: super::IndexedMap::new(),
+        group_map: HashMap::new(),
+        ctrl: super::IndexedMap::new(),
+        cell_index: HashMap::new(),
+    };
+
+    // Interface ports.
+    for pd in &comp.signature {
+        f.port_of(PortRef::this(pd.name), pd.width);
+    }
+    let go = f.port_of(PortRef::this("go"), 1);
+
+    // Cells: allocate declared ports at their declared widths, then wire
+    // up the behavioral model.
+    for cell in comp.cells.iter() {
+        match &cell.prototype {
+            CellType::Component { name } => {
+                return Err(SimError::Elaboration(format!(
+                    "interpreter does not support component instances (`{}` of `{name}`); \
+                     lower and use the RTL simulator",
+                    cell.name
+                )))
+            }
+            CellType::Primitive { name, params } => {
+                for pd in &cell.ports {
+                    f.port_of(PortRef::cell(cell.name, pd.name), pd.width);
+                }
+                let width = params.first().copied().unwrap_or(1) as u32;
+                let (kind, state) = {
+                    let mut r = CellPortResolver {
+                        f: &mut f,
+                        cell: cell.name,
+                        width,
+                    };
+                    instantiate_primitive(name.as_str(), params, &mut r)?
+                };
+                let ci = f.prog.cells.push(FlatCell {
+                    path: cell.name.to_string(),
+                    kind,
+                });
+                f.prog.states.push(state);
+                f.cell_index.insert(cell.name, ci);
+            }
+        }
+    }
+
+    // Assignments: the continuous block first, then each group's block.
+    let cont_start = f.prog.assigns.next_idx();
+    for asgn in &comp.continuous {
+        f.assign_of(asgn);
+    }
+    let continuous = IndexRange::new(cont_start, f.prog.assigns.next_idx());
+
+    for group in comp.groups.iter() {
+        let start = f.prog.assigns.next_idx();
+        let done_hole = group.done_hole();
+        let mut done_writes = Vec::new();
+        for asgn in &group.assignments {
+            let ai = f.assign_of(asgn);
+            if asgn.dst == done_hole {
+                done_writes.push(ai);
+            }
+        }
+        let assigns = IndexRange::new(start, f.prog.assigns.next_idx());
+        let g = f.groups.push(FlatGroup {
+            name: group.name,
+            assigns,
+            done_writes,
+        });
+        f.group_map.insert(group.name, g);
+    }
+
+    let root = f.ctrl_of(&comp.control);
+
+    Ok(FlatControl {
+        prog: f.prog,
+        comp: comp.name,
+        go,
+        continuous,
+        groups: f.groups,
+        ctrl: f.ctrl,
+        root,
+        cell_index: f.cell_index,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy elaboration for the RTL engine.
+// ---------------------------------------------------------------------------
+
+struct DesignFlattener<'a> {
+    ctx: &'a Context,
+    prog: FlatProgram,
+    cell_index: HashMap<String, CellIdx>,
+    /// Pending drivers per destination, in push order.
+    drivers: HashMap<PortIdx, Vec<(FlatAtom, GuardIdx)>>,
+    /// Destinations in first-seen order, for deterministic node layout.
+    driver_order: Vec<PortIdx>,
+    /// Hash-consing table: structurally identical guard subtrees (the
+    /// FSM-state comparisons lowering stamps onto every assignment of a
+    /// state) share one arena node, so the engine's per-cycle guard memo
+    /// evaluates each distinct subtree once.
+    cons: HashMap<FlatGuard, GuardIdx>,
+}
+
+struct DeclaredPortResolver<'a> {
+    ports: &'a super::IndexedMap<PortIdx, PortData>,
+    map: &'a HashMap<Id, PortIdx>,
+    prim: &'a str,
+}
+
+impl PortResolver for DeclaredPortResolver<'_> {
+    fn port(&mut self, name: &str) -> SimResult<PortIdx> {
+        self.map.get(&Id::new(name)).copied().ok_or_else(|| {
+            SimError::Elaboration(format!("primitive `{}` missing port `{name}`", self.prim))
+        })
+    }
+
+    fn width(&self, port: PortIdx) -> u32 {
+        self.ports[port].width
+    }
+}
+
+fn resolve_port(
+    port: &PortRef,
+    cell_ports: &HashMap<Id, HashMap<Id, PortIdx>>,
+    this_ports: &HashMap<Id, PortIdx>,
+    name: Id,
+) -> SimResult<PortIdx> {
+    match port.parent {
+        PortParent::Cell(c) => cell_ports
+            .get(&c)
+            .and_then(|m| m.get(&port.port))
+            .copied()
+            .ok_or_else(|| SimError::Elaboration(format!("unresolved port `{port}` in `{name}`"))),
+        PortParent::This => this_ports.get(&port.port).copied().ok_or_else(|| {
+            SimError::Elaboration(format!("unresolved this-port `{port}` in `{name}`"))
+        }),
+        PortParent::Group(_) => Err(SimError::Elaboration(format!(
+            "hole `{port}` survives in lowered component `{name}`"
+        ))),
+    }
+}
+
+impl DesignFlattener<'_> {
+    fn alloc(&mut self, width: u32, path: String) -> PortIdx {
+        self.prog.ports.push(PortData { width, path })
+    }
+
+    fn elaborate_component(
+        &mut self,
+        name: Id,
+        this_ports: &HashMap<Id, PortIdx>,
+        prefix: &str,
+    ) -> SimResult<()> {
+        let comp = self
+            .ctx
+            .components
+            .get(name)
+            .ok_or_else(|| SimError::Elaboration(format!("undefined component `{name}`")))?;
+        if !comp.groups.is_empty() || !comp.control.is_empty() {
+            return Err(SimError::Elaboration(format!(
+                "component `{name}` still has groups/control; run the lowering \
+                 pipeline first (or use the interpreter)"
+            )));
+        }
+
+        // Allocate cell ports; recurse into subcomponents, whose `this`
+        // ports alias the cell's slots.
+        let mut cell_ports: HashMap<Id, HashMap<Id, PortIdx>> = HashMap::new();
+        for cell in comp.cells.iter() {
+            let mut map = HashMap::new();
+            for pd in &cell.ports {
+                let idx = self.alloc(pd.width, format!("{prefix}{}.{}", cell.name, pd.name));
+                map.insert(pd.name, idx);
+            }
+            match &cell.prototype {
+                CellType::Primitive {
+                    name: prim_name,
+                    params,
+                } => {
+                    let path = format!("{prefix}{}", cell.name);
+                    let (kind, state) = {
+                        let mut r = DeclaredPortResolver {
+                            ports: &self.prog.ports,
+                            map: &map,
+                            prim: prim_name.as_str(),
+                        };
+                        instantiate_primitive(prim_name.as_str(), params, &mut r)?
+                    };
+                    let ci = self.prog.cells.push(FlatCell {
+                        path: path.clone(),
+                        kind,
+                    });
+                    self.prog.states.push(state);
+                    self.cell_index.insert(path, ci);
+                }
+                CellType::Component { name: child } => {
+                    let child_prefix = format!("{prefix}{}.", cell.name);
+                    self.elaborate_component(*child, &map, &child_prefix)?;
+                }
+            }
+            cell_ports.insert(cell.name, map);
+        }
+
+        // Resolve assignments into pending driver lists.
+        for asgn in &comp.continuous {
+            let dst = resolve_port(&asgn.dst, &cell_ports, this_ports, name)?;
+            let src = match &asgn.src {
+                Atom::Port(p) => FlatAtom::Port(resolve_port(p, &cell_ports, this_ports, name)?),
+                Atom::Const { val, .. } => FlatAtom::Const(*val),
+            };
+            let guard = self.intern_guard(&asgn.guard, &cell_ports, this_ports, name)?;
+            let entry = self.drivers.entry(dst).or_default();
+            if entry.is_empty() {
+                self.driver_order.push(dst);
+            }
+            entry.push((src, guard));
+        }
+        Ok(())
+    }
+
+    fn intern_guard(
+        &mut self,
+        guard: &Guard,
+        cell_ports: &HashMap<Id, HashMap<Id, PortIdx>>,
+        this_ports: &HashMap<Id, PortIdx>,
+        name: Id,
+    ) -> SimResult<GuardIdx> {
+        let atom = |a: &Atom| -> SimResult<FlatAtom> {
+            Ok(match a {
+                Atom::Port(p) => FlatAtom::Port(resolve_port(p, cell_ports, this_ports, name)?),
+                Atom::Const { val, .. } => FlatAtom::Const(*val),
+            })
+        };
+        let node = match guard {
+            Guard::True => return Ok(self.prog.true_guard()),
+            Guard::Port(p) => FlatGuard::Port(resolve_port(p, cell_ports, this_ports, name)?),
+            Guard::Not(g) => FlatGuard::Not(self.intern_guard(g, cell_ports, this_ports, name)?),
+            Guard::And(a, b) => FlatGuard::And(
+                self.intern_guard(a, cell_ports, this_ports, name)?,
+                self.intern_guard(b, cell_ports, this_ports, name)?,
+            ),
+            Guard::Or(a, b) => FlatGuard::Or(
+                self.intern_guard(a, cell_ports, this_ports, name)?,
+                self.intern_guard(b, cell_ports, this_ports, name)?,
+            ),
+            Guard::Comp(op, l, r) => FlatGuard::Comp(*op, atom(l)?, atom(r)?),
+        };
+        // Hash-consing: children are interned before parents, so equal
+        // subtrees hit the same child indices and dedup structurally.
+        let prog = &mut self.prog;
+        Ok(*self
+            .cons
+            .entry(node)
+            .or_insert_with(|| prog.guards.push(node)))
+    }
+}
+
+/// Elaborate the lowered hierarchy rooted at component `top` into a flat
+/// design with topologically sorted evaluation nodes.
+///
+/// # Errors
+///
+/// Returns [`SimError::Elaboration`] for un-lowered input, undefined
+/// names, or unmodeled primitives; [`SimError::CombinationalLoop`] when
+/// the assignment graph is cyclic.
+pub fn flatten_design(ctx: &Context, top: &str) -> SimResult<FlatDesign> {
+    let top_id = Id::new(top);
+    let top_comp = ctx
+        .components
+        .get(top_id)
+        .ok_or_else(|| SimError::Elaboration(format!("no component `{top}`")))?;
+
+    let mut f = DesignFlattener {
+        ctx,
+        prog: FlatProgram::new(),
+        cell_index: HashMap::new(),
+        drivers: HashMap::new(),
+        driver_order: Vec::new(),
+        cons: HashMap::new(),
+    };
+
+    // Top-level interface ports.
+    let mut this_ports = HashMap::new();
+    let mut top_inputs = HashMap::new();
+    for pd in &top_comp.signature {
+        let idx = f.alloc(pd.width, format!("{top}.{}", pd.name));
+        this_ports.insert(pd.name, idx);
+        if pd.direction == Direction::Input {
+            top_inputs.insert(pd.name.to_string(), idx);
+        }
+    }
+    let top_go = this_ports[&Id::new("go")];
+    let top_done = this_ports[&Id::new("done")];
+
+    f.elaborate_component(top_id, &this_ports, "")?;
+
+    // Pack each destination's drivers into a contiguous assignment range
+    // and build the evaluation nodes.
+    let mut nodes = Vec::new();
+    for dst in std::mem::take(&mut f.driver_order) {
+        let asgns = f.drivers.remove(&dst).expect("ordered driver exists");
+        let start = f.prog.assigns.next_idx();
+        for (src, guard) in asgns {
+            f.prog.assigns.push(FlatAssign { dst, src, guard });
+        }
+        nodes.push(Node::Drivers {
+            dst,
+            asgns: IndexRange::new(start, f.prog.assigns.next_idx()),
+        });
+    }
+    for (ci, cell) in f.prog.cells.enumerate() {
+        match cell.kind {
+            FlatCellKind::Comb { .. } => nodes.push(Node::Comb(ci)),
+            FlatCellKind::Mem { .. } => nodes.push(Node::MemRead(ci)),
+            _ => {}
+        }
+    }
+
+    let order = topo_sort(&nodes, &f.prog)?;
+    let mut nodes: Vec<Node> = order.into_iter().map(|i| nodes[i].clone()).collect();
+
+    // Repack assignments into *evaluation* order. The packing above is
+    // destination-discovery order; the settle loop walks nodes in topo
+    // order, so without this every cycle hops around the arena. After
+    // repacking, the per-cycle sweep reads assignments as one forward
+    // pass. Guards stay in interning order: hash-consing shares subtrees
+    // across assignments, so duplicating them per use would undo the
+    // engine's per-cycle guard memo.
+    let mut assigns = IndexedMap::new();
+    for node in &mut nodes {
+        if let Node::Drivers { asgns, .. } = node {
+            let start = assigns.next_idx();
+            for ai in asgns.iter() {
+                assigns.push(f.prog.assigns[ai]);
+            }
+            *asgns = IndexRange::new(start, assigns.next_idx());
+        }
+    }
+    f.prog.assigns = assigns;
+
+    Ok(FlatDesign {
+        prog: f.prog,
+        nodes,
+        top_go,
+        top_done,
+        top_inputs,
+        cell_index: f.cell_index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::FlatIdx;
+    use calyx_core::ir::parse_context;
+    use calyx_core::passes;
+
+    const COUNTER: &str = r#"component main() -> () {
+          cells { i = std_reg(8); lt = std_lt(8); add = std_add(8); }
+          wires {
+            group cond { lt.left = i.out; lt.right = 8'd5; cond[done] = 1'd1; }
+            group incr {
+              add.left = i.out; add.right = 8'd1;
+              i.in = add.out; i.write_en = 1'd1;
+              incr[done] = i.done;
+            }
+          }
+          control { while lt.out with cond { incr; } }
+        }"#;
+
+    #[test]
+    fn control_flattening_builds_dense_arenas() {
+        let ctx = parse_context(COUNTER).unwrap();
+        let flat = flatten_control(&ctx, "main").unwrap();
+        assert_eq!(flat.prog.cells.len(), 3);
+        assert_eq!(flat.groups.len(), 2);
+        // continuous block is empty; both groups own contiguous ranges.
+        assert!(flat.continuous.is_empty());
+        let total: usize = flat.groups.iter().map(|g| g.assigns.len()).sum();
+        assert_eq!(flat.prog.assigns.len(), total);
+        // Each group records exactly one done write, inside its own range.
+        for g in flat.groups.iter() {
+            assert_eq!(g.done_writes.len(), 1);
+            let dw = g.done_writes[0];
+            assert!(g.assigns.iter().any(|ai| ai == dw));
+        }
+        // The control tree flattened to while(enable).
+        assert!(matches!(flat.ctrl[flat.root], CtrlNode::While { .. }));
+    }
+
+    #[test]
+    fn design_flattening_topo_sorts_nodes() {
+        let mut ctx = parse_context(COUNTER).unwrap();
+        passes::lower_pipeline().run(&mut ctx).unwrap();
+        let flat = flatten_design(&ctx, "main").unwrap();
+        // Every driven port appears in exactly one Drivers node, and the
+        // order respects combinational dependencies: a node reading port p
+        // runs after the node producing p.
+        let mut produced_at = vec![usize::MAX; flat.prog.ports.len()];
+        for (i, node) in flat.nodes.iter().enumerate() {
+            if let Node::Drivers { dst, .. } = node {
+                assert_eq!(
+                    produced_at[dst.index()],
+                    usize::MAX,
+                    "duplicate driver node"
+                );
+                produced_at[dst.index()] = i;
+            }
+            if let Node::Comb(c) = node {
+                if let FlatCellKind::Comb { out, .. } = flat.prog.cells[*c].kind {
+                    produced_at[out.index()] = i;
+                }
+            }
+        }
+        for (i, node) in flat.nodes.iter().enumerate() {
+            if let Node::Drivers { asgns, .. } = node {
+                for ai in asgns.iter() {
+                    if let FlatAtom::Port(p) = flat.prog.assigns[ai].src {
+                        let at = produced_at[p.index()];
+                        if at != usize::MAX {
+                            assert!(at < i, "value read before production");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_ports_get_slots_instead_of_errors() {
+        // The interpreter's historical behavior: reads of never-driven,
+        // never-declared ports yield zero rather than an elaboration error.
+        let ctx = parse_context(
+            r#"component main() -> () {
+              cells { r = std_reg(8); }
+              wires { group g { r.in = 8'd1; r.write_en = 1'd1; g[done] = r.done; } }
+              control { g; }
+            }"#,
+        )
+        .unwrap();
+        let flat = flatten_control(&ctx, "main").unwrap();
+        // go + signature + r's declared ports + the group hole all have slots.
+        assert!(flat.prog.ports.len() >= 5);
+        assert_eq!(flat.groups[GroupIdx::new(0)].done_writes.len(), 1);
+    }
+}

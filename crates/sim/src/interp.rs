@@ -7,6 +7,16 @@
 //! the condition port, and proceed. Combinational settling within a cycle
 //! uses fixpoint iteration over the active assignments.
 //!
+//! Since the flat-IR rewrite the interpreter runs over the dense arenas of
+//! [`crate::flatten`]: port valuations are a `Vec<u64>` indexed by
+//! [`PortIdx`] (no `HashMap` re-hashing per read), the active assignment
+//! set is a handful of contiguous ranges, and the control tree advances by
+//! updating small per-node state arrays instead of cloning `Control`
+//! subtrees. The observable semantics — cycle counts, final state, error
+//! cases — are identical to the pre-flatten engine, which survives as
+//! [`crate::legacy::interp`] and is held to byte-identical output by the
+//! differential tests.
+//!
 //! This is the semantic oracle for the compiler: after lowering, the RTL
 //! simulation must leave the same architectural state (registers and
 //! memories) as this interpreter, even though cycle counts differ. The
@@ -16,57 +26,245 @@
 //! be single-component (no component-typed cells).
 
 use crate::error::{SimError, SimResult};
-use crate::prim::{mask, CombOp, PrimState, UnitOp};
-use calyx_core::ir::{Assignment, Atom, CellType, Component, Context, Control, Guard, Id, PortRef};
-use std::collections::{HashMap, HashSet};
+use crate::flatten::{
+    eval_atom, eval_guard, flatten_control, AssignIdx, CtrlIdx, CtrlNode, FlatCellKind,
+    FlatControl, FlatIdx, GroupIdx, IndexedMap, PortIdx,
+};
+use crate::prim::PrimState;
+use calyx_core::ir::{Context, Id};
 
-/// Per-cycle port valuation.
-type Values = HashMap<PortRef, u64>;
-
-/// How a cell behaves.
-enum CellKind {
-    Comb(CombOp, u32, u32),
-    Reg,
-    Mem,
-    Unit,
+/// Per-node runtime state of the flattened control tree. Indexed by
+/// [`CtrlIdx`]; each field is meaningful only for the node kinds that use
+/// it (sequence position for `seq`, condition phase and branch choice for
+/// `if`/`while`, completion flags for `par` children).
+struct CtrlRuntime {
+    seq_pos: Vec<u32>,
+    in_cond: Vec<bool>,
+    taken: Vec<bool>,
+    finished: Vec<bool>,
 }
 
-/// Execution state of one control statement.
-enum StmtState {
-    Done,
-    Enable {
-        group: Id,
-    },
-    Seq {
-        stmts: Vec<Control>,
-        idx: usize,
-        cur: Box<StmtState>,
-    },
-    Par {
-        children: Vec<StmtState>,
-    },
-    IfCond {
-        stmt: Control,
-    },
-    IfBranch {
-        inner: Box<StmtState>,
-    },
-    WhileCond {
-        stmt: Control,
-    },
-    WhileBody {
-        stmt: Control,
-        inner: Box<StmtState>,
-    },
+impl CtrlRuntime {
+    fn new(n: usize) -> Self {
+        CtrlRuntime {
+            seq_pos: vec![0; n],
+            in_cond: vec![false; n],
+            taken: vec![false; n],
+            finished: vec![false; n],
+        }
+    }
+}
+
+/// (Re-)enter a node. Returns true when the node is immediately done —
+/// the flat equivalent of the tree interpreter's `init` producing `Done`.
+fn ctrl_start(ctrl: &IndexedMap<CtrlIdx, CtrlNode>, rt: &mut CtrlRuntime, n: CtrlIdx) -> bool {
+    match &ctrl[n] {
+        CtrlNode::Empty => true,
+        CtrlNode::Enable { .. } => false,
+        CtrlNode::Seq { children } => {
+            for (i, &c) in children.iter().enumerate() {
+                if !ctrl_start(ctrl, rt, c) {
+                    rt.seq_pos[n.index()] = i as u32;
+                    return false;
+                }
+            }
+            true
+        }
+        CtrlNode::Par { children } => {
+            let mut all = true;
+            for &c in children {
+                let done = ctrl_start(ctrl, rt, c);
+                rt.finished[c.index()] = done;
+                all &= done;
+            }
+            all
+        }
+        CtrlNode::If { .. } | CtrlNode::While { .. } => {
+            rt.in_cond[n.index()] = true;
+            false
+        }
+    }
+}
+
+/// Groups active during the cycle for this node, split into ordinary
+/// enables and `with` condition groups.
+fn ctrl_collect(
+    ctrl: &IndexedMap<CtrlIdx, CtrlNode>,
+    rt: &CtrlRuntime,
+    n: CtrlIdx,
+    enables: &mut Vec<GroupIdx>,
+    conds: &mut Vec<GroupIdx>,
+) {
+    match &ctrl[n] {
+        CtrlNode::Empty => {}
+        CtrlNode::Enable { group } => enables.push(*group),
+        CtrlNode::Seq { children } => {
+            ctrl_collect(
+                ctrl,
+                rt,
+                children[rt.seq_pos[n.index()] as usize],
+                enables,
+                conds,
+            );
+        }
+        CtrlNode::Par { children } => {
+            for &c in children {
+                if !rt.finished[c.index()] {
+                    ctrl_collect(ctrl, rt, c, enables, conds);
+                }
+            }
+        }
+        CtrlNode::If {
+            cond,
+            tbranch,
+            fbranch,
+            ..
+        } => {
+            if rt.in_cond[n.index()] {
+                if let Some(c) = cond {
+                    conds.push(*c);
+                }
+            } else {
+                let branch = if rt.taken[n.index()] {
+                    *tbranch
+                } else {
+                    *fbranch
+                };
+                ctrl_collect(ctrl, rt, branch, enables, conds);
+            }
+        }
+        CtrlNode::While { cond, body, .. } => {
+            if rt.in_cond[n.index()] {
+                if let Some(c) = cond {
+                    conds.push(*c);
+                }
+            } else {
+                ctrl_collect(ctrl, rt, *body, enables, conds);
+            }
+        }
+    }
+}
+
+/// Advance a node by one cycle given this cycle's observations. Returns
+/// true when the node finished.
+fn ctrl_advance(
+    ctrl: &IndexedMap<CtrlIdx, CtrlNode>,
+    rt: &mut CtrlRuntime,
+    n: CtrlIdx,
+    done_groups: &[bool],
+    values: &[u64],
+) -> bool {
+    match &ctrl[n] {
+        CtrlNode::Empty => true,
+        CtrlNode::Enable { group } => done_groups[group.index()],
+        CtrlNode::Seq { children } => {
+            let pos = rt.seq_pos[n.index()] as usize;
+            if !ctrl_advance(ctrl, rt, children[pos], done_groups, values) {
+                return false;
+            }
+            for (i, &c) in children.iter().enumerate().skip(pos + 1) {
+                if !ctrl_start(ctrl, rt, c) {
+                    rt.seq_pos[n.index()] = i as u32;
+                    return false;
+                }
+            }
+            true
+        }
+        CtrlNode::Par { children } => {
+            let mut all = true;
+            for &c in children {
+                if rt.finished[c.index()] {
+                    continue;
+                }
+                if ctrl_advance(ctrl, rt, c, done_groups, values) {
+                    rt.finished[c.index()] = true;
+                } else {
+                    all = false;
+                }
+            }
+            all
+        }
+        CtrlNode::If {
+            port,
+            cond,
+            tbranch,
+            fbranch,
+        } => {
+            if rt.in_cond[n.index()] {
+                let cond_finished = match cond {
+                    Some(c) => done_groups[c.index()],
+                    None => true,
+                };
+                if !cond_finished {
+                    return false;
+                }
+                let taken = values[port.index()] != 0;
+                rt.taken[n.index()] = taken;
+                let branch = if taken { *tbranch } else { *fbranch };
+                if ctrl_start(ctrl, rt, branch) {
+                    true
+                } else {
+                    rt.in_cond[n.index()] = false;
+                    false
+                }
+            } else {
+                let branch = if rt.taken[n.index()] {
+                    *tbranch
+                } else {
+                    *fbranch
+                };
+                ctrl_advance(ctrl, rt, branch, done_groups, values)
+            }
+        }
+        CtrlNode::While { port, cond, body } => {
+            if rt.in_cond[n.index()] {
+                let cond_finished = match cond {
+                    Some(c) => done_groups[c.index()],
+                    None => true,
+                };
+                if !cond_finished {
+                    return false;
+                }
+                if values[port.index()] != 0 {
+                    // Empty body: immediately re-evaluate next cycle.
+                    if !ctrl_start(ctrl, rt, *body) {
+                        rt.in_cond[n.index()] = false;
+                    }
+                    false
+                } else {
+                    true
+                }
+            } else if ctrl_advance(ctrl, rt, *body, done_groups, values) {
+                rt.in_cond[n.index()] = true;
+                false
+            } else {
+                false
+            }
+        }
+    }
 }
 
 /// The interpreter for one component.
 pub struct Interpreter {
-    comp: Component,
-    kinds: HashMap<Id, CellKind>,
-    states: HashMap<Id, PrimState>,
-    state: StmtState,
+    flat: FlatControl,
+    rt: CtrlRuntime,
+    root_done: bool,
     cycles: u64,
+    /// Dense port valuation, reused across cycles.
+    values: Vec<u64>,
+    /// Per-pass unique-driver tracking: the value driven onto each port
+    /// this pass, valid when the epoch matches.
+    driven_val: Vec<u64>,
+    driven_epoch: Vec<u64>,
+    epoch: u64,
+    /// Ports driven in the current pass.
+    touched: Vec<PortIdx>,
+    /// Scratch: the flattened active-assignment list for one settle.
+    asgn_scratch: Vec<AssignIdx>,
+    enables: Vec<GroupIdx>,
+    conds: Vec<GroupIdx>,
+    active: Vec<GroupIdx>,
+    done_flags: Vec<bool>,
 }
 
 impl Interpreter {
@@ -77,97 +275,35 @@ impl Interpreter {
     /// Returns [`SimError::Elaboration`] when the component instantiates
     /// other components or uses unmodeled primitives.
     pub fn new(ctx: &Context, top: &str) -> SimResult<Self> {
-        let comp = ctx
-            .components
-            .get(Id::new(top))
-            .ok_or_else(|| SimError::Elaboration(format!("no component `{top}`")))?
-            .clone();
-        let mut kinds = HashMap::new();
-        let mut states = HashMap::new();
-        for cell in comp.cells.iter() {
-            match &cell.prototype {
-                CellType::Component { name } => {
-                    return Err(SimError::Elaboration(format!(
-                        "interpreter does not support component instances (`{}` of `{name}`); \
-                         lower and use the RTL simulator",
-                        cell.name
-                    )))
-                }
-                CellType::Primitive { name, params } => {
-                    let width = params.first().copied().unwrap_or(1) as u32;
-                    if let Some(op) = CombOp::from_name(name.as_str()) {
-                        let out_width = cell.port(Id::new("out")).map(|p| p.width).unwrap_or(width);
-                        kinds.insert(cell.name, CellKind::Comb(op, width, out_width));
-                    } else {
-                        match name.as_str() {
-                            "std_reg" => {
-                                states.insert(
-                                    cell.name,
-                                    PrimState::Reg {
-                                        val: 0,
-                                        done: false,
-                                        width,
-                                    },
-                                );
-                                kinds.insert(cell.name, CellKind::Reg);
-                            }
-                            "std_mem_d1" | "std_mem_d2" | "std_mem_d3" => {
-                                let ndims = match name.as_str() {
-                                    "std_mem_d1" => 1,
-                                    "std_mem_d2" => 2,
-                                    _ => 3,
-                                };
-                                let dims: Vec<u64> = params[1..=ndims].to_vec();
-                                let size: u64 = dims.iter().product();
-                                states.insert(
-                                    cell.name,
-                                    PrimState::Mem {
-                                        data: vec![0; size as usize],
-                                        dims,
-                                        done: false,
-                                        width,
-                                    },
-                                );
-                                kinds.insert(cell.name, CellKind::Mem);
-                            }
-                            "std_mult_pipe" | "std_div_pipe" | "std_sqrt" => {
-                                let op = match name.as_str() {
-                                    "std_mult_pipe" => UnitOp::Mult,
-                                    "std_div_pipe" => UnitOp::Div,
-                                    _ => UnitOp::Sqrt,
-                                };
-                                states.insert(
-                                    cell.name,
-                                    PrimState::Unit {
-                                        op,
-                                        operands: (0, 0),
-                                        remaining: None,
-                                        out: 0,
-                                        out2: 0,
-                                        done: false,
-                                        width,
-                                    },
-                                );
-                                kinds.insert(cell.name, CellKind::Unit);
-                            }
-                            other => {
-                                return Err(SimError::Elaboration(format!(
-                                    "primitive `{other}` has no behavioral model"
-                                )))
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        let state = init(&comp.control);
+        let flat = flatten_control(ctx, top)?;
+        let n_ports = flat.prog.ports.len();
+        let n_groups = flat.groups.len();
+        let mut rt = CtrlRuntime::new(flat.ctrl.len());
+        let root_done = ctrl_start(&flat.ctrl, &mut rt, flat.root);
         Ok(Interpreter {
-            comp,
-            kinds,
-            states,
-            state,
+            rt,
+            root_done,
             cycles: 0,
+            values: vec![0; n_ports],
+            driven_val: vec![0; n_ports],
+            driven_epoch: vec![0; n_ports],
+            epoch: 0,
+            touched: Vec::new(),
+            asgn_scratch: Vec::new(),
+            enables: Vec::new(),
+            conds: Vec::new(),
+            active: Vec::new(),
+            done_flags: vec![false; n_groups],
+            flat,
         })
+    }
+
+    fn cell(&self, cell: &str) -> SimResult<crate::flatten::CellIdx> {
+        self.flat
+            .cell_index
+            .get(&Id::new(cell))
+            .copied()
+            .ok_or_else(|| SimError::UnknownCell(cell.to_string()))
     }
 
     /// Initialize a memory's contents.
@@ -176,14 +312,15 @@ impl Interpreter {
     ///
     /// Returns [`SimError::UnknownCell`] when `cell` is not a memory.
     pub fn set_memory(&mut self, cell: &str, data: &[u64]) -> SimResult<()> {
-        match self.states.get_mut(&Id::new(cell)) {
-            Some(PrimState::Mem {
+        let ci = self.cell(cell)?;
+        match &mut self.flat.prog.states[ci] {
+            PrimState::Mem {
                 data: storage,
                 width,
                 ..
-            }) => {
+            } => {
                 for (slot, v) in storage.iter_mut().zip(data) {
-                    *slot = mask(*v, *width);
+                    *slot = crate::prim::mask(*v, *width);
                 }
                 Ok(())
             }
@@ -197,8 +334,9 @@ impl Interpreter {
     ///
     /// Returns [`SimError::UnknownCell`] when `cell` is not a memory.
     pub fn memory(&self, cell: &str) -> SimResult<Vec<u64>> {
-        match self.states.get(&Id::new(cell)) {
-            Some(PrimState::Mem { data, .. }) => Ok(data.clone()),
+        let ci = self.cell(cell)?;
+        match &self.flat.prog.states[ci] {
+            PrimState::Mem { data, .. } => Ok(data.clone()),
             _ => Err(SimError::UnknownCell(cell.to_string())),
         }
     }
@@ -209,8 +347,11 @@ impl Interpreter {
     ///
     /// Returns [`SimError::UnknownCell`] when `cell` is not a register.
     pub fn register_value(&self, cell: &str) -> SimResult<u64> {
-        match self.states.get(&Id::new(cell)) {
-            Some(PrimState::Reg { val, .. }) => Ok(*val),
+        let ci = self.cell(cell)?;
+        match (&self.flat.prog.cells[ci].kind, &self.flat.prog.states[ci]) {
+            // Combinational cells carry a placeholder state; only true
+            // `std_reg` instances report a value.
+            (FlatCellKind::Reg { .. }, PrimState::Reg { val, .. }) => Ok(*val),
             _ => Err(SimError::UnknownCell(cell.to_string())),
         }
     }
@@ -222,7 +363,7 @@ impl Interpreter {
     /// Returns [`SimError::Timeout`] past the cycle budget, driver-conflict
     /// and convergence errors from settling.
     pub fn run(&mut self, max_cycles: u64) -> SimResult<crate::rtl::RunStats> {
-        while !matches!(self.state, StmtState::Done) {
+        while !self.root_done {
             if self.cycles >= max_cycles {
                 return Err(SimError::Timeout { max_cycles });
             }
@@ -237,9 +378,17 @@ impl Interpreter {
     fn step(&mut self) -> SimResult<()> {
         // 1. Active groups this cycle: enabled groups plus the `with`
         //    condition groups currently being evaluated.
-        let mut enables = Vec::new();
-        let mut conds = Vec::new();
-        collect_active(&self.state, &mut enables, &mut conds);
+        let mut enables = std::mem::take(&mut self.enables);
+        let mut conds = std::mem::take(&mut self.conds);
+        enables.clear();
+        conds.clear();
+        ctrl_collect(
+            &self.flat.ctrl,
+            &self.rt,
+            self.flat.root,
+            &mut enables,
+            &mut conds,
+        );
 
         // 2. An enabled group whose done signal is already observable from
         //    state alone (a registered done from last cycle's write) must
@@ -247,430 +396,235 @@ impl Interpreter {
         //    mirrors the `!done` protection in the compiled FSMs. Condition
         //    groups are exempt: they are combinational and stay active for
         //    the whole evaluation phase.
-        let state_values = self.settle(&[])?;
-        let mut active: Vec<Id> = enables
-            .iter()
-            .copied()
-            .filter(|&g| !self.group_done(g, &state_values))
-            .collect();
-        active.extend(conds.iter().copied());
+        self.settle(&[])?;
+        let mut active = std::mem::take(&mut self.active);
+        active.clear();
+        for &g in &enables {
+            if !self.group_done(g) {
+                active.push(g);
+            }
+        }
+        active.extend_from_slice(&conds);
 
         // 3. Settle combinational values with the surviving groups.
-        let values = self.settle(&active)?;
+        self.settle(&active)?;
 
         // 4. Which candidate groups finished this cycle?
-        let mut done_groups = HashSet::new();
+        self.done_flags.fill(false);
         for &g in enables.iter().chain(conds.iter()) {
-            if self.group_done(g, &values) {
-                done_groups.insert(g);
+            if self.group_done(g) {
+                self.done_flags[g.index()] = true;
             }
         }
 
         // 5. Synchronous update.
-        self.tick(&values)?;
+        self.tick()?;
 
         // 6. Advance the control tree using this cycle's observations.
-        let state = std::mem::replace(&mut self.state, StmtState::Done);
-        self.state = advance(state, &done_groups, &values);
+        self.root_done = ctrl_advance(
+            &self.flat.ctrl,
+            &mut self.rt,
+            self.flat.root,
+            &self.done_flags,
+            &self.values,
+        );
         self.cycles += 1;
+
+        self.enables = enables;
+        self.conds = conds;
+        self.active = active;
         Ok(())
     }
 
-    fn active_assignments<'b>(&'b self, active: &[Id]) -> Vec<&'b Assignment> {
-        let mut asgns: Vec<&Assignment> = self.comp.continuous.iter().collect();
-        for &g in active {
-            if let Some(group) = self.comp.groups.get(g) {
-                asgns.extend(group.assignments.iter());
-            }
-        }
-        asgns
+    /// Does group `g`'s done hole evaluate high under the settled values?
+    fn group_done(&self, g: GroupIdx) -> bool {
+        let prog = &self.flat.prog;
+        self.flat.groups[g].done_writes.iter().any(|&ai| {
+            let a = &prog.assigns[ai];
+            eval_guard(&prog.guards, a.guard, &self.values) && eval_atom(a.src, &self.values) != 0
+        })
     }
 
-    /// Fixpoint settling over the active assignments.
-    fn settle(&self, active: &[Id]) -> SimResult<Values> {
-        let asgns = self.active_assignments(active);
-        let mut values: Values = HashMap::new();
+    /// Fixpoint settling over the active assignments, into `self.values`.
+    fn settle(&mut self, active: &[GroupIdx]) -> SimResult<()> {
+        // Materialize the active assignment list once per settle.
+        let mut asgns = std::mem::take(&mut self.asgn_scratch);
+        asgns.clear();
+        asgns.extend(self.flat.continuous.iter());
+        for &g in active {
+            asgns.extend(self.flat.groups[g].assigns.iter());
+        }
+
+        let prog = &self.flat.prog;
+        let values = &mut self.values;
+        values.fill(0);
 
         // Stateful outputs are fixed for the cycle.
-        for (cell, state) in &self.states {
-            match state {
-                PrimState::Reg { val, done, .. } => {
-                    values.insert(PortRef::cell(*cell, "out"), *val);
-                    values.insert(PortRef::cell(*cell, "done"), u64::from(*done));
+        for (ci, cell) in prog.cells.enumerate() {
+            match (&cell.kind, &prog.states[ci]) {
+                (FlatCellKind::Reg { out, done, .. }, PrimState::Reg { val, done: d, .. }) => {
+                    values[out.index()] = *val;
+                    values[done.index()] = u64::from(*d);
                 }
-                PrimState::Mem { done, .. } => {
-                    values.insert(PortRef::cell(*cell, "done"), u64::from(*done));
+                (FlatCellKind::Mem { done, .. }, PrimState::Mem { done: d, .. }) => {
+                    values[done.index()] = u64::from(*d);
                 }
-                PrimState::Unit {
-                    op,
-                    out,
-                    out2,
-                    done,
-                    ..
-                } => {
-                    let out_port = if *op == UnitOp::Div {
-                        "out_quotient"
-                    } else {
-                        "out"
-                    };
-                    values.insert(PortRef::cell(*cell, out_port), *out);
-                    if *op == UnitOp::Div {
-                        values.insert(PortRef::cell(*cell, "out_remainder"), *out2);
+                (
+                    FlatCellKind::Unit {
+                        out, out2, done, ..
+                    },
+                    PrimState::Unit {
+                        out: o,
+                        out2: o2,
+                        done: d,
+                        ..
+                    },
+                ) => {
+                    values[out.index()] = *o;
+                    if let Some(p2) = out2 {
+                        values[p2.index()] = *o2;
                     }
-                    values.insert(PortRef::cell(*cell, "done"), u64::from(*done));
+                    values[done.index()] = u64::from(*d);
                 }
+                _ => {}
             }
         }
-        values.insert(PortRef::this("go"), 1);
+        values[self.flat.go.index()] = 1;
 
         // Iterate until stable. The bound is generous: each pass fixes at
         // least one more port in a loop-free design.
-        let budget = asgns.len() + self.kinds.len() + 8;
-        for _ in 0..budget {
+        let budget = asgns.len() + prog.cells.len() + 8;
+        let mut converged = false;
+        'passes: for _ in 0..budget {
             let mut changed = false;
 
-            // Assignments (with dynamic unique-driver checking).
-            let mut driven: HashMap<PortRef, u64> = HashMap::new();
-            for asgn in &asgns {
-                if eval_guard(&asgn.guard, &values) {
-                    let v = eval_atom(&asgn.src, &values);
-                    if let Some(prev) = driven.get(&asgn.dst) {
-                        if *prev != v {
+            // Assignments (with dynamic unique-driver checking). The
+            // epoch counter replaces the per-pass `driven` map: a slot's
+            // entry is valid only when its epoch matches the current pass.
+            self.epoch += 1;
+            self.touched.clear();
+            for &ai in &asgns {
+                let a = &prog.assigns[ai];
+                if eval_guard(&prog.guards, a.guard, values) {
+                    let v = eval_atom(a.src, values);
+                    let d = a.dst.index();
+                    if self.driven_epoch[d] == self.epoch {
+                        if self.driven_val[d] != v {
+                            self.asgn_scratch = asgns;
                             return Err(SimError::DriverConflict {
-                                port: asgn.dst.to_string(),
+                                port: prog.ports[a.dst].path.clone(),
                                 cycle: self.cycles,
                             });
                         }
+                    } else {
+                        self.driven_epoch[d] = self.epoch;
+                        self.driven_val[d] = v;
+                        self.touched.push(a.dst);
                     }
-                    driven.insert(asgn.dst, v);
                 }
             }
-            for (port, v) in driven {
-                if values.get(&port).copied().unwrap_or(0) != v {
-                    values.insert(port, v);
+            for &p in &self.touched {
+                let d = p.index();
+                if values[d] != self.driven_val[d] {
+                    values[d] = self.driven_val[d];
                     changed = true;
                 }
             }
 
             // Combinational primitives and memory reads.
-            for (cell, kind) in &self.kinds {
-                match kind {
-                    CellKind::Comb(op, w, ow) => {
-                        let (l, r) = if op.is_binary() {
-                            (
-                                get(&values, PortRef::cell(*cell, "left")),
-                                get(&values, PortRef::cell(*cell, "right")),
-                            )
-                        } else {
-                            (get(&values, PortRef::cell(*cell, "in")), 0)
-                        };
-                        let out = op.eval(l, r, *w, *ow);
-                        let port = PortRef::cell(*cell, "out");
-                        if values.get(&port).copied().unwrap_or(0) != out {
-                            values.insert(port, out);
+            for (ci, cell) in prog.cells.enumerate() {
+                match &cell.kind {
+                    FlatCellKind::Comb {
+                        op,
+                        left,
+                        right,
+                        out,
+                        in_width,
+                        out_width,
+                    } => {
+                        let l = values[left.index()];
+                        let r = right.map(|p| values[p.index()]).unwrap_or(0);
+                        let o = op.eval(l, r, *in_width, *out_width);
+                        if values[out.index()] != o {
+                            values[out.index()] = o;
                             changed = true;
                         }
                     }
-                    CellKind::Mem => {
-                        let state = &self.states[cell];
-                        let addrs = self.mem_addrs(*cell, &values);
-                        let out = state.mem_read(&addrs);
-                        let port = PortRef::cell(*cell, "read_data");
-                        if values.get(&port).copied().unwrap_or(0) != out {
-                            values.insert(port, out);
+                    FlatCellKind::Mem {
+                        addrs, read_data, ..
+                    } => {
+                        let mut av = [0u64; 3];
+                        for (k, &a) in addrs.iter().enumerate() {
+                            av[k] = values[a.index()];
+                        }
+                        let o = prog.states[ci].mem_read(&av[..addrs.len()]);
+                        if values[read_data.index()] != o {
+                            values[read_data.index()] = o;
                             changed = true;
                         }
                     }
-                    CellKind::Reg | CellKind::Unit => {}
+                    FlatCellKind::Reg { .. } | FlatCellKind::Unit { .. } => {}
                 }
             }
 
             if !changed {
-                return Ok(values);
+                converged = true;
+                break 'passes;
             }
         }
-        Err(SimError::CombinationalLoop(vec![format!(
-            "fixpoint did not converge in component `{}`",
-            self.comp.name
-        )]))
+        self.asgn_scratch = asgns;
+        if converged {
+            Ok(())
+        } else {
+            Err(SimError::CombinationalLoop(vec![format!(
+                "fixpoint did not converge in component `{}`",
+                self.flat.comp
+            )]))
+        }
     }
 
-    fn mem_addrs(&self, cell: Id, values: &Values) -> Vec<u64> {
-        let ndims = match &self.states[&cell] {
-            PrimState::Mem { dims, .. } => dims.len(),
-            _ => 0,
-        };
-        (0..ndims)
-            .map(|i| get(values, PortRef::cell(cell, format!("addr{i}").as_str())))
-            .collect()
-    }
-
-    /// Does group `g`'s done hole evaluate high under `values`?
-    fn group_done(&self, g: Id, values: &Values) -> bool {
-        let Some(group) = self.comp.groups.get(g) else {
-            return false;
-        };
-        group
-            .done_writes()
-            .any(|a| eval_guard(&a.guard, values) && eval_atom(&a.src, values) != 0)
-    }
-
-    fn tick(&mut self, values: &Values) -> SimResult<()> {
-        let cells: Vec<Id> = self.states.keys().copied().collect();
-        for cell in cells {
-            match self.kinds.get(&cell) {
-                Some(CellKind::Reg) => {
-                    let input = get(values, PortRef::cell(cell, "in"));
-                    let we = get(values, PortRef::cell(cell, "write_en")) != 0;
-                    self.states
-                        .get_mut(&cell)
-                        .expect("state")
-                        .tick_reg(input, we);
+    fn tick(&mut self) -> SimResult<()> {
+        let crate::flatten::FlatProgram {
+            ref cells,
+            ref mut states,
+            ..
+        } = self.flat.prog;
+        let values = &self.values;
+        for (ci, cell) in cells.enumerate() {
+            match &cell.kind {
+                FlatCellKind::Reg {
+                    input, write_en, ..
+                } => {
+                    let inp = values[input.index()];
+                    let we = values[write_en.index()] != 0;
+                    states[ci].tick_reg(inp, we);
                 }
-                Some(CellKind::Mem) => {
-                    let addrs = self.mem_addrs(cell, values);
-                    let wd = get(values, PortRef::cell(cell, "write_data"));
-                    let we = get(values, PortRef::cell(cell, "write_en")) != 0;
-                    self.states.get_mut(&cell).expect("state").tick_mem(
-                        &addrs,
-                        wd,
-                        we,
-                        cell.as_str(),
-                    )?;
+                FlatCellKind::Mem {
+                    addrs,
+                    write_data,
+                    write_en,
+                    ..
+                } => {
+                    let mut av = [0u64; 3];
+                    for (k, &a) in addrs.iter().enumerate() {
+                        av[k] = values[a.index()];
+                    }
+                    let wd = values[write_data.index()];
+                    let we = values[write_en.index()] != 0;
+                    states[ci].tick_mem(&av[..addrs.len()], wd, we, &cell.path)?;
                 }
-                Some(CellKind::Unit) => {
-                    let op = match &self.states[&cell] {
-                        PrimState::Unit { op, .. } => *op,
-                        _ => unreachable!("unit kind has unit state"),
-                    };
-                    let (l, r) = if op == UnitOp::Sqrt {
-                        let v = get(values, PortRef::cell(cell, "in"));
-                        (v, v)
-                    } else {
-                        (
-                            get(values, PortRef::cell(cell, "left")),
-                            get(values, PortRef::cell(cell, "right")),
-                        )
-                    };
-                    let go = get(values, PortRef::cell(cell, "go")) != 0;
-                    self.states
-                        .get_mut(&cell)
-                        .expect("state")
-                        .tick_unit(l, r, go);
+                FlatCellKind::Unit {
+                    left, right, go, ..
+                } => {
+                    let l = values[left.index()];
+                    let r = values[right.index()];
+                    let g = values[go.index()] != 0;
+                    states[ci].tick_unit(l, r, g);
                 }
-                _ => {}
+                FlatCellKind::Comb { .. } => {}
             }
         }
         Ok(())
-    }
-}
-
-fn get(values: &Values, port: PortRef) -> u64 {
-    values.get(&port).copied().unwrap_or(0)
-}
-
-fn eval_atom(atom: &Atom, values: &Values) -> u64 {
-    match atom {
-        Atom::Port(p) => get(values, *p),
-        Atom::Const { val, .. } => *val,
-    }
-}
-
-fn eval_guard(guard: &Guard, values: &Values) -> bool {
-    match guard {
-        Guard::True => true,
-        Guard::Port(p) => get(values, *p) != 0,
-        Guard::Not(g) => !eval_guard(g, values),
-        Guard::And(a, b) => eval_guard(a, values) && eval_guard(b, values),
-        Guard::Or(a, b) => eval_guard(a, values) || eval_guard(b, values),
-        Guard::Comp(op, l, r) => op.eval(eval_atom(l, values), eval_atom(r, values)),
-    }
-}
-
-/// Initial execution state of a statement.
-fn init(stmt: &Control) -> StmtState {
-    match stmt {
-        Control::Empty => StmtState::Done,
-        Control::Enable { group, .. } => StmtState::Enable { group: *group },
-        Control::Seq { stmts, .. } => {
-            // Find the first child with actual work.
-            for (idx, s) in stmts.iter().enumerate() {
-                let st = init(s);
-                if !matches!(st, StmtState::Done) {
-                    return StmtState::Seq {
-                        stmts: stmts.clone(),
-                        idx,
-                        cur: Box::new(st),
-                    };
-                }
-            }
-            StmtState::Done
-        }
-        Control::Par { stmts, .. } => {
-            let children: Vec<StmtState> = stmts.iter().map(init).collect();
-            if children.iter().all(|c| matches!(c, StmtState::Done)) {
-                StmtState::Done
-            } else {
-                StmtState::Par { children }
-            }
-        }
-        Control::If { .. } => StmtState::IfCond { stmt: stmt.clone() },
-        Control::While { .. } => StmtState::WhileCond { stmt: stmt.clone() },
-    }
-}
-
-/// Groups active during the cycle for this state, split into ordinary
-/// enables and `with` condition groups.
-fn collect_active(state: &StmtState, enables: &mut Vec<Id>, conds: &mut Vec<Id>) {
-    match state {
-        StmtState::Done => {}
-        StmtState::Enable { group } => enables.push(*group),
-        StmtState::Seq { cur, .. } => collect_active(cur, enables, conds),
-        StmtState::Par { children } => {
-            for c in children {
-                collect_active(c, enables, conds);
-            }
-        }
-        StmtState::IfCond { stmt } | StmtState::WhileCond { stmt } => {
-            let cond = match stmt {
-                Control::If { cond, .. } | Control::While { cond, .. } => cond,
-                _ => &None,
-            };
-            if let Some(c) = cond {
-                conds.push(*c);
-            }
-        }
-        StmtState::IfBranch { inner } => collect_active(inner, enables, conds),
-        StmtState::WhileBody { inner, .. } => collect_active(inner, enables, conds),
-    }
-}
-
-/// Advance the tree by one cycle given this cycle's observations.
-fn advance(state: StmtState, done_groups: &HashSet<Id>, values: &Values) -> StmtState {
-    match state {
-        StmtState::Done => StmtState::Done,
-        StmtState::Enable { group } => {
-            if done_groups.contains(&group) {
-                StmtState::Done
-            } else {
-                StmtState::Enable { group }
-            }
-        }
-        StmtState::Seq { stmts, idx, cur } => {
-            let cur = advance(*cur, done_groups, values);
-            if matches!(cur, StmtState::Done) {
-                for next in (idx + 1)..stmts.len() {
-                    let st = init(&stmts[next]);
-                    if !matches!(st, StmtState::Done) {
-                        return StmtState::Seq {
-                            stmts,
-                            idx: next,
-                            cur: Box::new(st),
-                        };
-                    }
-                }
-                StmtState::Done
-            } else {
-                StmtState::Seq {
-                    stmts,
-                    idx,
-                    cur: Box::new(cur),
-                }
-            }
-        }
-        StmtState::Par { children } => {
-            let children: Vec<StmtState> = children
-                .into_iter()
-                .map(|c| advance(c, done_groups, values))
-                .collect();
-            if children.iter().all(|c| matches!(c, StmtState::Done)) {
-                StmtState::Done
-            } else {
-                StmtState::Par { children }
-            }
-        }
-        StmtState::IfCond { stmt } => {
-            let (port, cond, tbranch, fbranch) = match &stmt {
-                Control::If {
-                    port,
-                    cond,
-                    tbranch,
-                    fbranch,
-                    ..
-                } => (port, cond, tbranch, fbranch),
-                _ => unreachable!("IfCond holds an if"),
-            };
-            let cond_finished = match cond {
-                Some(c) => done_groups.contains(c),
-                None => true,
-            };
-            if cond_finished {
-                let taken = get(values, *port) != 0;
-                let branch = if taken { tbranch } else { fbranch };
-                let inner = init(branch);
-                if matches!(inner, StmtState::Done) {
-                    StmtState::Done
-                } else {
-                    StmtState::IfBranch {
-                        inner: Box::new(inner),
-                    }
-                }
-            } else {
-                StmtState::IfCond { stmt }
-            }
-        }
-        StmtState::IfBranch { inner } => {
-            let inner = advance(*inner, done_groups, values);
-            if matches!(inner, StmtState::Done) {
-                StmtState::Done
-            } else {
-                StmtState::IfBranch {
-                    inner: Box::new(inner),
-                }
-            }
-        }
-        StmtState::WhileCond { stmt } => {
-            let (port, cond, body) = match &stmt {
-                Control::While {
-                    port, cond, body, ..
-                } => (port, cond, body),
-                _ => unreachable!("WhileCond holds a while"),
-            };
-            let cond_finished = match cond {
-                Some(c) => done_groups.contains(c),
-                None => true,
-            };
-            if cond_finished {
-                let looping = get(values, *port) != 0;
-                if looping {
-                    let inner = init(body);
-                    if matches!(inner, StmtState::Done) {
-                        // Empty body: immediately re-evaluate next cycle.
-                        StmtState::WhileCond { stmt }
-                    } else {
-                        StmtState::WhileBody {
-                            stmt: stmt.clone(),
-                            inner: Box::new(inner),
-                        }
-                    }
-                } else {
-                    StmtState::Done
-                }
-            } else {
-                StmtState::WhileCond { stmt }
-            }
-        }
-        StmtState::WhileBody { stmt, inner } => {
-            let inner = advance(*inner, done_groups, values);
-            if matches!(inner, StmtState::Done) {
-                StmtState::WhileCond { stmt }
-            } else {
-                StmtState::WhileBody {
-                    stmt,
-                    inner: Box::new(inner),
-                }
-            }
-        }
     }
 }
 
@@ -820,5 +774,20 @@ mod tests {
         let mut i = interp("component main() -> () { cells {} wires {} control {} }");
         let stats = i.run(10).unwrap();
         assert_eq!(stats.cycles, 0);
+    }
+
+    #[test]
+    fn register_lookup_rejects_combinational_cells() {
+        let i = interp(
+            r#"component main() -> () {
+              cells { add = std_add(8); }
+              wires {}
+              control {}
+            }"#,
+        );
+        assert!(matches!(
+            i.register_value("add"),
+            Err(SimError::UnknownCell(_))
+        ));
     }
 }

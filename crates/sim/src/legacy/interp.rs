@@ -1,0 +1,824 @@
+//! A reference interpreter for *un-lowered* Calyx programs.
+//!
+//! Executes the control tree directly, the way the language definition
+//! reads (paper §3.3–§3.4): an `enable` activates a group's assignments
+//! until the group signals `done`; `seq` runs children in order; `par`
+//! runs them concurrently; `if`/`while` evaluate their `with` group, sample
+//! the condition port, and proceed. Combinational settling within a cycle
+//! uses fixpoint iteration over the active assignments.
+//!
+//! This is the semantic oracle for the compiler: after lowering, the RTL
+//! simulation must leave the same architectural state (registers and
+//! memories) as this interpreter, even though cycle counts differ. The
+//! differential tests in `tests/` rely on exactly that.
+//!
+//! Limitations (by design — the RTL engine covers the rest): programs must
+//! be single-component (no component-typed cells).
+
+use crate::error::{SimError, SimResult};
+use crate::prim::{mask, CombOp, PrimState, UnitOp};
+use calyx_core::ir::{Assignment, Atom, CellType, Component, Context, Control, Guard, Id, PortRef};
+use std::collections::{HashMap, HashSet};
+
+/// Per-cycle port valuation.
+type Values = HashMap<PortRef, u64>;
+
+/// How a cell behaves.
+enum CellKind {
+    Comb(CombOp, u32, u32),
+    Reg,
+    Mem,
+    Unit,
+}
+
+/// Execution state of one control statement.
+enum StmtState {
+    Done,
+    Enable {
+        group: Id,
+    },
+    Seq {
+        stmts: Vec<Control>,
+        idx: usize,
+        cur: Box<StmtState>,
+    },
+    Par {
+        children: Vec<StmtState>,
+    },
+    IfCond {
+        stmt: Control,
+    },
+    IfBranch {
+        inner: Box<StmtState>,
+    },
+    WhileCond {
+        stmt: Control,
+    },
+    WhileBody {
+        stmt: Control,
+        inner: Box<StmtState>,
+    },
+}
+
+/// The interpreter for one component.
+pub struct Interpreter {
+    comp: Component,
+    kinds: HashMap<Id, CellKind>,
+    states: HashMap<Id, PrimState>,
+    state: StmtState,
+    cycles: u64,
+}
+
+impl Interpreter {
+    /// Build an interpreter for component `top` of `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Elaboration`] when the component instantiates
+    /// other components or uses unmodeled primitives.
+    pub fn new(ctx: &Context, top: &str) -> SimResult<Self> {
+        let comp = ctx
+            .components
+            .get(Id::new(top))
+            .ok_or_else(|| SimError::Elaboration(format!("no component `{top}`")))?
+            .clone();
+        let mut kinds = HashMap::new();
+        let mut states = HashMap::new();
+        for cell in comp.cells.iter() {
+            match &cell.prototype {
+                CellType::Component { name } => {
+                    return Err(SimError::Elaboration(format!(
+                        "interpreter does not support component instances (`{}` of `{name}`); \
+                         lower and use the RTL simulator",
+                        cell.name
+                    )))
+                }
+                CellType::Primitive { name, params } => {
+                    let width = params.first().copied().unwrap_or(1) as u32;
+                    if let Some(op) = CombOp::from_name(name.as_str()) {
+                        let out_width = cell.port(Id::new("out")).map(|p| p.width).unwrap_or(width);
+                        kinds.insert(cell.name, CellKind::Comb(op, width, out_width));
+                    } else {
+                        match name.as_str() {
+                            "std_reg" => {
+                                states.insert(
+                                    cell.name,
+                                    PrimState::Reg {
+                                        val: 0,
+                                        done: false,
+                                        width,
+                                    },
+                                );
+                                kinds.insert(cell.name, CellKind::Reg);
+                            }
+                            "std_mem_d1" | "std_mem_d2" | "std_mem_d3" => {
+                                let ndims = match name.as_str() {
+                                    "std_mem_d1" => 1,
+                                    "std_mem_d2" => 2,
+                                    _ => 3,
+                                };
+                                let dims: Vec<u64> = params[1..=ndims].to_vec();
+                                let size: u64 = dims.iter().product();
+                                states.insert(
+                                    cell.name,
+                                    PrimState::Mem {
+                                        data: vec![0; size as usize],
+                                        dims,
+                                        done: false,
+                                        width,
+                                    },
+                                );
+                                kinds.insert(cell.name, CellKind::Mem);
+                            }
+                            "std_mult_pipe" | "std_div_pipe" | "std_sqrt" => {
+                                let op = match name.as_str() {
+                                    "std_mult_pipe" => UnitOp::Mult,
+                                    "std_div_pipe" => UnitOp::Div,
+                                    _ => UnitOp::Sqrt,
+                                };
+                                states.insert(
+                                    cell.name,
+                                    PrimState::Unit {
+                                        op,
+                                        operands: (0, 0),
+                                        remaining: None,
+                                        out: 0,
+                                        out2: 0,
+                                        done: false,
+                                        width,
+                                    },
+                                );
+                                kinds.insert(cell.name, CellKind::Unit);
+                            }
+                            other => {
+                                return Err(SimError::Elaboration(format!(
+                                    "primitive `{other}` has no behavioral model"
+                                )))
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let state = init(&comp.control);
+        Ok(Interpreter {
+            comp,
+            kinds,
+            states,
+            state,
+            cycles: 0,
+        })
+    }
+
+    /// Initialize a memory's contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownCell`] when `cell` is not a memory.
+    pub fn set_memory(&mut self, cell: &str, data: &[u64]) -> SimResult<()> {
+        match self.states.get_mut(&Id::new(cell)) {
+            Some(PrimState::Mem {
+                data: storage,
+                width,
+                ..
+            }) => {
+                for (slot, v) in storage.iter_mut().zip(data) {
+                    *slot = mask(*v, *width);
+                }
+                Ok(())
+            }
+            _ => Err(SimError::UnknownCell(cell.to_string())),
+        }
+    }
+
+    /// Read a memory's contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownCell`] when `cell` is not a memory.
+    pub fn memory(&self, cell: &str) -> SimResult<Vec<u64>> {
+        match self.states.get(&Id::new(cell)) {
+            Some(PrimState::Mem { data, .. }) => Ok(data.clone()),
+            _ => Err(SimError::UnknownCell(cell.to_string())),
+        }
+    }
+
+    /// Read a register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownCell`] when `cell` is not a register.
+    pub fn register_value(&self, cell: &str) -> SimResult<u64> {
+        match self.states.get(&Id::new(cell)) {
+            Some(PrimState::Reg { val, .. }) => Ok(*val),
+            _ => Err(SimError::UnknownCell(cell.to_string())),
+        }
+    }
+
+    /// Run the control program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] past the cycle budget, driver-conflict
+    /// and convergence errors from settling.
+    pub fn run(&mut self, max_cycles: u64) -> SimResult<crate::rtl::RunStats> {
+        while !matches!(self.state, StmtState::Done) {
+            if self.cycles >= max_cycles {
+                return Err(SimError::Timeout { max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(crate::rtl::RunStats {
+            cycles: self.cycles,
+        })
+    }
+
+    /// Execute one cycle: settle, advance the control tree, tick state.
+    fn step(&mut self) -> SimResult<()> {
+        // 1. Active groups this cycle: enabled groups plus the `with`
+        //    condition groups currently being evaluated.
+        let mut enables = Vec::new();
+        let mut conds = Vec::new();
+        collect_active(&self.state, &mut enables, &mut conds);
+
+        // 2. An enabled group whose done signal is already observable from
+        //    state alone (a registered done from last cycle's write) must
+        //    not execute again during its done-observation cycle — this
+        //    mirrors the `!done` protection in the compiled FSMs. Condition
+        //    groups are exempt: they are combinational and stay active for
+        //    the whole evaluation phase.
+        let state_values = self.settle(&[])?;
+        let mut active: Vec<Id> = enables
+            .iter()
+            .copied()
+            .filter(|&g| !self.group_done(g, &state_values))
+            .collect();
+        active.extend(conds.iter().copied());
+
+        // 3. Settle combinational values with the surviving groups.
+        let values = self.settle(&active)?;
+
+        // 4. Which candidate groups finished this cycle?
+        let mut done_groups = HashSet::new();
+        for &g in enables.iter().chain(conds.iter()) {
+            if self.group_done(g, &values) {
+                done_groups.insert(g);
+            }
+        }
+
+        // 5. Synchronous update.
+        self.tick(&values)?;
+
+        // 6. Advance the control tree using this cycle's observations.
+        let state = std::mem::replace(&mut self.state, StmtState::Done);
+        self.state = advance(state, &done_groups, &values);
+        self.cycles += 1;
+        Ok(())
+    }
+
+    fn active_assignments<'b>(&'b self, active: &[Id]) -> Vec<&'b Assignment> {
+        let mut asgns: Vec<&Assignment> = self.comp.continuous.iter().collect();
+        for &g in active {
+            if let Some(group) = self.comp.groups.get(g) {
+                asgns.extend(group.assignments.iter());
+            }
+        }
+        asgns
+    }
+
+    /// Fixpoint settling over the active assignments.
+    fn settle(&self, active: &[Id]) -> SimResult<Values> {
+        let asgns = self.active_assignments(active);
+        let mut values: Values = HashMap::new();
+
+        // Stateful outputs are fixed for the cycle.
+        for (cell, state) in &self.states {
+            match state {
+                PrimState::Reg { val, done, .. } => {
+                    values.insert(PortRef::cell(*cell, "out"), *val);
+                    values.insert(PortRef::cell(*cell, "done"), u64::from(*done));
+                }
+                PrimState::Mem { done, .. } => {
+                    values.insert(PortRef::cell(*cell, "done"), u64::from(*done));
+                }
+                PrimState::Unit {
+                    op,
+                    out,
+                    out2,
+                    done,
+                    ..
+                } => {
+                    let out_port = if *op == UnitOp::Div {
+                        "out_quotient"
+                    } else {
+                        "out"
+                    };
+                    values.insert(PortRef::cell(*cell, out_port), *out);
+                    if *op == UnitOp::Div {
+                        values.insert(PortRef::cell(*cell, "out_remainder"), *out2);
+                    }
+                    values.insert(PortRef::cell(*cell, "done"), u64::from(*done));
+                }
+            }
+        }
+        values.insert(PortRef::this("go"), 1);
+
+        // Iterate until stable. The bound is generous: each pass fixes at
+        // least one more port in a loop-free design.
+        let budget = asgns.len() + self.kinds.len() + 8;
+        for _ in 0..budget {
+            let mut changed = false;
+
+            // Assignments (with dynamic unique-driver checking).
+            let mut driven: HashMap<PortRef, u64> = HashMap::new();
+            for asgn in &asgns {
+                if eval_guard(&asgn.guard, &values) {
+                    let v = eval_atom(&asgn.src, &values);
+                    if let Some(prev) = driven.get(&asgn.dst) {
+                        if *prev != v {
+                            return Err(SimError::DriverConflict {
+                                port: asgn.dst.to_string(),
+                                cycle: self.cycles,
+                            });
+                        }
+                    }
+                    driven.insert(asgn.dst, v);
+                }
+            }
+            for (port, v) in driven {
+                if values.get(&port).copied().unwrap_or(0) != v {
+                    values.insert(port, v);
+                    changed = true;
+                }
+            }
+
+            // Combinational primitives and memory reads.
+            for (cell, kind) in &self.kinds {
+                match kind {
+                    CellKind::Comb(op, w, ow) => {
+                        let (l, r) = if op.is_binary() {
+                            (
+                                get(&values, PortRef::cell(*cell, "left")),
+                                get(&values, PortRef::cell(*cell, "right")),
+                            )
+                        } else {
+                            (get(&values, PortRef::cell(*cell, "in")), 0)
+                        };
+                        let out = op.eval(l, r, *w, *ow);
+                        let port = PortRef::cell(*cell, "out");
+                        if values.get(&port).copied().unwrap_or(0) != out {
+                            values.insert(port, out);
+                            changed = true;
+                        }
+                    }
+                    CellKind::Mem => {
+                        let state = &self.states[cell];
+                        let addrs = self.mem_addrs(*cell, &values);
+                        let out = state.mem_read(&addrs);
+                        let port = PortRef::cell(*cell, "read_data");
+                        if values.get(&port).copied().unwrap_or(0) != out {
+                            values.insert(port, out);
+                            changed = true;
+                        }
+                    }
+                    CellKind::Reg | CellKind::Unit => {}
+                }
+            }
+
+            if !changed {
+                return Ok(values);
+            }
+        }
+        Err(SimError::CombinationalLoop(vec![format!(
+            "fixpoint did not converge in component `{}`",
+            self.comp.name
+        )]))
+    }
+
+    fn mem_addrs(&self, cell: Id, values: &Values) -> Vec<u64> {
+        let ndims = match &self.states[&cell] {
+            PrimState::Mem { dims, .. } => dims.len(),
+            _ => 0,
+        };
+        (0..ndims)
+            .map(|i| get(values, PortRef::cell(cell, format!("addr{i}").as_str())))
+            .collect()
+    }
+
+    /// Does group `g`'s done hole evaluate high under `values`?
+    fn group_done(&self, g: Id, values: &Values) -> bool {
+        let Some(group) = self.comp.groups.get(g) else {
+            return false;
+        };
+        group
+            .done_writes()
+            .any(|a| eval_guard(&a.guard, values) && eval_atom(&a.src, values) != 0)
+    }
+
+    fn tick(&mut self, values: &Values) -> SimResult<()> {
+        let cells: Vec<Id> = self.states.keys().copied().collect();
+        for cell in cells {
+            match self.kinds.get(&cell) {
+                Some(CellKind::Reg) => {
+                    let input = get(values, PortRef::cell(cell, "in"));
+                    let we = get(values, PortRef::cell(cell, "write_en")) != 0;
+                    self.states
+                        .get_mut(&cell)
+                        .expect("state")
+                        .tick_reg(input, we);
+                }
+                Some(CellKind::Mem) => {
+                    let addrs = self.mem_addrs(cell, values);
+                    let wd = get(values, PortRef::cell(cell, "write_data"));
+                    let we = get(values, PortRef::cell(cell, "write_en")) != 0;
+                    self.states.get_mut(&cell).expect("state").tick_mem(
+                        &addrs,
+                        wd,
+                        we,
+                        cell.as_str(),
+                    )?;
+                }
+                Some(CellKind::Unit) => {
+                    let op = match &self.states[&cell] {
+                        PrimState::Unit { op, .. } => *op,
+                        _ => unreachable!("unit kind has unit state"),
+                    };
+                    let (l, r) = if op == UnitOp::Sqrt {
+                        let v = get(values, PortRef::cell(cell, "in"));
+                        (v, v)
+                    } else {
+                        (
+                            get(values, PortRef::cell(cell, "left")),
+                            get(values, PortRef::cell(cell, "right")),
+                        )
+                    };
+                    let go = get(values, PortRef::cell(cell, "go")) != 0;
+                    self.states
+                        .get_mut(&cell)
+                        .expect("state")
+                        .tick_unit(l, r, go);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+fn get(values: &Values, port: PortRef) -> u64 {
+    values.get(&port).copied().unwrap_or(0)
+}
+
+fn eval_atom(atom: &Atom, values: &Values) -> u64 {
+    match atom {
+        Atom::Port(p) => get(values, *p),
+        Atom::Const { val, .. } => *val,
+    }
+}
+
+fn eval_guard(guard: &Guard, values: &Values) -> bool {
+    match guard {
+        Guard::True => true,
+        Guard::Port(p) => get(values, *p) != 0,
+        Guard::Not(g) => !eval_guard(g, values),
+        Guard::And(a, b) => eval_guard(a, values) && eval_guard(b, values),
+        Guard::Or(a, b) => eval_guard(a, values) || eval_guard(b, values),
+        Guard::Comp(op, l, r) => op.eval(eval_atom(l, values), eval_atom(r, values)),
+    }
+}
+
+/// Initial execution state of a statement.
+fn init(stmt: &Control) -> StmtState {
+    match stmt {
+        Control::Empty => StmtState::Done,
+        Control::Enable { group, .. } => StmtState::Enable { group: *group },
+        Control::Seq { stmts, .. } => {
+            // Find the first child with actual work.
+            for (idx, s) in stmts.iter().enumerate() {
+                let st = init(s);
+                if !matches!(st, StmtState::Done) {
+                    return StmtState::Seq {
+                        stmts: stmts.clone(),
+                        idx,
+                        cur: Box::new(st),
+                    };
+                }
+            }
+            StmtState::Done
+        }
+        Control::Par { stmts, .. } => {
+            let children: Vec<StmtState> = stmts.iter().map(init).collect();
+            if children.iter().all(|c| matches!(c, StmtState::Done)) {
+                StmtState::Done
+            } else {
+                StmtState::Par { children }
+            }
+        }
+        Control::If { .. } => StmtState::IfCond { stmt: stmt.clone() },
+        Control::While { .. } => StmtState::WhileCond { stmt: stmt.clone() },
+    }
+}
+
+/// Groups active during the cycle for this state, split into ordinary
+/// enables and `with` condition groups.
+fn collect_active(state: &StmtState, enables: &mut Vec<Id>, conds: &mut Vec<Id>) {
+    match state {
+        StmtState::Done => {}
+        StmtState::Enable { group } => enables.push(*group),
+        StmtState::Seq { cur, .. } => collect_active(cur, enables, conds),
+        StmtState::Par { children } => {
+            for c in children {
+                collect_active(c, enables, conds);
+            }
+        }
+        StmtState::IfCond { stmt } | StmtState::WhileCond { stmt } => {
+            let cond = match stmt {
+                Control::If { cond, .. } | Control::While { cond, .. } => cond,
+                _ => &None,
+            };
+            if let Some(c) = cond {
+                conds.push(*c);
+            }
+        }
+        StmtState::IfBranch { inner } => collect_active(inner, enables, conds),
+        StmtState::WhileBody { inner, .. } => collect_active(inner, enables, conds),
+    }
+}
+
+/// Advance the tree by one cycle given this cycle's observations.
+fn advance(state: StmtState, done_groups: &HashSet<Id>, values: &Values) -> StmtState {
+    match state {
+        StmtState::Done => StmtState::Done,
+        StmtState::Enable { group } => {
+            if done_groups.contains(&group) {
+                StmtState::Done
+            } else {
+                StmtState::Enable { group }
+            }
+        }
+        StmtState::Seq { stmts, idx, cur } => {
+            let cur = advance(*cur, done_groups, values);
+            if matches!(cur, StmtState::Done) {
+                for next in (idx + 1)..stmts.len() {
+                    let st = init(&stmts[next]);
+                    if !matches!(st, StmtState::Done) {
+                        return StmtState::Seq {
+                            stmts,
+                            idx: next,
+                            cur: Box::new(st),
+                        };
+                    }
+                }
+                StmtState::Done
+            } else {
+                StmtState::Seq {
+                    stmts,
+                    idx,
+                    cur: Box::new(cur),
+                }
+            }
+        }
+        StmtState::Par { children } => {
+            let children: Vec<StmtState> = children
+                .into_iter()
+                .map(|c| advance(c, done_groups, values))
+                .collect();
+            if children.iter().all(|c| matches!(c, StmtState::Done)) {
+                StmtState::Done
+            } else {
+                StmtState::Par { children }
+            }
+        }
+        StmtState::IfCond { stmt } => {
+            let (port, cond, tbranch, fbranch) = match &stmt {
+                Control::If {
+                    port,
+                    cond,
+                    tbranch,
+                    fbranch,
+                    ..
+                } => (port, cond, tbranch, fbranch),
+                _ => unreachable!("IfCond holds an if"),
+            };
+            let cond_finished = match cond {
+                Some(c) => done_groups.contains(c),
+                None => true,
+            };
+            if cond_finished {
+                let taken = get(values, *port) != 0;
+                let branch = if taken { tbranch } else { fbranch };
+                let inner = init(branch);
+                if matches!(inner, StmtState::Done) {
+                    StmtState::Done
+                } else {
+                    StmtState::IfBranch {
+                        inner: Box::new(inner),
+                    }
+                }
+            } else {
+                StmtState::IfCond { stmt }
+            }
+        }
+        StmtState::IfBranch { inner } => {
+            let inner = advance(*inner, done_groups, values);
+            if matches!(inner, StmtState::Done) {
+                StmtState::Done
+            } else {
+                StmtState::IfBranch {
+                    inner: Box::new(inner),
+                }
+            }
+        }
+        StmtState::WhileCond { stmt } => {
+            let (port, cond, body) = match &stmt {
+                Control::While {
+                    port, cond, body, ..
+                } => (port, cond, body),
+                _ => unreachable!("WhileCond holds a while"),
+            };
+            let cond_finished = match cond {
+                Some(c) => done_groups.contains(c),
+                None => true,
+            };
+            if cond_finished {
+                let looping = get(values, *port) != 0;
+                if looping {
+                    let inner = init(body);
+                    if matches!(inner, StmtState::Done) {
+                        // Empty body: immediately re-evaluate next cycle.
+                        StmtState::WhileCond { stmt }
+                    } else {
+                        StmtState::WhileBody {
+                            stmt: stmt.clone(),
+                            inner: Box::new(inner),
+                        }
+                    }
+                } else {
+                    StmtState::Done
+                }
+            } else {
+                StmtState::WhileCond { stmt }
+            }
+        }
+        StmtState::WhileBody { stmt, inner } => {
+            let inner = advance(*inner, done_groups, values);
+            if matches!(inner, StmtState::Done) {
+                StmtState::WhileCond { stmt }
+            } else {
+                StmtState::WhileBody {
+                    stmt,
+                    inner: Box::new(inner),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calyx_core::ir::parse_context;
+
+    fn interp(src: &str) -> Interpreter {
+        let ctx = parse_context(src).unwrap();
+        Interpreter::new(&ctx, "main").unwrap()
+    }
+
+    #[test]
+    fn seq_of_register_writes() {
+        let mut i = interp(
+            r#"component main() -> () {
+              cells { x = std_reg(32); }
+              wires {
+                group one { x.in = 32'd1; x.write_en = 1'd1; one[done] = x.done; }
+                group two { x.in = 32'd2; x.write_en = 1'd1; two[done] = x.done; }
+              }
+              control { seq { one; two; } }
+            }"#,
+        );
+        let stats = i.run(100).unwrap();
+        assert_eq!(i.register_value("x").unwrap(), 2);
+        // Each group: 1 write cycle + 1 done-observation cycle.
+        assert_eq!(stats.cycles, 4);
+    }
+
+    #[test]
+    fn while_loop_semantics() {
+        let mut i = interp(
+            r#"component main() -> () {
+              cells { i = std_reg(8); lt = std_lt(8); add = std_add(8); }
+              wires {
+                group cond { lt.left = i.out; lt.right = 8'd7; cond[done] = 1'd1; }
+                group incr {
+                  add.left = i.out; add.right = 8'd1;
+                  i.in = add.out; i.write_en = 1'd1;
+                  incr[done] = i.done;
+                }
+              }
+              control { while lt.out with cond { incr; } }
+            }"#,
+        );
+        i.run(1000).unwrap();
+        assert_eq!(i.register_value("i").unwrap(), 7);
+    }
+
+    #[test]
+    fn par_and_if_semantics() {
+        let mut i = interp(
+            r#"component main() -> () {
+              cells {
+                a = std_reg(8); b = std_reg(8); r = std_reg(8);
+                gt = std_gt(8);
+              }
+              wires {
+                group wa { a.in = 8'd11; a.write_en = 1'd1; wa[done] = a.done; }
+                group wb { b.in = 8'd4; b.write_en = 1'd1; wb[done] = b.done; }
+                group cmp {
+                  gt.left = a.out; gt.right = b.out;
+                  cmp[done] = 1'd1;
+                }
+                group t { r.in = a.out; r.write_en = 1'd1; t[done] = r.done; }
+                group f { r.in = b.out; r.write_en = 1'd1; f[done] = r.done; }
+              }
+              control {
+                seq {
+                  par { wa; wb; }
+                  if gt.out with cmp { t; } else { f; }
+                }
+              }
+            }"#,
+        );
+        i.run(100).unwrap();
+        assert_eq!(i.register_value("r").unwrap(), 11, "max(11, 4)");
+    }
+
+    #[test]
+    fn multiplier_latency_respected() {
+        let mut i = interp(
+            r#"component main() -> () {
+              cells { mul = std_mult_pipe(16); r = std_reg(16); }
+              wires {
+                group m {
+                  mul.left = 16'd9; mul.right = 16'd5;
+                  mul.go = !mul.done ? 1'd1;
+                  r.in = mul.out; r.write_en = mul.done ? 1'd1;
+                  m[done] = r.done;
+                }
+              }
+              control { m; }
+            }"#,
+        );
+        let stats = i.run(100).unwrap();
+        assert_eq!(i.register_value("r").unwrap(), 45);
+        assert!(stats.cycles >= 5);
+    }
+
+    #[test]
+    fn memory_initialization_and_readback() {
+        let mut i = interp(
+            r#"component main() -> () {
+              cells { m = std_mem_d1(8, 4, 2); r = std_reg(8); }
+              wires {
+                group rd {
+                  m.addr0 = 2'd3;
+                  r.in = m.read_data; r.write_en = 1'd1;
+                  rd[done] = r.done;
+                }
+                group wr {
+                  m.addr0 = 2'd0; m.write_data = r.out; m.write_en = 1'd1;
+                  wr[done] = m.done;
+                }
+              }
+              control { seq { rd; wr; } }
+            }"#,
+        );
+        i.set_memory("m", &[0, 0, 0, 77]).unwrap();
+        i.run(100).unwrap();
+        assert_eq!(i.memory("m").unwrap(), vec![77, 0, 0, 77]);
+    }
+
+    #[test]
+    fn rejects_component_instances() {
+        let ctx = parse_context(
+            r#"
+            component child() -> () { cells {} wires {} control {} }
+            component main() -> () {
+              cells { c = child(); }
+              wires {}
+              control {}
+            }"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            Interpreter::new(&ctx, "main"),
+            Err(SimError::Elaboration(_))
+        ));
+    }
+
+    #[test]
+    fn empty_control_finishes_immediately() {
+        let mut i = interp("component main() -> () { cells {} wires {} control {} }");
+        let stats = i.run(10).unwrap();
+        assert_eq!(stats.cycles, 0);
+    }
+}

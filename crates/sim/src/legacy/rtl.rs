@@ -1,0 +1,1119 @@
+//! Cycle-accurate simulation of lowered Calyx programs.
+//!
+//! The engine elaborates a lowered [`Context`] — every component a flat
+//! list of guarded assignments — into a port arena and an evaluation graph:
+//!
+//! - subcomponent instances are elaborated *in place*: a cell's ports and
+//!   the inner component's `this` ports are the same arena slots, so
+//!   hierarchy costs nothing at simulation time;
+//! - all assignments driving the same port form one *driver node*;
+//!   combinational primitives and memory read functions form the others;
+//! - nodes are topologically sorted once; each simulated cycle is a single
+//!   sweep over the sorted nodes followed by a synchronous primitive tick.
+//!
+//! Unique-driver violations (two active guards on one port) and
+//! combinational loops are detected and reported as errors, mirroring what
+//! Verilator would flag in the emitted SystemVerilog.
+
+use crate::error::{SimError, SimResult};
+use crate::prim::{mask, CombOp, PrimState, UnitOp};
+use calyx_core::ir::{Atom, CellType, CompOp, Context, Guard, Id, PortParent, PortRef};
+use std::collections::HashMap;
+
+/// An elaborated atom: a port slot or a constant.
+#[derive(Debug, Clone, Copy)]
+enum EAtom {
+    Port(usize),
+    Const(u64),
+}
+
+/// An elaborated guard over port slots.
+#[derive(Debug, Clone)]
+enum EGuard {
+    True,
+    Port(usize),
+    Not(Box<EGuard>),
+    And(Box<EGuard>, Box<EGuard>),
+    Or(Box<EGuard>, Box<EGuard>),
+    Comp(CompOp, EAtom, EAtom),
+}
+
+#[derive(Debug, Clone)]
+struct EAssign {
+    src: EAtom,
+    guard: EGuard,
+}
+
+/// How a primitive instance connects to the port arena.
+#[derive(Debug, Clone)]
+enum PrimKind {
+    Comb {
+        op: CombOp,
+        left: usize,
+        right: Option<usize>,
+        out: usize,
+        in_width: u32,
+        out_width: u32,
+    },
+    Reg {
+        input: usize,
+        write_en: usize,
+        out: usize,
+        done: usize,
+    },
+    Mem {
+        addrs: Vec<usize>,
+        write_data: usize,
+        write_en: usize,
+        read_data: usize,
+        done: usize,
+    },
+    Unit {
+        left: usize,
+        right: usize,
+        go: usize,
+        out: usize,
+        out2: Option<usize>,
+        done: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct PrimInstance {
+    path: String,
+    kind: PrimKind,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// All assignments driving one port.
+    Drivers { dst: usize, asgns: Vec<EAssign> },
+    /// A combinational primitive's output function.
+    Comb(usize),
+    /// A memory's combinational read port.
+    MemRead(usize),
+}
+
+#[derive(Debug, Clone)]
+struct PortInfo {
+    width: u32,
+    path: String,
+}
+
+pub use crate::rtl::RunStats;
+
+/// A cycle-accurate simulator instance.
+///
+/// See the crate docs for an end-to-end example; typical use is
+/// `Simulator::new(&lowered_ctx, "main")`, optional [`Simulator::set_memory`]
+/// calls, [`Simulator::run`], then state inspection.
+#[derive(Debug)]
+pub struct Simulator {
+    ports: Vec<PortInfo>,
+    nodes: Vec<Node>,
+    prims: Vec<PrimInstance>,
+    states: Vec<PrimState>,
+    values: Vec<u64>,
+    prim_index: HashMap<String, usize>,
+    top_go: usize,
+    top_done: usize,
+    /// Extra top-level input values to drive each cycle.
+    inputs: HashMap<usize, u64>,
+    top_inputs: HashMap<String, usize>,
+}
+
+struct Elaborator<'a> {
+    ctx: &'a Context,
+    ports: Vec<PortInfo>,
+    prims: Vec<PrimInstance>,
+    states: Vec<PrimState>,
+    prim_index: HashMap<String, usize>,
+    drivers: HashMap<usize, Vec<EAssign>>,
+}
+
+impl<'a> Elaborator<'a> {
+    fn alloc(&mut self, width: u32, path: String) -> usize {
+        self.ports.push(PortInfo { width, path });
+        self.ports.len() - 1
+    }
+
+    fn elaborate_component(
+        &mut self,
+        name: Id,
+        this_ports: &HashMap<Id, usize>,
+        prefix: &str,
+    ) -> SimResult<()> {
+        let comp = self
+            .ctx
+            .components
+            .get(name)
+            .ok_or_else(|| SimError::Elaboration(format!("undefined component `{name}`")))?;
+        if !comp.groups.is_empty() || !comp.control.is_empty() {
+            return Err(SimError::Elaboration(format!(
+                "component `{name}` still has groups/control; run the lowering \
+                 pipeline first (or use the interpreter)"
+            )));
+        }
+
+        // Allocate cell ports; recurse into subcomponents.
+        let mut cell_ports: HashMap<Id, HashMap<Id, usize>> = HashMap::new();
+        for cell in comp.cells.iter() {
+            let mut map = HashMap::new();
+            for pd in &cell.ports {
+                let idx = self.alloc(pd.width, format!("{prefix}{}.{}", cell.name, pd.name));
+                map.insert(pd.name, idx);
+            }
+            match &cell.prototype {
+                CellType::Primitive {
+                    name: prim_name,
+                    params,
+                } => {
+                    let path = format!("{prefix}{}", cell.name);
+                    self.instantiate_primitive(prim_name.as_str(), params, &map, path)?;
+                }
+                CellType::Component { name: child } => {
+                    let child_prefix = format!("{prefix}{}.", cell.name);
+                    self.elaborate_component(*child, &map, &child_prefix)?;
+                }
+            }
+            cell_ports.insert(cell.name, map);
+        }
+
+        // Resolve assignments.
+        let resolve =
+            |port: &PortRef, cell_ports: &HashMap<Id, HashMap<Id, usize>>| -> SimResult<usize> {
+                match port.parent {
+                    PortParent::Cell(c) => cell_ports
+                        .get(&c)
+                        .and_then(|m| m.get(&port.port))
+                        .copied()
+                        .ok_or_else(|| {
+                            SimError::Elaboration(format!("unresolved port `{port}` in `{name}`"))
+                        }),
+                    PortParent::This => this_ports.get(&port.port).copied().ok_or_else(|| {
+                        SimError::Elaboration(format!("unresolved this-port `{port}` in `{name}`"))
+                    }),
+                    PortParent::Group(_) => Err(SimError::Elaboration(format!(
+                        "hole `{port}` survives in lowered component `{name}`"
+                    ))),
+                }
+            };
+        for asgn in &comp.continuous {
+            let dst = resolve(&asgn.dst, &cell_ports)?;
+            let src = match &asgn.src {
+                Atom::Port(p) => EAtom::Port(resolve(p, &cell_ports)?),
+                Atom::Const { val, .. } => EAtom::Const(*val),
+            };
+            let guard = self.elaborate_guard(&asgn.guard, &cell_ports, this_ports, name)?;
+            self.drivers
+                .entry(dst)
+                .or_default()
+                .push(EAssign { src, guard });
+        }
+        Ok(())
+    }
+
+    fn elaborate_guard(
+        &mut self,
+        guard: &Guard,
+        cell_ports: &HashMap<Id, HashMap<Id, usize>>,
+        this_ports: &HashMap<Id, usize>,
+        name: Id,
+    ) -> SimResult<EGuard> {
+        let resolve = |port: &PortRef| -> SimResult<usize> {
+            match port.parent {
+                PortParent::Cell(c) => cell_ports
+                    .get(&c)
+                    .and_then(|m| m.get(&port.port))
+                    .copied()
+                    .ok_or_else(|| {
+                        SimError::Elaboration(format!("unresolved port `{port}` in `{name}`"))
+                    }),
+                PortParent::This => this_ports.get(&port.port).copied().ok_or_else(|| {
+                    SimError::Elaboration(format!("unresolved this-port `{port}` in `{name}`"))
+                }),
+                PortParent::Group(_) => Err(SimError::Elaboration(format!(
+                    "hole `{port}` survives in lowered component `{name}`"
+                ))),
+            }
+        };
+        let atom = |a: &Atom| -> SimResult<EAtom> {
+            Ok(match a {
+                Atom::Port(p) => EAtom::Port(resolve(p)?),
+                Atom::Const { val, .. } => EAtom::Const(*val),
+            })
+        };
+        Ok(match guard {
+            Guard::True => EGuard::True,
+            Guard::Port(p) => EGuard::Port(resolve(p)?),
+            Guard::Not(g) => EGuard::Not(Box::new(
+                self.elaborate_guard(g, cell_ports, this_ports, name)?,
+            )),
+            Guard::And(a, b) => EGuard::And(
+                Box::new(self.elaborate_guard(a, cell_ports, this_ports, name)?),
+                Box::new(self.elaborate_guard(b, cell_ports, this_ports, name)?),
+            ),
+            Guard::Or(a, b) => EGuard::Or(
+                Box::new(self.elaborate_guard(a, cell_ports, this_ports, name)?),
+                Box::new(self.elaborate_guard(b, cell_ports, this_ports, name)?),
+            ),
+            Guard::Comp(op, l, r) => EGuard::Comp(*op, atom(l)?, atom(r)?),
+        })
+    }
+
+    fn instantiate_primitive(
+        &mut self,
+        prim: &str,
+        params: &[u64],
+        ports: &HashMap<Id, usize>,
+        path: String,
+    ) -> SimResult<()> {
+        let p = |n: &str| -> SimResult<usize> {
+            ports.get(&Id::new(n)).copied().ok_or_else(|| {
+                SimError::Elaboration(format!("primitive `{prim}` missing port `{n}`"))
+            })
+        };
+        let width = params.first().copied().unwrap_or(1) as u32;
+        let kind = if let Some(op) = CombOp::from_name(prim) {
+            let (left, right) = if op.is_binary() {
+                (p("left")?, Some(p("right")?))
+            } else {
+                (p("in")?, None)
+            };
+            let out = p("out")?;
+            let out_width = self.ports[out].width;
+            PrimKind::Comb {
+                op,
+                left,
+                right,
+                out,
+                in_width: width,
+                out_width,
+            }
+        } else {
+            match prim {
+                "std_reg" => {
+                    self.states.push(PrimState::Reg {
+                        val: 0,
+                        done: false,
+                        width,
+                    });
+                    let kind = PrimKind::Reg {
+                        input: p("in")?,
+                        write_en: p("write_en")?,
+                        out: p("out")?,
+                        done: p("done")?,
+                    };
+                    self.push_prim(path, kind);
+                    return Ok(());
+                }
+                "std_mem_d1" | "std_mem_d2" | "std_mem_d3" => {
+                    let ndims = match prim {
+                        "std_mem_d1" => 1,
+                        "std_mem_d2" => 2,
+                        _ => 3,
+                    };
+                    let dims: Vec<u64> = params[1..=ndims].to_vec();
+                    let size: u64 = dims.iter().product();
+                    let addrs = (0..ndims)
+                        .map(|i| p(&format!("addr{i}")))
+                        .collect::<SimResult<Vec<_>>>()?;
+                    self.states.push(PrimState::Mem {
+                        data: vec![0; size as usize],
+                        dims,
+                        done: false,
+                        width,
+                    });
+                    let kind = PrimKind::Mem {
+                        addrs,
+                        write_data: p("write_data")?,
+                        write_en: p("write_en")?,
+                        read_data: p("read_data")?,
+                        done: p("done")?,
+                    };
+                    self.push_prim(path, kind);
+                    return Ok(());
+                }
+                "std_mult_pipe" | "std_div_pipe" | "std_sqrt" => {
+                    let (op, left, right, out, out2) = match prim {
+                        "std_mult_pipe" => (UnitOp::Mult, p("left")?, p("right")?, p("out")?, None),
+                        "std_div_pipe" => (
+                            UnitOp::Div,
+                            p("left")?,
+                            p("right")?,
+                            p("out_quotient")?,
+                            Some(p("out_remainder")?),
+                        ),
+                        _ => {
+                            let input = p("in")?;
+                            (UnitOp::Sqrt, input, input, p("out")?, None)
+                        }
+                    };
+                    self.states.push(PrimState::Unit {
+                        op,
+                        operands: (0, 0),
+                        remaining: None,
+                        out: 0,
+                        out2: 0,
+                        done: false,
+                        width,
+                    });
+                    let kind = PrimKind::Unit {
+                        left,
+                        right,
+                        go: p("go")?,
+                        out,
+                        out2,
+                        done: p("done")?,
+                    };
+                    self.push_prim(path, kind);
+                    return Ok(());
+                }
+                other => {
+                    return Err(SimError::Elaboration(format!(
+                        "primitive `{other}` has no behavioral model"
+                    )))
+                }
+            }
+        };
+        // Combinational primitives carry no state; use a placeholder so the
+        // state vector stays index-aligned.
+        self.states.push(PrimState::Reg {
+            val: 0,
+            done: false,
+            width: 0,
+        });
+        self.push_prim(path, kind);
+        Ok(())
+    }
+
+    fn push_prim(&mut self, path: String, kind: PrimKind) {
+        self.prim_index.insert(path.clone(), self.prims.len());
+        self.prims.push(PrimInstance { path, kind });
+    }
+}
+
+impl Simulator {
+    /// Elaborate the lowered program rooted at component `top`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Elaboration`] for un-lowered input, undefined
+    /// names, or unmodeled primitives; [`SimError::CombinationalLoop`] when
+    /// the assignment graph is cyclic.
+    pub fn new(ctx: &Context, top: &str) -> SimResult<Self> {
+        let top_id = Id::new(top);
+        let top_comp = ctx
+            .components
+            .get(top_id)
+            .ok_or_else(|| SimError::Elaboration(format!("no component `{top}`")))?;
+
+        let mut elab = Elaborator {
+            ctx,
+            ports: Vec::new(),
+            prims: Vec::new(),
+            states: Vec::new(),
+            prim_index: HashMap::new(),
+            drivers: HashMap::new(),
+        };
+
+        // Top-level interface ports.
+        let mut this_ports = HashMap::new();
+        let mut top_inputs = HashMap::new();
+        for pd in &top_comp.signature {
+            let idx = elab.alloc(pd.width, format!("{top}.{}", pd.name));
+            this_ports.insert(pd.name, idx);
+            if pd.direction == calyx_core::ir::Direction::Input {
+                top_inputs.insert(pd.name.to_string(), idx);
+            }
+        }
+        let top_go = this_ports[&Id::new("go")];
+        let top_done = this_ports[&Id::new("done")];
+
+        elab.elaborate_component(top_id, &this_ports, "")?;
+
+        // Build evaluation nodes.
+        let mut nodes = Vec::new();
+        for (dst, asgns) in elab.drivers {
+            nodes.push(Node::Drivers { dst, asgns });
+        }
+        for (i, prim) in elab.prims.iter().enumerate() {
+            match prim.kind {
+                PrimKind::Comb { .. } => nodes.push(Node::Comb(i)),
+                PrimKind::Mem { .. } => nodes.push(Node::MemRead(i)),
+                _ => {}
+            }
+        }
+
+        let sorted = topo_sort(&nodes, &elab.prims, &elab.ports)?;
+        let nodes = sorted.into_iter().map(|i| nodes[i].clone()).collect();
+
+        let n_ports = elab.ports.len();
+        Ok(Simulator {
+            ports: elab.ports,
+            nodes,
+            prims: elab.prims,
+            states: elab.states,
+            values: vec![0; n_ports],
+            prim_index: elab.prim_index,
+            top_go,
+            top_done,
+            inputs: HashMap::new(),
+            top_inputs,
+        })
+    }
+
+    /// Drive a top-level input port to `value` on every subsequent cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownCell`] if `top` has no such input.
+    pub fn set_input(&mut self, port: &str, value: u64) -> SimResult<()> {
+        let idx = *self
+            .top_inputs
+            .get(port)
+            .ok_or_else(|| SimError::UnknownCell(format!("top-level input `{port}`")))?;
+        self.inputs.insert(idx, value);
+        Ok(())
+    }
+
+    fn prim_idx(&self, path: &[&str]) -> SimResult<usize> {
+        let key = path.join(".");
+        self.prim_index
+            .get(&key)
+            .copied()
+            .ok_or(SimError::UnknownCell(key))
+    }
+
+    /// Initialize a memory cell's contents (row-major for multi-dim).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownCell`] when `path` does not name a memory
+    /// and [`SimError::OutOfBounds`] when `data` is longer than the memory.
+    pub fn set_memory(&mut self, path: &[&str], data: &[u64]) -> SimResult<()> {
+        let idx = self.prim_idx(path)?;
+        match &mut self.states[idx] {
+            PrimState::Mem {
+                data: storage,
+                width,
+                ..
+            } => {
+                if data.len() > storage.len() {
+                    return Err(SimError::OutOfBounds {
+                        memory: path.join("."),
+                        address: data.len() as u64,
+                        size: storage.len() as u64,
+                    });
+                }
+                for (slot, v) in storage.iter_mut().zip(data) {
+                    *slot = mask(*v, *width);
+                }
+                Ok(())
+            }
+            _ => Err(SimError::UnknownCell(format!(
+                "`{}` is not a memory",
+                path.join(".")
+            ))),
+        }
+    }
+
+    /// Read back a memory cell's contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownCell`] when `path` does not name a memory.
+    pub fn memory(&self, path: &[&str]) -> SimResult<Vec<u64>> {
+        let idx = self.prim_idx(path)?;
+        match &self.states[idx] {
+            PrimState::Mem { data, .. } => Ok(data.clone()),
+            _ => Err(SimError::UnknownCell(format!(
+                "`{}` is not a memory",
+                path.join(".")
+            ))),
+        }
+    }
+
+    /// Read a register's current value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownCell`] when `path` does not name a
+    /// register.
+    pub fn register_value(&self, path: &[&str]) -> SimResult<u64> {
+        let idx = self.prim_idx(path)?;
+        match (&self.prims[idx].kind, &self.states[idx]) {
+            // Combinational primitives carry a placeholder state; only true
+            // `std_reg` instances report a value.
+            (PrimKind::Reg { .. }, PrimState::Reg { val, .. }) => Ok(*val),
+            _ => Err(SimError::UnknownCell(format!(
+                "`{}` is not a register",
+                path.join(".")
+            ))),
+        }
+    }
+
+    /// Number of primitive instances (used by compilation statistics).
+    pub fn primitive_count(&self) -> usize {
+        self.prims.len()
+    }
+
+    /// One combinational settling pass. Returns the `done` port's value.
+    fn settle(&mut self, go: bool, cycle: u64) -> SimResult<bool> {
+        self.values.fill(0);
+        // Stateful outputs become visible first.
+        for (i, prim) in self.prims.iter().enumerate() {
+            match (&prim.kind, &self.states[i]) {
+                (PrimKind::Reg { out, done, .. }, PrimState::Reg { val, done: d, .. }) => {
+                    self.values[*out] = *val;
+                    self.values[*done] = u64::from(*d);
+                }
+                (PrimKind::Mem { done, .. }, PrimState::Mem { done: d, .. }) => {
+                    self.values[*done] = u64::from(*d);
+                }
+                (
+                    PrimKind::Unit {
+                        out, out2, done, ..
+                    },
+                    PrimState::Unit {
+                        out: o,
+                        out2: o2,
+                        done: d,
+                        ..
+                    },
+                ) => {
+                    self.values[*out] = *o;
+                    if let Some(p2) = out2 {
+                        self.values[*p2] = *o2;
+                    }
+                    self.values[*done] = u64::from(*d);
+                }
+                _ => {}
+            }
+        }
+        self.values[self.top_go] = u64::from(go);
+        for (&idx, &v) in &self.inputs {
+            self.values[idx] = mask(v, self.ports[idx].width);
+        }
+
+        for node in &self.nodes {
+            match node {
+                Node::Drivers { dst, asgns } => {
+                    let mut driven = false;
+                    let mut value = 0;
+                    for asgn in asgns {
+                        if eval_guard(&asgn.guard, &self.values) {
+                            if driven {
+                                return Err(SimError::DriverConflict {
+                                    port: self.ports[*dst].path.clone(),
+                                    cycle,
+                                });
+                            }
+                            driven = true;
+                            value = match asgn.src {
+                                EAtom::Port(p) => self.values[p],
+                                EAtom::Const(c) => c,
+                            };
+                        }
+                    }
+                    self.values[*dst] = mask(value, self.ports[*dst].width);
+                }
+                Node::Comb(i) => {
+                    if let PrimKind::Comb {
+                        op,
+                        left,
+                        right,
+                        out,
+                        in_width,
+                        out_width,
+                    } = &self.prims[*i].kind
+                    {
+                        let l = self.values[*left];
+                        let r = right.map(|p| self.values[p]).unwrap_or(0);
+                        self.values[*out] = op.eval(l, r, *in_width, *out_width);
+                    }
+                }
+                Node::MemRead(i) => {
+                    if let PrimKind::Mem {
+                        addrs, read_data, ..
+                    } = &self.prims[*i].kind
+                    {
+                        let addr_vals: Vec<u64> = addrs.iter().map(|&a| self.values[a]).collect();
+                        self.values[*read_data] = self.states[*i].mem_read(&addr_vals);
+                    }
+                }
+            }
+        }
+        Ok(self.values[self.top_done] != 0)
+    }
+
+    /// One synchronous state update.
+    fn tick(&mut self) -> SimResult<()> {
+        for (i, prim) in self.prims.iter().enumerate() {
+            match &prim.kind {
+                PrimKind::Reg {
+                    input, write_en, ..
+                } => {
+                    let inp = self.values[*input];
+                    let we = self.values[*write_en] != 0;
+                    self.states[i].tick_reg(inp, we);
+                }
+                PrimKind::Mem {
+                    addrs,
+                    write_data,
+                    write_en,
+                    ..
+                } => {
+                    let addr_vals: Vec<u64> = addrs.iter().map(|&a| self.values[a]).collect();
+                    let wd = self.values[*write_data];
+                    let we = self.values[*write_en] != 0;
+                    self.states[i].tick_mem(&addr_vals, wd, we, &prim.path)?;
+                }
+                PrimKind::Unit {
+                    left, right, go, ..
+                } => {
+                    let l = self.values[*left];
+                    let r = self.values[*right];
+                    let g = self.values[*go] != 0;
+                    self.states[i].tick_unit(l, r, g);
+                }
+                PrimKind::Comb { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the design: assert `go`, clock until `done`, report the cycle
+    /// count (the cycle in which `done` rose counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] if `done` does not rise within
+    /// `max_cycles`, or any settling/tick error.
+    pub fn run(&mut self, max_cycles: u64) -> SimResult<RunStats> {
+        for cycle in 0..max_cycles {
+            let done = self.settle(true, cycle)?;
+            self.tick()?;
+            if done {
+                return Ok(RunStats { cycles: cycle + 1 });
+            }
+        }
+        Err(SimError::Timeout { max_cycles })
+    }
+}
+
+/// Kahn's algorithm over evaluation nodes; reports a combinational loop by
+/// listing the ports still unresolved.
+fn topo_sort(nodes: &[Node], prims: &[PrimInstance], ports: &[PortInfo]) -> SimResult<Vec<usize>> {
+    // Which node produces each port?
+    let mut producer: HashMap<usize, usize> = HashMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        match node {
+            Node::Drivers { dst, .. } => {
+                producer.insert(*dst, i);
+            }
+            Node::Comb(p) => {
+                if let PrimKind::Comb { out, .. } = &prims[*p].kind {
+                    producer.insert(*out, i);
+                }
+            }
+            Node::MemRead(p) => {
+                if let PrimKind::Mem { read_data, .. } = &prims[*p].kind {
+                    producer.insert(*read_data, i);
+                }
+            }
+        }
+    }
+
+    let reads_of = |node: &Node| -> Vec<usize> {
+        match node {
+            Node::Drivers { asgns, .. } => {
+                let mut reads = Vec::new();
+                for a in asgns {
+                    if let EAtom::Port(p) = a.src {
+                        reads.push(p);
+                    }
+                    guard_reads(&a.guard, &mut reads);
+                }
+                reads
+            }
+            Node::Comb(p) => {
+                if let PrimKind::Comb { left, right, .. } = &prims[*p].kind {
+                    let mut v = vec![*left];
+                    if let Some(r) = right {
+                        v.push(*r);
+                    }
+                    v
+                } else {
+                    Vec::new()
+                }
+            }
+            Node::MemRead(p) => {
+                if let PrimKind::Mem { addrs, .. } = &prims[*p].kind {
+                    addrs.clone()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    };
+
+    let mut in_degree = vec![0usize; nodes.len()];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        for port in reads_of(node) {
+            if let Some(&dep) = producer.get(&port) {
+                dependents[dep].push(i);
+                in_degree[i] += 1;
+            }
+        }
+    }
+
+    let mut queue: Vec<usize> = (0..nodes.len()).filter(|&i| in_degree[i] == 0).collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &d in &dependents[i] {
+            in_degree[d] -= 1;
+            if in_degree[d] == 0 {
+                queue.push(d);
+            }
+        }
+    }
+    if order.len() != nodes.len() {
+        let stuck: Vec<String> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| in_degree[*i] > 0)
+            .map(|(_, n)| match n {
+                Node::Drivers { dst, .. } => ports[*dst].path.clone(),
+                Node::Comb(p) | Node::MemRead(p) => prims[*p].path.clone(),
+            })
+            .take(8)
+            .collect();
+        return Err(SimError::CombinationalLoop(stuck));
+    }
+    Ok(order)
+}
+
+fn guard_reads(guard: &EGuard, out: &mut Vec<usize>) {
+    match guard {
+        EGuard::True => {}
+        EGuard::Port(p) => out.push(*p),
+        EGuard::Not(g) => guard_reads(g, out),
+        EGuard::And(a, b) | EGuard::Or(a, b) => {
+            guard_reads(a, out);
+            guard_reads(b, out);
+        }
+        EGuard::Comp(_, l, r) => {
+            for a in [l, r] {
+                if let EAtom::Port(p) = a {
+                    out.push(*p);
+                }
+            }
+        }
+    }
+}
+
+fn eval_guard(guard: &EGuard, values: &[u64]) -> bool {
+    match guard {
+        EGuard::True => true,
+        EGuard::Port(p) => values[*p] != 0,
+        EGuard::Not(g) => !eval_guard(g, values),
+        EGuard::And(a, b) => eval_guard(a, values) && eval_guard(b, values),
+        EGuard::Or(a, b) => eval_guard(a, values) || eval_guard(b, values),
+        EGuard::Comp(op, l, r) => {
+            let lv = match l {
+                EAtom::Port(p) => values[*p],
+                EAtom::Const(c) => *c,
+            };
+            let rv = match r {
+                EAtom::Port(p) => values[*p],
+                EAtom::Const(c) => *c,
+            };
+            op.eval(lv, rv)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calyx_core::ir::parse_context;
+    use calyx_core::passes;
+
+    fn lower_and_sim(src: &str) -> Simulator {
+        let mut ctx = parse_context(src).unwrap();
+        passes::lower_pipeline().run(&mut ctx).unwrap();
+        Simulator::new(&ctx, "main").unwrap()
+    }
+
+    #[test]
+    fn figure_2_writes_one_then_two() {
+        let mut sim = lower_and_sim(
+            r#"component main() -> () {
+              cells { x = std_reg(32); }
+              wires {
+                group one { x.in = 32'd1; x.write_en = 1'd1; one[done] = x.done; }
+                group two { x.in = 32'd2; x.write_en = 1'd1; two[done] = x.done; }
+              }
+              control { seq { one; two; } }
+            }"#,
+        );
+        let stats = sim.run(100).unwrap();
+        assert_eq!(sim.register_value(&["x"]).unwrap(), 2);
+        // Two 1-cycle groups under a dynamic seq: each costs the write plus
+        // the handshake, plus the final done state.
+        assert!(stats.cycles >= 4 && stats.cycles <= 8, "{}", stats.cycles);
+    }
+
+    #[test]
+    fn while_loop_counts_to_five() {
+        let mut sim = lower_and_sim(
+            r#"component main() -> () {
+              cells { i = std_reg(8); lt = std_lt(8); add = std_add(8); }
+              wires {
+                group cond { lt.left = i.out; lt.right = 8'd5; cond[done] = 1'd1; }
+                group incr {
+                  add.left = i.out; add.right = 8'd1;
+                  i.in = add.out; i.write_en = 1'd1;
+                  incr[done] = i.done;
+                }
+              }
+              control { while lt.out with cond { incr; } }
+            }"#,
+        );
+        sim.run(1000).unwrap();
+        assert_eq!(sim.register_value(&["i"]).unwrap(), 5);
+    }
+
+    #[test]
+    fn par_runs_both_groups() {
+        let mut sim = lower_and_sim(
+            r#"component main() -> () {
+              cells { x = std_reg(8); y = std_reg(8); }
+              wires {
+                group a { x.in = 8'd3; x.write_en = 1'd1; a[done] = x.done; }
+                group c { y.in = 8'd4; y.write_en = 1'd1; c[done] = y.done; }
+              }
+              control { par { a; c; } }
+            }"#,
+        );
+        sim.run(100).unwrap();
+        assert_eq!(sim.register_value(&["x"]).unwrap(), 3);
+        assert_eq!(sim.register_value(&["y"]).unwrap(), 4);
+    }
+
+    #[test]
+    fn if_selects_branch_on_memory_value() {
+        let src = r#"component main() -> () {
+              cells {
+                @external m = std_mem_d1(8, 2, 1);
+                gt = std_gt(8);
+                r = std_reg(8);
+              }
+              wires {
+                group cond {
+                  m.addr0 = 1'd0;
+                  gt.left = m.read_data; gt.right = 8'd10;
+                  cond[done] = 1'd1;
+                }
+                group t { r.in = 8'd1; r.write_en = 1'd1; t[done] = r.done; }
+                group f { r.in = 8'd2; r.write_en = 1'd1; f[done] = r.done; }
+              }
+              control { if gt.out with cond { t; } else { f; } }
+            }"#;
+        // Taken branch.
+        let mut sim = lower_and_sim(src);
+        sim.set_memory(&["m"], &[20, 0]).unwrap();
+        sim.run(100).unwrap();
+        assert_eq!(sim.register_value(&["r"]).unwrap(), 1);
+        // Untaken branch.
+        let mut sim = lower_and_sim(src);
+        sim.set_memory(&["m"], &[5, 0]).unwrap();
+        sim.run(100).unwrap();
+        assert_eq!(sim.register_value(&["r"]).unwrap(), 2);
+    }
+
+    #[test]
+    fn memory_accumulation_loop() {
+        // sum m[0..4] into r.
+        let mut sim = lower_and_sim(
+            r#"component main() -> () {
+              cells {
+                @external m = std_mem_d1(16, 4, 2);
+                i = std_reg(2); iw = std_reg(3);
+                acc = std_reg(16);
+                lt = std_lt(3); addi = std_add(3); adda = std_add(16);
+                sl = std_slice(3, 2);
+              }
+              wires {
+                group cond { lt.left = iw.out; lt.right = 3'd4; cond[done] = 1'd1; }
+                group load_idx {
+                  sl.in = iw.out;
+                  i.in = sl.out; i.write_en = 1'd1;
+                  load_idx[done] = i.done;
+                }
+                group accum {
+                  m.addr0 = i.out;
+                  adda.left = acc.out; adda.right = m.read_data;
+                  acc.in = adda.out; acc.write_en = 1'd1;
+                  accum[done] = acc.done;
+                }
+                group incr {
+                  addi.left = iw.out; addi.right = 3'd1;
+                  iw.in = addi.out; iw.write_en = 1'd1;
+                  incr[done] = iw.done;
+                }
+              }
+              control {
+                while lt.out with cond { seq { load_idx; accum; incr; } }
+              }
+            }"#,
+        );
+        sim.set_memory(&["m"], &[10, 20, 30, 40]).unwrap();
+        sim.run(10_000).unwrap();
+        assert_eq!(sim.register_value(&["acc"]).unwrap(), 100);
+    }
+
+    #[test]
+    fn multiplier_through_control() {
+        let mut sim = lower_and_sim(
+            r#"component main() -> () {
+              cells { mul = std_mult_pipe(16); r = std_reg(16); }
+              wires {
+                group do_mul {
+                  mul.left = 16'd6; mul.right = 16'd7;
+                  mul.go = !mul.done ? 1'd1;
+                  r.in = mul.out; r.write_en = mul.done ? 1'd1;
+                  do_mul[done] = r.done;
+                }
+              }
+              control { do_mul; }
+            }"#,
+        );
+        let stats = sim.run(100).unwrap();
+        assert_eq!(sim.register_value(&["r"]).unwrap(), 42);
+        assert!(stats.cycles >= 5, "multiply takes at least 5 cycles");
+    }
+
+    #[test]
+    fn subcomponents_execute_via_go_done() {
+        let mut sim = lower_and_sim(
+            r#"
+            component child() -> () {
+              cells { r = std_reg(8); }
+              wires {
+                group w { r.in = 8'd9; r.write_en = 1'd1; w[done] = r.done; }
+              }
+              control { w; }
+            }
+            component main() -> () {
+              cells { c = child(); flag = std_reg(8); }
+              wires {
+                group invoke {
+                  c.go = 1'd1;
+                  invoke[done] = c.done;
+                }
+                group after { flag.in = 8'd1; flag.write_en = 1'd1; after[done] = flag.done; }
+              }
+              control { seq { invoke; after; } }
+            }"#,
+        );
+        sim.run(100).unwrap();
+        assert_eq!(sim.register_value(&["c", "r"]).unwrap(), 9);
+        assert_eq!(sim.register_value(&["flag"]).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_component_finishes_immediately() {
+        let mut sim = lower_and_sim("component main() -> () { cells {} wires {} control {} }");
+        let stats = sim.run(10).unwrap();
+        assert_eq!(stats.cycles, 1);
+    }
+
+    #[test]
+    fn unlowered_program_is_rejected() {
+        let ctx = parse_context(
+            r#"component main() -> () {
+              cells { r = std_reg(8); }
+              wires { group g { r.in = 8'd1; r.write_en = 1'd1; g[done] = r.done; } }
+              control { g; }
+            }"#,
+        )
+        .unwrap();
+        let err = Simulator::new(&ctx, "main").unwrap_err();
+        assert!(matches!(err, SimError::Elaboration(_)));
+    }
+
+    #[test]
+    fn driver_conflicts_detected() {
+        let ctx = parse_context(
+            r#"component main() -> () {
+              cells { w = std_wire(8); }
+              wires {
+                w.in = 8'd1;
+                w.in = 8'd2;
+                done = go ? 1'd1;
+              }
+              control {}
+            }"#,
+        )
+        .unwrap();
+        // Two unconditional drivers would be rejected by validation, but the
+        // simulator's dynamic check also catches them.
+        let mut sim = Simulator::new(&ctx, "main").unwrap();
+        let err = sim.run(10).unwrap_err();
+        assert!(matches!(err, SimError::DriverConflict { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn combinational_loops_rejected() {
+        let ctx = parse_context(
+            r#"component main() -> () {
+              cells { a = std_add(8); b = std_add(8); }
+              wires {
+                a.left = b.out;
+                b.left = a.out;
+                done = go ? 1'd1;
+              }
+              control {}
+            }"#,
+        )
+        .unwrap();
+        let err = Simulator::new(&ctx, "main").unwrap_err();
+        assert!(matches!(err, SimError::CombinationalLoop(_)));
+    }
+
+    #[test]
+    fn static_pipeline_gives_same_results_fewer_cycles() {
+        let src = r#"component main() -> () {
+              cells { x = std_reg(32); y = std_reg(32); }
+              wires {
+                group one { x.in = 32'd1; x.write_en = 1'd1; one[done] = x.done; }
+                group two { y.in = 32'd2; y.write_en = 1'd1; two[done] = y.done; }
+              }
+              control { seq { one; two; } }
+            }"#;
+        let mut dynamic = parse_context(src).unwrap();
+        passes::lower_pipeline().run(&mut dynamic).unwrap();
+        let mut dsim = Simulator::new(&dynamic, "main").unwrap();
+        let dstats = dsim.run(100).unwrap();
+
+        let mut static_ = parse_context(src).unwrap();
+        passes::lower_pipeline_static().run(&mut static_).unwrap();
+        let mut ssim = Simulator::new(&static_, "main").unwrap();
+        let sstats = ssim.run(100).unwrap();
+
+        assert_eq!(dsim.register_value(&["x"]).unwrap(), 1);
+        assert_eq!(ssim.register_value(&["x"]).unwrap(), 1);
+        assert_eq!(dsim.register_value(&["y"]).unwrap(), 2);
+        assert_eq!(ssim.register_value(&["y"]).unwrap(), 2);
+        assert!(
+            sstats.cycles < dstats.cycles,
+            "static ({}) should beat dynamic ({})",
+            sstats.cycles,
+            dstats.cycles
+        );
+    }
+}

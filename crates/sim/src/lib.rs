@@ -18,10 +18,18 @@
 //!   (memories, registers) must agree; the differential tests in
 //!   `tests/` exploit this as a compiler-correctness oracle.
 //!
-//! Both engines share the primitive behavioral models in [`prim`].
+//! Both engines share the primitive behavioral models in [`prim`] and run
+//! over the dense arena-indexed IR built once per design by [`flatten`]:
+//! typed indices into contiguous `Vec` storage for ports, cells, guards,
+//! assignments, and control nodes, so each simulated cycle is pure array
+//! indexing. The pre-flatten tree-walking engines survive unchanged in
+//! [`legacy`] as differential oracles and benchmark baselines.
 
 pub mod error;
+pub mod flatten;
 pub mod interp;
+#[doc(hidden)]
+pub mod legacy;
 pub mod prim;
 pub mod report;
 pub mod rtl;

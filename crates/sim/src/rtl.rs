@@ -1,7 +1,8 @@
 //! Cycle-accurate simulation of lowered Calyx programs.
 //!
-//! The engine elaborates a lowered [`Context`] — every component a flat
-//! list of guarded assignments — into a port arena and an evaluation graph:
+//! The engine flattens a lowered [`Context`] — every component a flat
+//! list of guarded assignments — through [`crate::flatten`] into dense
+//! arenas and an evaluation graph:
 //!
 //! - subcomponent instances are elaborated *in place*: a cell's ports and
 //!   the inner component's `this` ports are the same arena slots, so
@@ -13,92 +14,18 @@
 //!
 //! Unique-driver violations (two active guards on one port) and
 //! combinational loops are detected and reported as errors, mirroring what
-//! Verilator would flag in the emitted SystemVerilog.
+//! Verilator would flag in the emitted SystemVerilog. The pre-flatten
+//! implementation survives as [`crate::legacy::rtl`] and is held to
+//! byte-identical output by the differential tests.
 
 use crate::error::{SimError, SimResult};
-use crate::prim::{mask, CombOp, PrimState, UnitOp};
-use calyx_core::ir::{Atom, CellType, CompOp, Context, Guard, Id, PortParent, PortRef};
+use crate::flatten::{
+    eval_atom, flatten_design, CellIdx, FlatAtom, FlatCellKind, FlatDesign, FlatGuard, FlatIdx,
+    GuardIdx, IndexedMap, Node, PortIdx,
+};
+use crate::prim::{mask, PrimState};
+use calyx_core::ir::Context;
 use std::collections::HashMap;
-
-/// An elaborated atom: a port slot or a constant.
-#[derive(Debug, Clone, Copy)]
-enum EAtom {
-    Port(usize),
-    Const(u64),
-}
-
-/// An elaborated guard over port slots.
-#[derive(Debug, Clone)]
-enum EGuard {
-    True,
-    Port(usize),
-    Not(Box<EGuard>),
-    And(Box<EGuard>, Box<EGuard>),
-    Or(Box<EGuard>, Box<EGuard>),
-    Comp(CompOp, EAtom, EAtom),
-}
-
-#[derive(Debug, Clone)]
-struct EAssign {
-    src: EAtom,
-    guard: EGuard,
-}
-
-/// How a primitive instance connects to the port arena.
-#[derive(Debug, Clone)]
-enum PrimKind {
-    Comb {
-        op: CombOp,
-        left: usize,
-        right: Option<usize>,
-        out: usize,
-        in_width: u32,
-        out_width: u32,
-    },
-    Reg {
-        input: usize,
-        write_en: usize,
-        out: usize,
-        done: usize,
-    },
-    Mem {
-        addrs: Vec<usize>,
-        write_data: usize,
-        write_en: usize,
-        read_data: usize,
-        done: usize,
-    },
-    Unit {
-        left: usize,
-        right: usize,
-        go: usize,
-        out: usize,
-        out2: Option<usize>,
-        done: usize,
-    },
-}
-
-#[derive(Debug, Clone)]
-struct PrimInstance {
-    path: String,
-    kind: PrimKind,
-}
-
-#[derive(Debug, Clone)]
-enum Node {
-    /// All assignments driving one port.
-    Drivers { dst: usize, asgns: Vec<EAssign> },
-    /// A combinational primitive's output function.
-    Comb(usize),
-    /// A memory's combinational read port.
-    MemRead(usize),
-}
-
-#[derive(Debug, Clone)]
-struct PortInfo {
-    width: u32,
-    path: String,
-}
 
 /// Result of a completed simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,288 +42,19 @@ pub struct RunStats {
 /// calls, [`Simulator::run`], then state inspection.
 #[derive(Debug)]
 pub struct Simulator {
-    ports: Vec<PortInfo>,
-    nodes: Vec<Node>,
-    prims: Vec<PrimInstance>,
-    states: Vec<PrimState>,
+    flat: FlatDesign,
     values: Vec<u64>,
-    prim_index: HashMap<String, usize>,
-    top_go: usize,
-    top_done: usize,
     /// Extra top-level input values to drive each cycle.
-    inputs: HashMap<usize, u64>,
-    top_inputs: HashMap<String, usize>,
-}
-
-struct Elaborator<'a> {
-    ctx: &'a Context,
-    ports: Vec<PortInfo>,
-    prims: Vec<PrimInstance>,
-    states: Vec<PrimState>,
-    prim_index: HashMap<String, usize>,
-    drivers: HashMap<usize, Vec<EAssign>>,
-}
-
-impl<'a> Elaborator<'a> {
-    fn alloc(&mut self, width: u32, path: String) -> usize {
-        self.ports.push(PortInfo { width, path });
-        self.ports.len() - 1
-    }
-
-    fn elaborate_component(
-        &mut self,
-        name: Id,
-        this_ports: &HashMap<Id, usize>,
-        prefix: &str,
-    ) -> SimResult<()> {
-        let comp = self
-            .ctx
-            .components
-            .get(name)
-            .ok_or_else(|| SimError::Elaboration(format!("undefined component `{name}`")))?;
-        if !comp.groups.is_empty() || !comp.control.is_empty() {
-            return Err(SimError::Elaboration(format!(
-                "component `{name}` still has groups/control; run the lowering \
-                 pipeline first (or use the interpreter)"
-            )));
-        }
-
-        // Allocate cell ports; recurse into subcomponents.
-        let mut cell_ports: HashMap<Id, HashMap<Id, usize>> = HashMap::new();
-        for cell in comp.cells.iter() {
-            let mut map = HashMap::new();
-            for pd in &cell.ports {
-                let idx = self.alloc(pd.width, format!("{prefix}{}.{}", cell.name, pd.name));
-                map.insert(pd.name, idx);
-            }
-            match &cell.prototype {
-                CellType::Primitive {
-                    name: prim_name,
-                    params,
-                } => {
-                    let path = format!("{prefix}{}", cell.name);
-                    self.instantiate_primitive(prim_name.as_str(), params, &map, path)?;
-                }
-                CellType::Component { name: child } => {
-                    let child_prefix = format!("{prefix}{}.", cell.name);
-                    self.elaborate_component(*child, &map, &child_prefix)?;
-                }
-            }
-            cell_ports.insert(cell.name, map);
-        }
-
-        // Resolve assignments.
-        let resolve =
-            |port: &PortRef, cell_ports: &HashMap<Id, HashMap<Id, usize>>| -> SimResult<usize> {
-                match port.parent {
-                    PortParent::Cell(c) => cell_ports
-                        .get(&c)
-                        .and_then(|m| m.get(&port.port))
-                        .copied()
-                        .ok_or_else(|| {
-                            SimError::Elaboration(format!("unresolved port `{port}` in `{name}`"))
-                        }),
-                    PortParent::This => this_ports.get(&port.port).copied().ok_or_else(|| {
-                        SimError::Elaboration(format!("unresolved this-port `{port}` in `{name}`"))
-                    }),
-                    PortParent::Group(_) => Err(SimError::Elaboration(format!(
-                        "hole `{port}` survives in lowered component `{name}`"
-                    ))),
-                }
-            };
-        for asgn in &comp.continuous {
-            let dst = resolve(&asgn.dst, &cell_ports)?;
-            let src = match &asgn.src {
-                Atom::Port(p) => EAtom::Port(resolve(p, &cell_ports)?),
-                Atom::Const { val, .. } => EAtom::Const(*val),
-            };
-            let guard = self.elaborate_guard(&asgn.guard, &cell_ports, this_ports, name)?;
-            self.drivers
-                .entry(dst)
-                .or_default()
-                .push(EAssign { src, guard });
-        }
-        Ok(())
-    }
-
-    fn elaborate_guard(
-        &mut self,
-        guard: &Guard,
-        cell_ports: &HashMap<Id, HashMap<Id, usize>>,
-        this_ports: &HashMap<Id, usize>,
-        name: Id,
-    ) -> SimResult<EGuard> {
-        let resolve = |port: &PortRef| -> SimResult<usize> {
-            match port.parent {
-                PortParent::Cell(c) => cell_ports
-                    .get(&c)
-                    .and_then(|m| m.get(&port.port))
-                    .copied()
-                    .ok_or_else(|| {
-                        SimError::Elaboration(format!("unresolved port `{port}` in `{name}`"))
-                    }),
-                PortParent::This => this_ports.get(&port.port).copied().ok_or_else(|| {
-                    SimError::Elaboration(format!("unresolved this-port `{port}` in `{name}`"))
-                }),
-                PortParent::Group(_) => Err(SimError::Elaboration(format!(
-                    "hole `{port}` survives in lowered component `{name}`"
-                ))),
-            }
-        };
-        let atom = |a: &Atom| -> SimResult<EAtom> {
-            Ok(match a {
-                Atom::Port(p) => EAtom::Port(resolve(p)?),
-                Atom::Const { val, .. } => EAtom::Const(*val),
-            })
-        };
-        Ok(match guard {
-            Guard::True => EGuard::True,
-            Guard::Port(p) => EGuard::Port(resolve(p)?),
-            Guard::Not(g) => EGuard::Not(Box::new(
-                self.elaborate_guard(g, cell_ports, this_ports, name)?,
-            )),
-            Guard::And(a, b) => EGuard::And(
-                Box::new(self.elaborate_guard(a, cell_ports, this_ports, name)?),
-                Box::new(self.elaborate_guard(b, cell_ports, this_ports, name)?),
-            ),
-            Guard::Or(a, b) => EGuard::Or(
-                Box::new(self.elaborate_guard(a, cell_ports, this_ports, name)?),
-                Box::new(self.elaborate_guard(b, cell_ports, this_ports, name)?),
-            ),
-            Guard::Comp(op, l, r) => EGuard::Comp(*op, atom(l)?, atom(r)?),
-        })
-    }
-
-    fn instantiate_primitive(
-        &mut self,
-        prim: &str,
-        params: &[u64],
-        ports: &HashMap<Id, usize>,
-        path: String,
-    ) -> SimResult<()> {
-        let p = |n: &str| -> SimResult<usize> {
-            ports.get(&Id::new(n)).copied().ok_or_else(|| {
-                SimError::Elaboration(format!("primitive `{prim}` missing port `{n}`"))
-            })
-        };
-        let width = params.first().copied().unwrap_or(1) as u32;
-        let kind = if let Some(op) = CombOp::from_name(prim) {
-            let (left, right) = if op.is_binary() {
-                (p("left")?, Some(p("right")?))
-            } else {
-                (p("in")?, None)
-            };
-            let out = p("out")?;
-            let out_width = self.ports[out].width;
-            PrimKind::Comb {
-                op,
-                left,
-                right,
-                out,
-                in_width: width,
-                out_width,
-            }
-        } else {
-            match prim {
-                "std_reg" => {
-                    self.states.push(PrimState::Reg {
-                        val: 0,
-                        done: false,
-                        width,
-                    });
-                    let kind = PrimKind::Reg {
-                        input: p("in")?,
-                        write_en: p("write_en")?,
-                        out: p("out")?,
-                        done: p("done")?,
-                    };
-                    self.push_prim(path, kind);
-                    return Ok(());
-                }
-                "std_mem_d1" | "std_mem_d2" | "std_mem_d3" => {
-                    let ndims = match prim {
-                        "std_mem_d1" => 1,
-                        "std_mem_d2" => 2,
-                        _ => 3,
-                    };
-                    let dims: Vec<u64> = params[1..=ndims].to_vec();
-                    let size: u64 = dims.iter().product();
-                    let addrs = (0..ndims)
-                        .map(|i| p(&format!("addr{i}")))
-                        .collect::<SimResult<Vec<_>>>()?;
-                    self.states.push(PrimState::Mem {
-                        data: vec![0; size as usize],
-                        dims,
-                        done: false,
-                        width,
-                    });
-                    let kind = PrimKind::Mem {
-                        addrs,
-                        write_data: p("write_data")?,
-                        write_en: p("write_en")?,
-                        read_data: p("read_data")?,
-                        done: p("done")?,
-                    };
-                    self.push_prim(path, kind);
-                    return Ok(());
-                }
-                "std_mult_pipe" | "std_div_pipe" | "std_sqrt" => {
-                    let (op, left, right, out, out2) = match prim {
-                        "std_mult_pipe" => (UnitOp::Mult, p("left")?, p("right")?, p("out")?, None),
-                        "std_div_pipe" => (
-                            UnitOp::Div,
-                            p("left")?,
-                            p("right")?,
-                            p("out_quotient")?,
-                            Some(p("out_remainder")?),
-                        ),
-                        _ => {
-                            let input = p("in")?;
-                            (UnitOp::Sqrt, input, input, p("out")?, None)
-                        }
-                    };
-                    self.states.push(PrimState::Unit {
-                        op,
-                        operands: (0, 0),
-                        remaining: None,
-                        out: 0,
-                        out2: 0,
-                        done: false,
-                        width,
-                    });
-                    let kind = PrimKind::Unit {
-                        left,
-                        right,
-                        go: p("go")?,
-                        out,
-                        out2,
-                        done: p("done")?,
-                    };
-                    self.push_prim(path, kind);
-                    return Ok(());
-                }
-                other => {
-                    return Err(SimError::Elaboration(format!(
-                        "primitive `{other}` has no behavioral model"
-                    )))
-                }
-            }
-        };
-        // Combinational primitives carry no state; use a placeholder so the
-        // state vector stays index-aligned.
-        self.states.push(PrimState::Reg {
-            val: 0,
-            done: false,
-            width: 0,
-        });
-        self.push_prim(path, kind);
-        Ok(())
-    }
-
-    fn push_prim(&mut self, path: String, kind: PrimKind) {
-        self.prim_index.insert(path.clone(), self.prims.len());
-        self.prims.push(PrimInstance { path, kind });
-    }
+    inputs: HashMap<PortIdx, u64>,
+    /// Per-guard memo: the settle epoch each guard was last evaluated in.
+    /// Guards are hash-consed at flatten time, so the FSM-state comparisons
+    /// lowering stamps onto every assignment of a state share one node and
+    /// cost one evaluation per cycle instead of one per assignment. Sound
+    /// because the topo order includes guard reads: every port a guard
+    /// reads is final before any node evaluates it.
+    guard_epoch: Vec<u64>,
+    /// Memoized guard values, valid when the epoch matches.
+    guard_val: Vec<bool>,
 }
 
 impl Simulator {
@@ -408,64 +66,15 @@ impl Simulator {
     /// names, or unmodeled primitives; [`SimError::CombinationalLoop`] when
     /// the assignment graph is cyclic.
     pub fn new(ctx: &Context, top: &str) -> SimResult<Self> {
-        let top_id = Id::new(top);
-        let top_comp = ctx
-            .components
-            .get(top_id)
-            .ok_or_else(|| SimError::Elaboration(format!("no component `{top}`")))?;
-
-        let mut elab = Elaborator {
-            ctx,
-            ports: Vec::new(),
-            prims: Vec::new(),
-            states: Vec::new(),
-            prim_index: HashMap::new(),
-            drivers: HashMap::new(),
-        };
-
-        // Top-level interface ports.
-        let mut this_ports = HashMap::new();
-        let mut top_inputs = HashMap::new();
-        for pd in &top_comp.signature {
-            let idx = elab.alloc(pd.width, format!("{top}.{}", pd.name));
-            this_ports.insert(pd.name, idx);
-            if pd.direction == calyx_core::ir::Direction::Input {
-                top_inputs.insert(pd.name.to_string(), idx);
-            }
-        }
-        let top_go = this_ports[&Id::new("go")];
-        let top_done = this_ports[&Id::new("done")];
-
-        elab.elaborate_component(top_id, &this_ports, "")?;
-
-        // Build evaluation nodes.
-        let mut nodes = Vec::new();
-        for (dst, asgns) in elab.drivers {
-            nodes.push(Node::Drivers { dst, asgns });
-        }
-        for (i, prim) in elab.prims.iter().enumerate() {
-            match prim.kind {
-                PrimKind::Comb { .. } => nodes.push(Node::Comb(i)),
-                PrimKind::Mem { .. } => nodes.push(Node::MemRead(i)),
-                _ => {}
-            }
-        }
-
-        let sorted = topo_sort(&nodes, &elab.prims, &elab.ports)?;
-        let nodes = sorted.into_iter().map(|i| nodes[i].clone()).collect();
-
-        let n_ports = elab.ports.len();
+        let flat = flatten_design(ctx, top)?;
+        let n_ports = flat.prog.ports.len();
+        let n_guards = flat.prog.guards.len();
         Ok(Simulator {
-            ports: elab.ports,
-            nodes,
-            prims: elab.prims,
-            states: elab.states,
+            flat,
             values: vec![0; n_ports],
-            prim_index: elab.prim_index,
-            top_go,
-            top_done,
             inputs: HashMap::new(),
-            top_inputs,
+            guard_epoch: vec![0; n_guards],
+            guard_val: vec![false; n_guards],
         })
     }
 
@@ -476,6 +85,7 @@ impl Simulator {
     /// Returns [`SimError::UnknownCell`] if `top` has no such input.
     pub fn set_input(&mut self, port: &str, value: u64) -> SimResult<()> {
         let idx = *self
+            .flat
             .top_inputs
             .get(port)
             .ok_or_else(|| SimError::UnknownCell(format!("top-level input `{port}`")))?;
@@ -483,9 +93,10 @@ impl Simulator {
         Ok(())
     }
 
-    fn prim_idx(&self, path: &[&str]) -> SimResult<usize> {
+    fn prim_idx(&self, path: &[&str]) -> SimResult<CellIdx> {
         let key = path.join(".");
-        self.prim_index
+        self.flat
+            .cell_index
             .get(&key)
             .copied()
             .ok_or(SimError::UnknownCell(key))
@@ -499,7 +110,7 @@ impl Simulator {
     /// and [`SimError::OutOfBounds`] when `data` is longer than the memory.
     pub fn set_memory(&mut self, path: &[&str], data: &[u64]) -> SimResult<()> {
         let idx = self.prim_idx(path)?;
-        match &mut self.states[idx] {
+        match &mut self.flat.prog.states[idx] {
             PrimState::Mem {
                 data: storage,
                 width,
@@ -531,7 +142,7 @@ impl Simulator {
     /// Returns [`SimError::UnknownCell`] when `path` does not name a memory.
     pub fn memory(&self, path: &[&str]) -> SimResult<Vec<u64>> {
         let idx = self.prim_idx(path)?;
-        match &self.states[idx] {
+        match &self.flat.prog.states[idx] {
             PrimState::Mem { data, .. } => Ok(data.clone()),
             _ => Err(SimError::UnknownCell(format!(
                 "`{}` is not a memory",
@@ -548,10 +159,10 @@ impl Simulator {
     /// register.
     pub fn register_value(&self, path: &[&str]) -> SimResult<u64> {
         let idx = self.prim_idx(path)?;
-        match (&self.prims[idx].kind, &self.states[idx]) {
+        match (&self.flat.prog.cells[idx].kind, &self.flat.prog.states[idx]) {
             // Combinational primitives carry a placeholder state; only true
             // `std_reg` instances report a value.
-            (PrimKind::Reg { .. }, PrimState::Reg { val, .. }) => Ok(*val),
+            (FlatCellKind::Reg { .. }, PrimState::Reg { val, .. }) => Ok(*val),
             _ => Err(SimError::UnknownCell(format!(
                 "`{}` is not a register",
                 path.join(".")
@@ -561,24 +172,32 @@ impl Simulator {
 
     /// Number of primitive instances (used by compilation statistics).
     pub fn primitive_count(&self) -> usize {
-        self.prims.len()
+        self.flat.prog.cells.len()
     }
 
     /// One combinational settling pass. Returns the `done` port's value.
     fn settle(&mut self, go: bool, cycle: u64) -> SimResult<bool> {
-        self.values.fill(0);
+        let flat = &self.flat;
+        let prog = &flat.prog;
+        let values = &mut self.values;
+        let guard_epoch = &mut self.guard_epoch;
+        let guard_val = &mut self.guard_val;
+        // Epochs start at 0, so `cycle + 1` invalidates the whole memo
+        // without an O(guards) clear per cycle.
+        let epoch = cycle + 1;
+        values.fill(0);
         // Stateful outputs become visible first.
-        for (i, prim) in self.prims.iter().enumerate() {
-            match (&prim.kind, &self.states[i]) {
-                (PrimKind::Reg { out, done, .. }, PrimState::Reg { val, done: d, .. }) => {
-                    self.values[*out] = *val;
-                    self.values[*done] = u64::from(*d);
+        for (ci, cell) in prog.cells.enumerate() {
+            match (&cell.kind, &prog.states[ci]) {
+                (FlatCellKind::Reg { out, done, .. }, PrimState::Reg { val, done: d, .. }) => {
+                    values[out.index()] = *val;
+                    values[done.index()] = u64::from(*d);
                 }
-                (PrimKind::Mem { done, .. }, PrimState::Mem { done: d, .. }) => {
-                    self.values[*done] = u64::from(*d);
+                (FlatCellKind::Mem { done, .. }, PrimState::Mem { done: d, .. }) => {
+                    values[done.index()] = u64::from(*d);
                 }
                 (
-                    PrimKind::Unit {
+                    FlatCellKind::Unit {
                         out, out2, done, ..
                     },
                     PrimState::Unit {
@@ -588,102 +207,121 @@ impl Simulator {
                         ..
                     },
                 ) => {
-                    self.values[*out] = *o;
+                    values[out.index()] = *o;
                     if let Some(p2) = out2 {
-                        self.values[*p2] = *o2;
+                        values[p2.index()] = *o2;
                     }
-                    self.values[*done] = u64::from(*d);
+                    values[done.index()] = u64::from(*d);
                 }
                 _ => {}
             }
         }
-        self.values[self.top_go] = u64::from(go);
+        values[flat.top_go.index()] = u64::from(go);
         for (&idx, &v) in &self.inputs {
-            self.values[idx] = mask(v, self.ports[idx].width);
+            values[idx.index()] = mask(v, prog.ports[idx].width);
         }
 
-        for node in &self.nodes {
+        for node in &flat.nodes {
             match node {
                 Node::Drivers { dst, asgns } => {
                     let mut driven = false;
                     let mut value = 0;
-                    for asgn in asgns {
-                        if eval_guard(&asgn.guard, &self.values) {
+                    for a in prog.assigns.range(*asgns) {
+                        if eval_guard_memo(
+                            &prog.guards,
+                            a.guard,
+                            values,
+                            epoch,
+                            guard_epoch,
+                            guard_val,
+                        ) {
                             if driven {
                                 return Err(SimError::DriverConflict {
-                                    port: self.ports[*dst].path.clone(),
+                                    port: prog.ports[*dst].path.clone(),
                                     cycle,
                                 });
                             }
                             driven = true;
-                            value = match asgn.src {
-                                EAtom::Port(p) => self.values[p],
-                                EAtom::Const(c) => c,
+                            value = match a.src {
+                                FlatAtom::Port(p) => values[p.index()],
+                                FlatAtom::Const(c) => c,
                             };
                         }
                     }
-                    self.values[*dst] = mask(value, self.ports[*dst].width);
+                    values[dst.index()] = mask(value, prog.ports[*dst].width);
                 }
-                Node::Comb(i) => {
-                    if let PrimKind::Comb {
+                Node::Comb(ci) => {
+                    if let FlatCellKind::Comb {
                         op,
                         left,
                         right,
                         out,
                         in_width,
                         out_width,
-                    } = &self.prims[*i].kind
+                    } = &prog.cells[*ci].kind
                     {
-                        let l = self.values[*left];
-                        let r = right.map(|p| self.values[p]).unwrap_or(0);
-                        self.values[*out] = op.eval(l, r, *in_width, *out_width);
+                        let l = values[left.index()];
+                        let r = right.map(|p| values[p.index()]).unwrap_or(0);
+                        values[out.index()] = op.eval(l, r, *in_width, *out_width);
                     }
                 }
-                Node::MemRead(i) => {
-                    if let PrimKind::Mem {
+                Node::MemRead(ci) => {
+                    if let FlatCellKind::Mem {
                         addrs, read_data, ..
-                    } = &self.prims[*i].kind
+                    } = &prog.cells[*ci].kind
                     {
-                        let addr_vals: Vec<u64> = addrs.iter().map(|&a| self.values[a]).collect();
-                        self.values[*read_data] = self.states[*i].mem_read(&addr_vals);
+                        let mut av = [0u64; 3];
+                        for (k, &a) in addrs.iter().enumerate() {
+                            av[k] = values[a.index()];
+                        }
+                        values[read_data.index()] = prog.states[*ci].mem_read(&av[..addrs.len()]);
                     }
                 }
             }
         }
-        Ok(self.values[self.top_done] != 0)
+        Ok(values[flat.top_done.index()] != 0)
     }
 
     /// One synchronous state update.
     fn tick(&mut self) -> SimResult<()> {
-        for (i, prim) in self.prims.iter().enumerate() {
-            match &prim.kind {
-                PrimKind::Reg {
+        let crate::flatten::FlatProgram {
+            ref cells,
+            ref mut states,
+            ..
+        } = self.flat.prog;
+        let values = &self.values;
+        for (ci, cell) in cells.enumerate() {
+            match &cell.kind {
+                FlatCellKind::Reg {
                     input, write_en, ..
                 } => {
-                    let inp = self.values[*input];
-                    let we = self.values[*write_en] != 0;
-                    self.states[i].tick_reg(inp, we);
+                    let inp = values[input.index()];
+                    let we = values[write_en.index()] != 0;
+                    states[ci].tick_reg(inp, we);
                 }
-                PrimKind::Mem {
+                FlatCellKind::Mem {
                     addrs,
                     write_data,
                     write_en,
                     ..
                 } => {
-                    let addr_vals: Vec<u64> = addrs.iter().map(|&a| self.values[a]).collect();
-                    let wd = self.values[*write_data];
-                    let we = self.values[*write_en] != 0;
-                    self.states[i].tick_mem(&addr_vals, wd, we, &prim.path)?;
+                    let mut av = [0u64; 3];
+                    for (k, &a) in addrs.iter().enumerate() {
+                        av[k] = values[a.index()];
+                    }
+                    let wd = values[write_data.index()];
+                    let we = values[write_en.index()] != 0;
+                    states[ci].tick_mem(&av[..addrs.len()], wd, we, &cell.path)?;
                 }
-                PrimKind::Unit {
+                FlatCellKind::Unit {
                     left, right, go, ..
                 } => {
-                    let l = self.values[*left];
-                    let r = self.values[*right];
-                    let g = self.values[*go] != 0;
-                    self.states[i].tick_unit(l, r, g);
+                    let l = values[left.index()];
+                    let r = values[right.index()];
+                    let g = values[go.index()] != 0;
+                    states[ci].tick_unit(l, r, g);
                 }
-                PrimKind::Comb { .. } => {}
+                FlatCellKind::Comb { .. } => {}
             }
         }
         Ok(())
@@ -708,138 +346,41 @@ impl Simulator {
     }
 }
 
-/// Kahn's algorithm over evaluation nodes; reports a combinational loop by
-/// listing the ports still unresolved.
-fn topo_sort(nodes: &[Node], prims: &[PrimInstance], ports: &[PortInfo]) -> SimResult<Vec<usize>> {
-    // Which node produces each port?
-    let mut producer: HashMap<usize, usize> = HashMap::new();
-    for (i, node) in nodes.iter().enumerate() {
-        match node {
-            Node::Drivers { dst, .. } => {
-                producer.insert(*dst, i);
-            }
-            Node::Comb(p) => {
-                if let PrimKind::Comb { out, .. } = &prims[*p].kind {
-                    producer.insert(*out, i);
-                }
-            }
-            Node::MemRead(p) => {
-                if let PrimKind::Mem { read_data, .. } = &prims[*p].kind {
-                    producer.insert(*read_data, i);
-                }
-            }
-        }
+/// Evaluate a hash-consed guard with per-settle memoization: a node whose
+/// epoch stamp matches the current settle returns its cached value. Under
+/// short-circuiting, untaken operands simply stay unstamped. The memo is
+/// sound only because settle is a single topologically ordered sweep in
+/// which every port a guard reads is final before the guard is evaluated —
+/// the fixpoint interpreter must NOT reuse this.
+fn eval_guard_memo(
+    guards: &IndexedMap<GuardIdx, FlatGuard>,
+    g: GuardIdx,
+    values: &[u64],
+    epoch: u64,
+    guard_epoch: &mut [u64],
+    guard_val: &mut [bool],
+) -> bool {
+    let i = g.index();
+    if guard_epoch[i] == epoch {
+        return guard_val[i];
     }
-
-    let reads_of = |node: &Node| -> Vec<usize> {
-        match node {
-            Node::Drivers { asgns, .. } => {
-                let mut reads = Vec::new();
-                for a in asgns {
-                    if let EAtom::Port(p) = a.src {
-                        reads.push(p);
-                    }
-                    guard_reads(&a.guard, &mut reads);
-                }
-                reads
-            }
-            Node::Comb(p) => {
-                if let PrimKind::Comb { left, right, .. } = &prims[*p].kind {
-                    let mut v = vec![*left];
-                    if let Some(r) = right {
-                        v.push(*r);
-                    }
-                    v
-                } else {
-                    Vec::new()
-                }
-            }
-            Node::MemRead(p) => {
-                if let PrimKind::Mem { addrs, .. } = &prims[*p].kind {
-                    addrs.clone()
-                } else {
-                    Vec::new()
-                }
-            }
+    let v = match guards[g] {
+        FlatGuard::True => true,
+        FlatGuard::Port(p) => values[p.index()] != 0,
+        FlatGuard::Not(x) => !eval_guard_memo(guards, x, values, epoch, guard_epoch, guard_val),
+        FlatGuard::And(a, b) => {
+            eval_guard_memo(guards, a, values, epoch, guard_epoch, guard_val)
+                && eval_guard_memo(guards, b, values, epoch, guard_epoch, guard_val)
         }
+        FlatGuard::Or(a, b) => {
+            eval_guard_memo(guards, a, values, epoch, guard_epoch, guard_val)
+                || eval_guard_memo(guards, b, values, epoch, guard_epoch, guard_val)
+        }
+        FlatGuard::Comp(op, l, r) => op.eval(eval_atom(l, values), eval_atom(r, values)),
     };
-
-    let mut in_degree = vec![0usize; nodes.len()];
-    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
-    for (i, node) in nodes.iter().enumerate() {
-        for port in reads_of(node) {
-            if let Some(&dep) = producer.get(&port) {
-                dependents[dep].push(i);
-                in_degree[i] += 1;
-            }
-        }
-    }
-
-    let mut queue: Vec<usize> = (0..nodes.len()).filter(|&i| in_degree[i] == 0).collect();
-    let mut order = Vec::with_capacity(nodes.len());
-    while let Some(i) = queue.pop() {
-        order.push(i);
-        for &d in &dependents[i] {
-            in_degree[d] -= 1;
-            if in_degree[d] == 0 {
-                queue.push(d);
-            }
-        }
-    }
-    if order.len() != nodes.len() {
-        let stuck: Vec<String> = nodes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| in_degree[*i] > 0)
-            .map(|(_, n)| match n {
-                Node::Drivers { dst, .. } => ports[*dst].path.clone(),
-                Node::Comb(p) | Node::MemRead(p) => prims[*p].path.clone(),
-            })
-            .take(8)
-            .collect();
-        return Err(SimError::CombinationalLoop(stuck));
-    }
-    Ok(order)
-}
-
-fn guard_reads(guard: &EGuard, out: &mut Vec<usize>) {
-    match guard {
-        EGuard::True => {}
-        EGuard::Port(p) => out.push(*p),
-        EGuard::Not(g) => guard_reads(g, out),
-        EGuard::And(a, b) | EGuard::Or(a, b) => {
-            guard_reads(a, out);
-            guard_reads(b, out);
-        }
-        EGuard::Comp(_, l, r) => {
-            for a in [l, r] {
-                if let EAtom::Port(p) = a {
-                    out.push(*p);
-                }
-            }
-        }
-    }
-}
-
-fn eval_guard(guard: &EGuard, values: &[u64]) -> bool {
-    match guard {
-        EGuard::True => true,
-        EGuard::Port(p) => values[*p] != 0,
-        EGuard::Not(g) => !eval_guard(g, values),
-        EGuard::And(a, b) => eval_guard(a, values) && eval_guard(b, values),
-        EGuard::Or(a, b) => eval_guard(a, values) || eval_guard(b, values),
-        EGuard::Comp(op, l, r) => {
-            let lv = match l {
-                EAtom::Port(p) => values[*p],
-                EAtom::Const(c) => *c,
-            };
-            let rv = match r {
-                EAtom::Port(p) => values[*p],
-                EAtom::Const(c) => *c,
-            };
-            op.eval(lv, rv)
-        }
-    }
+    guard_epoch[i] = epoch;
+    guard_val[i] = v;
+    v
 }
 
 #[cfg(test)]
