@@ -127,6 +127,11 @@ pub trait Backend {
     /// One-line description for `--list-backends` and generated docs.
     const DESCRIPTION: &'static str;
 
+    /// File extension (without the dot) drivers use when inventing an
+    /// output file name for this backend (`futil --batch --out-dir`).
+    /// Defaults to `out`; emitters of a well-known format override it.
+    const EXTENSION: &'static str = "out";
+
     /// Construct the backend, capturing the options it consumes.
     fn from_opts(opts: &BackendOpts) -> Self
     where
@@ -180,6 +185,8 @@ pub trait DynBackend {
     fn name(&self) -> &'static str;
     /// [`Backend::DESCRIPTION`].
     fn description(&self) -> &'static str;
+    /// [`Backend::EXTENSION`].
+    fn extension(&self) -> &'static str;
     /// [`Backend::required_pipeline`].
     fn required_pipeline(&self) -> &'static [&'static str];
     /// [`Backend::validate`].
@@ -205,6 +212,10 @@ impl<B: Backend> DynBackend for B {
 
     fn description(&self) -> &'static str {
         B::DESCRIPTION
+    }
+
+    fn extension(&self) -> &'static str {
+        B::EXTENSION
     }
 
     fn required_pipeline(&self) -> &'static [&'static str] {

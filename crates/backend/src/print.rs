@@ -20,6 +20,7 @@ pub struct CalyxBackend;
 impl Backend for CalyxBackend {
     const NAME: &'static str = "calyx";
     const DESCRIPTION: &'static str = "print the program as Calyx text";
+    const EXTENSION: &'static str = "futil";
 
     fn from_opts(_: &BackendOpts) -> Self {
         CalyxBackend

@@ -7,6 +7,10 @@
 //!
 //! ```text
 //! futil <file|-> [flags]
+//! futil <inputs...> --batch [--jobs N] [--fail-fast] [--timeout MS]
+//!                   [--out-dir DIR] [shared flags]
+//! futil serve [--jobs N] [--timeout MS] [--socket PATH]
+//!             [--max-connections N] [shared flags]
 //! futil check <file|-> [-f <frontend>] [--fopt k=v] [--format text|json]
 //!                      [--deny warnings]
 //!   -f <frontend>       frontend (default: inferred from the file
@@ -31,6 +35,22 @@
 //!   --stats             report per-pass analysis-cache statistics
 //!                       (hits/misses/recomputes) on stderr, plus the
 //!                       simulation throughput line
+//!   --batch             compile every positional input concurrently:
+//!                       plain inputs become one job each, `.jsonl`
+//!                       arguments are JSON-lines job manifests (`-`
+//!                       reads a manifest from stdin), and the other
+//!                       flags become per-job defaults. Prints a
+//!                       throughput/latency summary (`--format json`
+//!                       for the machine-readable one; `--time`/
+//!                       `--stats` add the per-job stage table) and
+//!                       exits 1 if any job failed.
+//!   --jobs N            worker threads for --batch and serve
+//!                       (default: available parallelism)
+//!   --fail-fast         abort a batch at the first failing job;
+//!                       unstarted jobs report status `skipped`
+//!   --timeout MS        per-job wall-clock budget in milliseconds
+//!   --out-dir DIR       write each job's output to DIR/<name>.<ext>
+//!                       (ext from the backend; see `futil serve` docs)
 //!   --list-frontends    list registered frontends, then exit
 //!   --list-passes       list registered passes and aliases, then exit
 //!   --list-backends     list registered backends, then exit
@@ -50,6 +70,14 @@
 //! error-severity diagnostic — or, under `--deny warnings`, any
 //! diagnostic at all — was produced.
 //!
+//! `futil --batch` and `futil serve` are thin shells over the
+//! `calyx_service` crate: a shared parse cache, a `std::thread` worker
+//! pool, and the JSON-lines protocol documented in the README. Serve
+//! reads one request per line from stdin (or a `--socket` unix socket)
+//! and streams one response per line as jobs complete; EOF shuts it
+//! down cleanly. A malformed request or a panicking job produces a
+//! structured error response — the server itself survives.
+//!
 //! Example (no Calyx source in sight — generator straight to RTL):
 //!
 //! ```sh
@@ -62,6 +90,7 @@ use calyx_core::analysis::AnalysisCache;
 use calyx_core::lint::LintRegistry;
 use calyx_core::passes::{PassManager, PassRegistry};
 use calyx_frontend::{DynFrontend, FrontendOpts, FrontendRegistry};
+use calyx_service::{CompileService, JobDefaults, JobRequest, Request, ServeOpts, WorkerPool};
 use std::io::{Read, Write};
 use std::path::Path;
 use std::process::exit;
@@ -73,6 +102,10 @@ fn usage(frontends: &FrontendRegistry, backends: &BackendRegistry) -> String {
     let bnames: Vec<&str> = backends.backends().iter().map(|b| b.name).collect();
     format!(
         "usage: futil <file|-> [flags]
+       futil <inputs...> --batch [--jobs N] [--fail-fast] [--timeout MS] \
+[--out-dir DIR]
+       futil serve [--jobs N] [--timeout MS] [--socket PATH] \
+[--max-connections N]
        futil check <file|-> [-f <frontend>] [--fopt k=v] \
 [--format text|json] [--deny warnings]
   -f {}
@@ -101,6 +134,17 @@ fn usage(frontends: &FrontendRegistry, backends: &BackendRegistry) -> String {
   --stats             report per-pass analysis-cache statistics
                       (hits/misses/recomputes) on stderr, plus the
                       simulation throughput line
+  --batch             compile every positional input concurrently: plain
+                      inputs are one job each, `.jsonl` arguments are
+                      JSON-lines job manifests (`-` reads a manifest
+                      from stdin), other flags become per-job defaults.
+                      Prints a summary (--format json for the machine-
+                      readable one) and exits 1 if any job failed.
+  --jobs N            worker threads for --batch and serve (default:
+                      available parallelism)
+  --fail-fast         abort a batch at the first failing job
+  --timeout MS        per-job wall-clock budget in milliseconds
+  --out-dir DIR       write each job's output to DIR/<name>.<ext>
   --list-frontends    list registered frontends, then exit
   --list-passes       list registered passes and aliases, then exit
   --list-backends     list registered backends, then exit
@@ -359,18 +403,156 @@ fn run_check(frontends: &FrontendRegistry, backends: &BackendRegistry, args: Vec
     exit(i32::from(failing));
 }
 
+/// Parse a JSON-lines job manifest into requests, prefixing every error
+/// with `path:line` so a typo'd key is pinpointed across files.
+fn manifest_requests(path: &str, text: &str) -> Result<Vec<JobRequest>, String> {
+    let mut reqs = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::from_json_line(line) {
+            Ok(Request::Job(job)) => reqs.push(*job),
+            Ok(Request::List(_)) => {
+                return Err(format!(
+                    "{path}:{}: `list` requests are only valid in serve mode",
+                    idx + 1
+                ));
+            }
+            Err(msg) => return Err(format!("{path}:{}: {msg}", idx + 1)),
+        }
+    }
+    Ok(reqs)
+}
+
+/// The `futil serve` subcommand: a long-lived JSON-lines compilation
+/// server on stdin/stdout (or a `--socket` unix socket), sharing one
+/// warm parse cache across every request.
+fn run_serve(frontends: &FrontendRegistry, backends: &BackendRegistry, args: Vec<String>) -> ! {
+    let mut defaults = JobDefaults {
+        inline_output: true,
+        ..JobDefaults::default()
+    };
+    let mut jobs: Option<usize> = None;
+    let mut socket: Option<String> = None;
+    let mut max_connections: Option<usize> = None;
+    let mut pipeline: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => match it.next().map(|s| s.parse()) {
+                Some(Ok(n)) => jobs = Some(n),
+                _ => usage_error(frontends, backends, "`--jobs` expects a number"),
+            },
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(p),
+                None => usage_error(frontends, backends, "`--socket` expects a path"),
+            },
+            "--max-connections" => match it.next().map(|s| s.parse()) {
+                Some(Ok(n)) => max_connections = Some(n),
+                _ => usage_error(frontends, backends, "`--max-connections` expects a number"),
+            },
+            "--timeout" => match it.next().map(|s| s.parse()) {
+                Some(Ok(ms)) => defaults.timeout_ms = Some(ms),
+                _ => usage_error(frontends, backends, "`--timeout` expects milliseconds"),
+            },
+            "--out-dir" => match it.next() {
+                Some(d) => defaults.out_dir = Some(d),
+                None => usage_error(frontends, backends, "`--out-dir` expects a directory"),
+            },
+            "-f" => match it.next() {
+                Some(f) => defaults.frontend = Some(f),
+                None => usage_error(frontends, backends, "`-f` expects a frontend name"),
+            },
+            "--fopt" => match it.next() {
+                Some(f) => match f.split_once('=') {
+                    Some((k, v)) if !k.is_empty() => {
+                        defaults.fopts.push((k.to_string(), v.to_string()));
+                    }
+                    _ => usage_error(
+                        frontends,
+                        backends,
+                        &format!("`--fopt` argument `{f}`; expected `key=value`"),
+                    ),
+                },
+                None => usage_error(frontends, backends, "`--fopt` expects `key=value`"),
+            },
+            "-p" => match it.next() {
+                Some(p) => pipeline.push(p),
+                None => usage_error(frontends, backends, "`-p` expects a pass or alias name"),
+            },
+            "-b" => match it.next() {
+                Some(b) => defaults.backend = b,
+                None => usage_error(frontends, backends, "`-b` expects a backend name"),
+            },
+            "--cycles" => match it.next().map(|s| s.parse()) {
+                Some(Ok(n)) => defaults.cycles = n,
+                _ => usage_error(frontends, backends, "`--cycles` expects a number"),
+            },
+            "--format" => match it.next().as_deref() {
+                Some("text") => defaults.format = ReportFormat::Text,
+                Some("json") => defaults.format = ReportFormat::Json,
+                _ => usage_error(frontends, backends, "`--format` expects `text` or `json`"),
+            },
+            "-h" | "--help" => {
+                print!("{}", usage(frontends, backends));
+                exit(0);
+            }
+            other => usage_error(
+                frontends,
+                backends,
+                &format!("unexpected argument `{other}` for `futil serve`"),
+            ),
+        }
+    }
+    if max_connections.is_some() && socket.is_none() {
+        usage_error(
+            frontends,
+            backends,
+            "`--max-connections` requires `--socket`",
+        );
+    }
+    if !pipeline.is_empty() {
+        defaults.pipeline = Some(pipeline);
+    }
+    let opts = ServeOpts {
+        jobs: jobs.unwrap_or_else(WorkerPool::default_jobs),
+        defaults,
+    };
+    let service = CompileService::new();
+    let result = match socket {
+        Some(path) => {
+            calyx_service::serve_socket(&service, Path::new(&path), &opts, max_connections)
+        }
+        None => calyx_service::serve(&service, std::io::stdin().lock(), std::io::stdout(), &opts)
+            .map(|_| ()),
+    };
+    match result {
+        Ok(()) => exit(0),
+        Err(e) => {
+            eprintln!("futil: serve: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn main() {
     let frontends = FrontendRegistry::default();
     let backends = BackendRegistry::default();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // The `check` subcommand takes over the whole invocation.
+    // The `check` and `serve` subcommands take over the whole invocation.
     if args.first().map(String::as_str) == Some("check") {
         args.remove(0);
         run_check(&frontends, &backends, args);
     }
-    let mut file = None;
+    if args.first().map(String::as_str) == Some("serve") {
+        args.remove(0);
+        run_serve(&frontends, &backends, args);
+    }
+    let mut files: Vec<String> = Vec::new();
     let mut frontend_name: Option<String> = None;
     let mut fopts = FrontendOpts::default();
+    let mut fopt_pairs: Vec<(String, String)> = Vec::new();
     let mut pipeline: Vec<String> = Vec::new();
     let mut backend_name = "calyx".to_string();
     let mut out_path: Option<String> = None;
@@ -379,6 +561,11 @@ fn main() {
     let mut stats = false;
     let mut check = false;
     let mut deny_warnings = false;
+    let mut batch = false;
+    let mut jobs: Option<usize> = None;
+    let mut fail_fast = false;
+    let mut timeout_ms: Option<u64> = None;
+    let mut out_dir: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -392,6 +579,10 @@ fn main() {
                     if let Err(e) = fopts.push_flag(&f) {
                         eprintln!("futil: {e}");
                         exit(2);
+                    }
+                    // Batch job defaults carry the raw pair.
+                    if let Some((k, v)) = f.split_once('=') {
+                        fopt_pairs.push((k.to_string(), v.to_string()));
                     }
                 }
                 None => usage_error(&frontends, &backends, "`--fopt` expects `key=value`"),
@@ -428,6 +619,20 @@ fn main() {
             },
             "--time" => time = true,
             "--stats" => stats = true,
+            "--batch" => batch = true,
+            "--jobs" => match it.next().map(|s| s.parse()) {
+                Some(Ok(n)) => jobs = Some(n),
+                _ => usage_error(&frontends, &backends, "`--jobs` expects a number"),
+            },
+            "--fail-fast" => fail_fast = true,
+            "--timeout" => match it.next().map(|s| s.parse()) {
+                Some(Ok(ms)) => timeout_ms = Some(ms),
+                _ => usage_error(&frontends, &backends, "`--timeout` expects milliseconds"),
+            },
+            "--out-dir" => match it.next() {
+                Some(d) => out_dir = Some(d),
+                None => usage_error(&frontends, &backends, "`--out-dir` expects a directory"),
+            },
             "--list-frontends" => {
                 list_frontends(&frontends);
                 exit(0);
@@ -450,8 +655,8 @@ fn main() {
                 exit(0);
             }
             // `-` is stdin, not a flag.
-            "-" if file.is_none() => file = Some("-".to_string()),
-            f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+            "-" => files.push("-".to_string()),
+            f if !f.starts_with('-') => files.push(f.to_string()),
             other => usage_error(
                 &frontends,
                 &backends,
@@ -459,7 +664,92 @@ fn main() {
             ),
         }
     }
-    let Some(file) = file else {
+
+    // `--batch`: every positional is a job (or a manifest of jobs); the
+    // flags above become per-job defaults.
+    if batch {
+        if out_path.is_some() {
+            usage_error(
+                &frontends,
+                &backends,
+                "`-o` names one output; with `--batch` use `--out-dir` or a per-job `out`",
+            );
+        }
+        if check {
+            usage_error(
+                &frontends,
+                &backends,
+                "`--check` is not supported with `--batch`; run `futil check` separately",
+            );
+        }
+        if files.is_empty() {
+            usage_error(
+                &frontends,
+                &backends,
+                "`--batch` expects input files or `.jsonl` manifests",
+            );
+        }
+        let mut reqs: Vec<JobRequest> = Vec::new();
+        for f in &files {
+            if f == "-" || f.ends_with(".jsonl") {
+                // Manifest validation failures are usage errors: the
+                // whole batch is rejected before any job runs.
+                let text = read_input(f);
+                match manifest_requests(shown_name(f), &text) {
+                    Ok(r) => reqs.extend(r),
+                    Err(msg) => {
+                        eprintln!("futil: {msg}");
+                        exit(2);
+                    }
+                }
+            } else {
+                reqs.push(JobRequest {
+                    input: Some(f.clone()),
+                    ..JobRequest::default()
+                });
+            }
+        }
+        let defaults = JobDefaults {
+            frontend: frontend_name,
+            fopts: fopt_pairs,
+            pipeline: if pipeline.is_empty() {
+                None
+            } else {
+                Some(pipeline)
+            },
+            backend: backend_name,
+            cycles: opts.cycles,
+            format: opts.format,
+            timeout_ms,
+            out_dir,
+            inline_output: false,
+        };
+        let service = CompileService::new();
+        let summary = service.run_batch(
+            &reqs,
+            jobs.unwrap_or_else(WorkerPool::default_jobs),
+            fail_fast,
+            &defaults,
+        );
+        // `--format` doubles as the summary format; `--time`/`--stats`
+        // add the per-job stage table instead of interleaving stderr.
+        match opts.format {
+            ReportFormat::Json => println!("{}", summary.render_json()),
+            ReportFormat::Text => println!("{}", summary.render_text(time || stats)),
+        }
+        exit(i32::from(!summary.all_ok()));
+    }
+    if jobs.is_some() || fail_fast || timeout_ms.is_some() || out_dir.is_some() {
+        usage_error(
+            &frontends,
+            &backends,
+            "`--jobs`, `--fail-fast`, `--timeout`, and `--out-dir` require `--batch` or `futil serve`",
+        );
+    }
+    if files.len() > 1 {
+        usage_error(&frontends, &backends, "multiple inputs require `--batch`");
+    }
+    let Some(file) = files.into_iter().next() else {
         usage_error(&frontends, &backends, "no input file");
     };
     // Unknown backends get the registry's message, which lists every valid

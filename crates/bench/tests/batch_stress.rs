@@ -1,0 +1,207 @@
+//! Concurrency stress for the compilation service: random mixes of good
+//! and poisoned jobs on an 8-worker pool must produce exactly one
+//! response per job, in order, with good jobs succeeding and bad jobs
+//! failing *structurally* — never by taking a worker (or the whole
+//! batch/server) down.
+
+use calyx_backend::BackendRegistry;
+use calyx_core::errors::CalyxResult;
+use calyx_core::ir::Context;
+use calyx_frontend::{Frontend, FrontendOpts, FrontendRegistry};
+use calyx_service::{serve, CompileService, JobDefaults, JobRequest, ServeOpts, Status};
+use proptest::prelude::*;
+
+const GOOD: &str = "component main() -> () {
+    cells { r = std_reg(8); }
+    wires { group g { r.in = 8'd7; r.write_en = 1'd1; g[done] = r.done; } }
+    control { g; }
+  }";
+
+/// The job zoo: index → (request, should it succeed?).
+fn job(kind: usize) -> (JobRequest, bool) {
+    match kind {
+        // A plain source job.
+        0 => (
+            JobRequest {
+                source: Some(GOOD.to_string()),
+                ..JobRequest::default()
+            },
+            true,
+        ),
+        // A generator job (no source at all).
+        1 => (
+            JobRequest {
+                frontend: Some("systolic".to_string()),
+                fopts: vec![
+                    ("rows".to_string(), "1".to_string()),
+                    ("cols".to_string(), "1".to_string()),
+                    ("inner".to_string(), "1".to_string()),
+                ],
+                ..JobRequest::default()
+            },
+            true,
+        ),
+        // A parse error.
+        2 => (
+            JobRequest {
+                source: Some("component main( {".to_string()),
+                ..JobRequest::default()
+            },
+            false,
+        ),
+        // An unknown backend.
+        3 => (
+            JobRequest {
+                source: Some(GOOD.to_string()),
+                backend: Some("verilgo".to_string()),
+                ..JobRequest::default()
+            },
+            false,
+        ),
+        // A missing input file.
+        _ => (
+            JobRequest {
+                input: Some("/no/such/dir/missing.futil".to_string()),
+                ..JobRequest::default()
+            },
+            false,
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Eight workers, a random job mix: per-job outcomes match the mix
+    /// exactly, and the aggregate verdict reflects whether any job
+    /// failed (what the driver turns into the exit code).
+    #[test]
+    fn random_job_mixes_survive_eight_workers(kinds in prop::collection::vec(0usize..5, 1..24)) {
+        let (reqs, expect_ok): (Vec<JobRequest>, Vec<bool>) =
+            kinds.iter().map(|&k| job(k)).unzip();
+        let service = CompileService::new();
+        let summary = service.run_batch(&reqs, 8, false, &JobDefaults::default());
+
+        prop_assert_eq!(summary.results.len(), reqs.len());
+        for (i, (resp, expect)) in summary.results.iter().zip(&expect_ok).enumerate() {
+            prop_assert_eq!(resp.id, i);
+            prop_assert_eq!(
+                resp.is_ok(), *expect,
+                "job {} (kind {}): {:?}", i, kinds[i], resp.error
+            );
+            if !expect {
+                // Failures are structured: a message, no partial result.
+                prop_assert!(resp.error.is_some());
+                prop_assert_eq!(resp.status, Status::Error);
+                prop_assert!(resp.out.is_none());
+            }
+        }
+        let any_bad = expect_ok.iter().any(|ok| !ok);
+        prop_assert_eq!(summary.all_ok(), !any_bad);
+        prop_assert_eq!(summary.failed(), expect_ok.iter().filter(|ok| !**ok).count());
+    }
+}
+
+/// A frontend whose `parse` panics — the poisoned-input stand-in the
+/// panic bulkhead exists for.
+struct BoomFrontend;
+
+impl Frontend for BoomFrontend {
+    const NAME: &'static str = "boom";
+    const DESCRIPTION: &'static str = "panics on parse (test only)";
+
+    fn extensions() -> &'static [&'static str] {
+        &[]
+    }
+
+    fn from_opts(_: &FrontendOpts) -> CalyxResult<Self> {
+        Ok(BoomFrontend)
+    }
+
+    fn parse(&self, _: &str) -> CalyxResult<Context> {
+        panic!("frontend exploded mid-parse")
+    }
+}
+
+fn service_with_boom() -> CompileService {
+    let mut frontends = FrontendRegistry::default();
+    frontends.register::<BoomFrontend>();
+    CompileService::with_registries(frontends, BackendRegistry::default())
+}
+
+/// A panicking job is one response, not one dead worker: the batch keeps
+/// draining and later jobs still succeed.
+#[test]
+fn a_panicking_job_does_not_kill_the_batch() {
+    let service = service_with_boom();
+    let mut reqs = Vec::new();
+    for _ in 0..3 {
+        reqs.push(job(0).0);
+        reqs.push(JobRequest {
+            frontend: Some("boom".to_string()),
+            source: Some(String::new()),
+            ..JobRequest::default()
+        });
+    }
+    // One worker: a lost thread would strand every later job.
+    let summary = service.run_batch(&reqs, 1, false, &JobDefaults::default());
+    assert_eq!(summary.results.len(), 6);
+    for (i, resp) in summary.results.iter().enumerate() {
+        if i % 2 == 0 {
+            assert!(resp.is_ok(), "job {i}: {:?}", resp.error);
+        } else {
+            assert_eq!(resp.status, Status::Panic);
+            assert!(
+                resp.error.as_deref().unwrap().contains("frontend exploded"),
+                "{:?}",
+                resp.error
+            );
+        }
+    }
+    assert_eq!((summary.ok(), summary.failed()), (3, 3));
+}
+
+/// The acceptance criterion: `futil serve` outlives both a malformed
+/// request and a job that panics inside the compiler, answering each
+/// with a structured error and every later request normally.
+#[test]
+fn serve_survives_a_panicking_job() {
+    let service = service_with_boom();
+    let input = format!(
+        "{}\n{}\n{}\n",
+        r#"{"frontend": "boom", "source": ""}"#,
+        r#"{"not even": "a valid request"}"#,
+        format_args!("{{\"source\": {:?}}}", GOOD),
+    );
+    let out = serve(
+        &service,
+        input.as_bytes(),
+        Vec::new(),
+        &ServeOpts {
+            jobs: 2,
+            defaults: JobDefaults {
+                inline_output: true,
+                ..JobDefaults::default()
+            },
+        },
+    )
+    .expect("server reached EOF");
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{text}");
+    let status_of = |id: u64| {
+        lines
+            .iter()
+            .map(|l| calyx_service::json::parse(l).unwrap())
+            .find(|v| v.get("id").unwrap().as_u64() == Some(id))
+            .unwrap()
+            .get("status")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(status_of(0), "panic");
+    assert_eq!(status_of(1), "error");
+    assert_eq!(status_of(2), "ok");
+}

@@ -1,0 +1,173 @@
+//! A fixed-size worker pool over `std::thread` and channels.
+//!
+//! Deliberately minimal — a shared-receiver task queue, not a
+//! work-stealing scheduler. Compile jobs are coarse (milliseconds), so
+//! one mutex-guarded `mpsc::Receiver` shared by N workers is contention
+//! -free in practice and keeps the whole pool dependency-free.
+//!
+//! [`catch_job_panic`] is the panic bulkhead: one poisoned input must
+//! not take down the batch or the server, so job bodies run under
+//! `catch_unwind` with the default "thread panicked" stderr banner
+//! suppressed for the duration.
+
+use parking_lot::Mutex;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Once};
+use std::thread;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// `N` worker threads draining one task queue. Dropping the pool closes
+/// the queue and joins every worker, so all submitted tasks finish.
+pub struct WorkerPool {
+    sender: Option<mpsc::Sender<Task>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `jobs.max(1)` workers.
+    pub fn new(jobs: usize) -> WorkerPool {
+        let (sender, receiver) = mpsc::channel::<Task>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..jobs.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("futil-worker-{i}"))
+                    .spawn(move || loop {
+                        // Take the lock only to dequeue, never while
+                        // running a task, so workers drain in parallel.
+                        let task = receiver.lock().recv();
+                        match task {
+                            Ok(task) => task(),
+                            Err(_) => break, // queue closed
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// The default worker count: the machine's available parallelism.
+    pub fn default_jobs() -> usize {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// Queue a task; some worker runs it exactly once.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool sender lives until drop")
+            .send(Box::new(task))
+            .expect("workers outlive the queue");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+thread_local! {
+    static SUPPRESS_PANIC_BANNER: AtomicBool = const { AtomicBool::new(false) };
+}
+
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let suppress = SUPPRESS_PANIC_BANNER.with(|flag| flag.load(Ordering::Relaxed));
+            if !suppress {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Run `job`, converting a panic into `Err(message)` instead of
+/// unwinding the worker — and without the default panic banner spamming
+/// stderr (other threads' genuine panics still print).
+pub fn catch_job_panic<T>(job: impl FnOnce() -> T) -> Result<T, String> {
+    install_quiet_hook();
+    SUPPRESS_PANIC_BANNER.with(|flag| flag.store(true, Ordering::Relaxed));
+    let result = panic::catch_unwind(AssertUnwindSafe(job));
+    SUPPRESS_PANIC_BANNER.with(|flag| flag.store(false, Ordering::Relaxed));
+    result.map_err(|payload| {
+        if let Some(msg) = payload.downcast_ref::<&str>() {
+            (*msg).to_string()
+        } else if let Some(msg) = payload.downcast_ref::<String>() {
+            msg.clone()
+        } else {
+            "job panicked".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_runs_every_task_and_joins_on_drop() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(4);
+            for _ in 0..64 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop waits for all 64
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn zero_jobs_still_gets_one_worker() {
+        let ran = Arc::new(AtomicBool::new(false));
+        {
+            let pool = WorkerPool::new(0);
+            let ran = Arc::clone(&ran);
+            pool.submit(move || ran.store(true, Ordering::SeqCst));
+        }
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn panics_become_errors_and_spare_the_worker() {
+        assert_eq!(catch_job_panic(|| 7), Ok(7));
+        assert_eq!(
+            catch_job_panic(|| -> () { panic!("str payload") }),
+            Err("str payload".to_string())
+        );
+        assert_eq!(
+            catch_job_panic(|| -> () { panic!("formatted {}", 3) }),
+            Err("formatted 3".to_string())
+        );
+
+        // A worker that catches a panicking task keeps serving.
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            pool.submit(|| {
+                let _ = catch_job_panic(|| panic!("poisoned input"));
+            });
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -16,6 +16,9 @@
 //! - [`dahlia`]: the Dahlia imperative language frontend (paper §6.2).
 //! - [`hls`]: an HLS scheduling model standing in for Vivado HLS.
 //! - [`polybench`]: the PolyBench linear-algebra kernels used in §7.2.
+//! - [`service`]: the parallel compilation service behind `futil --batch`
+//!   and `futil serve` — job queue, shared parse cache, worker pool, and
+//!   the JSON-lines protocol.
 //!
 //! # Quickstart
 //!
@@ -58,5 +61,6 @@ pub use calyx_dahlia as dahlia;
 pub use calyx_frontend as frontend;
 pub use calyx_hls as hls;
 pub use calyx_polybench as polybench;
+pub use calyx_service as service;
 pub use calyx_sim as sim;
 pub use calyx_systolic as systolic;
