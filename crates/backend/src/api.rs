@@ -244,6 +244,9 @@ pub struct RegisteredBackend {
     /// The backend's declared pipeline (see
     /// [`Backend::required_pipeline`]), captured at registration.
     pub required_pipeline: &'static [&'static str],
+    /// Output file extension (from [`Backend::EXTENSION`]), captured at
+    /// registration — used by `--out-dir` and plan artifact naming.
+    pub extension: &'static str,
     ctor: fn(&BackendOpts) -> Box<dyn DynBackend>,
 }
 
@@ -313,6 +316,7 @@ impl BackendRegistry {
             name: B::NAME,
             description: B::DESCRIPTION,
             required_pipeline: Backend::required_pipeline(&B::from_opts(&BackendOpts::default())),
+            extension: B::EXTENSION,
             ctor: |opts| Box::new(B::from_opts(opts)),
         });
     }
@@ -380,6 +384,26 @@ mod tests {
             PassManager::from_names(required).unwrap_or_else(|e| {
                 panic!("backend `{}` declares unresolvable pipeline: {e}", b.name)
             });
+        }
+    }
+
+    /// Every shipped backend must declare a real output extension: the
+    /// generic `"out"` default is for prototypes only, and `--out-dir` /
+    /// plan artifact names read much better with honest ones.
+    #[test]
+    fn no_registered_backend_uses_the_default_extension() {
+        for b in BackendRegistry::default().backends() {
+            assert_ne!(
+                b.extension, "out",
+                "backend `{}` inherits the generic `out` extension; give it a real one",
+                b.name
+            );
+            assert!(
+                !b.extension.is_empty() && !b.extension.starts_with('.'),
+                "backend `{}` has a malformed extension `{}`",
+                b.name,
+                b.extension
+            );
         }
     }
 

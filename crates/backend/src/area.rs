@@ -127,6 +127,7 @@ impl Backend for AreaBackend {
     const NAME: &'static str = "area";
     const DESCRIPTION: &'static str =
         "estimate FPGA resources (LUTs/FFs/DSPs/BRAMs) of the lowered design";
+    const EXTENSION: &'static str = "area";
 
     fn from_opts(opts: &BackendOpts) -> Self {
         AreaBackend {

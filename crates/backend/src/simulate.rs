@@ -45,6 +45,7 @@ impl Backend for SimBackend {
     const NAME: &'static str = "sim";
     const DESCRIPTION: &'static str =
         "simulate the lowered design cycle-accurately and report cycles + final state";
+    const EXTENSION: &'static str = "sim";
 
     fn from_opts(opts: &BackendOpts) -> Self {
         SimBackend {
@@ -94,6 +95,7 @@ impl Backend for InterpBackend {
     const NAME: &'static str = "interp";
     const DESCRIPTION: &'static str =
         "execute the control tree with the reference interpreter and report cycles + final state";
+    const EXTENSION: &'static str = "interp";
 
     fn from_opts(opts: &BackendOpts) -> Self {
         InterpBackend {

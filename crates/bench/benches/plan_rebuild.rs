@@ -1,0 +1,101 @@
+//! Criterion bench for plan-based rebuilds: the full 19-kernel
+//! PolyBench suite routed `polybench -> verilog` through `calyx_plan`,
+//! cold versus warm.
+//!
+//! - **cold** — empty artifact cache: every step of every kernel runs
+//!   (generator, lowering pipeline, verilog emission) and the cache is
+//!   populated on the way out.
+//! - **warm** — the no-change rebuild: the same sweep against the
+//!   populated cache. Every step's input digest and fingerprint are
+//!   unchanged, so every step is served from disk — the build executes
+//!   zero compiles, which is the whole point of content addressing.
+//!
+//! The closing line reports the cold/warm wall-clock ratio. Run with
+//! `cargo bench --bench plan_rebuild`.
+
+use calyx_plan::{derive, execute, BuildOpts, ExecEnv, StepStatus};
+use calyx_polybench::KERNELS;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn cache_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("plan-rebuild-bench-{}", std::process::id()))
+}
+
+/// Build every kernel (the polybench frontend takes the kernel name as
+/// its input text); returns how many steps actually ran.
+fn sweep(
+    graph: &calyx_plan::PlanGraph,
+    route: &calyx_plan::Route,
+    env: &ExecEnv,
+    build: &BuildOpts,
+) -> usize {
+    let mut ran = 0;
+    for def in KERNELS {
+        let outcome =
+            execute(graph, route, def.name, env, build).expect("kernel builds to verilog");
+        assert!(outcome.output.contains("module main"));
+        ran += outcome.ran();
+    }
+    ran
+}
+
+fn bench_plan_rebuild(c: &mut Criterion) {
+    let graph = derive::standard();
+    let env = ExecEnv::default();
+    let route = graph
+        .plan(
+            graph
+                .state_id("polybench")
+                .expect("polybench state derived"),
+            graph.state_id("verilog").expect("verilog state derived"),
+        )
+        .expect("polybench routes to verilog");
+    let build = BuildOpts {
+        cache_dir: cache_dir(),
+        ..BuildOpts::default()
+    };
+
+    let mut group = c.benchmark_group("plan_rebuild");
+    group.sample_size(10);
+    group.bench_function("polybench19_to_verilog/cold", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&build.cache_dir);
+            sweep(&graph, &route, &env, &build)
+        });
+    });
+    // Prime once, then measure the no-change rebuild.
+    let _ = std::fs::remove_dir_all(&build.cache_dir);
+    sweep(&graph, &route, &env, &build);
+    group.bench_function("polybench19_to_verilog/warm", |b| {
+        b.iter(|| {
+            let ran = sweep(&graph, &route, &env, &build);
+            assert_eq!(ran, 0, "a warm rebuild must execute zero steps");
+            ran
+        });
+    });
+    group.finish();
+
+    // Headline ratio, measured once outside criterion's sampling.
+    let _ = std::fs::remove_dir_all(&build.cache_dir);
+    let start = Instant::now();
+    let cold_ran = sweep(&graph, &route, &env, &build);
+    let cold = start.elapsed();
+    let start = Instant::now();
+    let warm_ran = sweep(&graph, &route, &env, &build);
+    let warm = start.elapsed();
+    assert_eq!((cold_ran, warm_ran), (route.steps.len() * KERNELS.len(), 0));
+    println!(
+        "plan rebuild: cold {cold:.3?} ({cold_ran} steps ran), warm {warm:.3?} (all cached), \
+         speedup {:.1}x",
+        cold.as_secs_f64() / warm.as_secs_f64().max(1e-9)
+    );
+    let _ = std::fs::remove_dir_all(&build.cache_dir);
+
+    // Keep StepStatus in the public API surface the bench exercises.
+    assert_eq!(StepStatus::Cached.label(), "cached");
+}
+
+criterion_group!(benches, bench_plan_rebuild);
+criterion_main!(benches);

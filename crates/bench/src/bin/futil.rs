@@ -13,6 +13,10 @@
 //!             [--max-connections N] [shared flags]
 //! futil check <file|-> [-f <frontend>] [--fopt k=v] [--format text|json]
 //!                      [--deny warnings]
+//! futil build <file|-> --to <state> [--from <state>] [-o <file>]
+//!                      [--cache-dir DIR] [--no-cache] [--fopt k=v]
+//!                      [--cycles N] [--format text|json]
+//! futil plan <file|->  --to <state> [--from <state>]
 //!   -f <frontend>       frontend (default: inferred from the file
 //!                       extension, falling back to calyx); see
 //!                       --list-frontends
@@ -70,6 +74,19 @@
 //! error-severity diagnostic — or, under `--deny warnings`, any
 //! diagnostic at all — was produced.
 //!
+//! `futil build` inverts the imperative `-f`/`-p`/`-b` interface: the
+//! input's *state* is inferred from its extension (or named with
+//! `--from`), the goal is named with `--to`, and the `calyx_plan` route
+//! planner finds the cheapest op sequence between the two. Each step
+//! runs through a content-addressed artifact cache (default
+//! `.futil-cache/`), so a warm rebuild executes zero steps and an edit
+//! re-runs only what it invalidates; per-step `ran`/`cached` status
+//! lines go to stderr. `futil plan` prints the route without running
+//! it (it accepts the build flags and ignores the execution-only
+//! ones), and `--list-states`/`--list-ops` print the graph. Unknown
+//! or unreachable states are usage errors (exit 2) listing the valid
+//! or reachable states.
+//!
 //! `futil --batch` and `futil serve` are thin shells over the
 //! `calyx_service` crate: a shared parse cache, a `std::thread` worker
 //! pool, and the JSON-lines protocol documented in the README. Serve
@@ -108,6 +125,9 @@ fn usage(frontends: &FrontendRegistry, backends: &BackendRegistry) -> String {
 [--max-connections N]
        futil check <file|-> [-f <frontend>] [--fopt k=v] \
 [--format text|json] [--deny warnings]
+       futil build <file|-> --to <state> [--from <state>] [-o <file>] \
+[--cache-dir DIR] [--no-cache]
+       futil plan <file|-> --to <state> [--from <state>]
   -f {}
                       frontend (default: inferred from the file
                       extension, falling back to calyx); run
@@ -145,6 +165,16 @@ fn usage(frontends: &FrontendRegistry, backends: &BackendRegistry) -> String {
   --fail-fast         abort a batch at the first failing job
   --timeout MS        per-job wall-clock budget in milliseconds
   --out-dir DIR       write each job's output to DIR/<name>.<ext>
+  --to <state>        goal state for `futil build`/`futil plan`; run
+                      `futil build --list-states` for the choices
+  --from <state>      start state (default: inferred from the input's
+                      file extension)
+  --cache-dir DIR     artifact cache for `futil build`
+                      (default: .futil-cache)
+  --no-cache          run every build step; neither read nor write the
+                      artifact cache
+  --list-states       list plan states, then exit (build/plan)
+  --list-ops          list plan ops, then exit (build/plan)
   --list-frontends    list registered frontends, then exit
   --list-passes       list registered passes and aliases, then exit
   --list-backends     list registered backends, then exit
@@ -276,34 +306,28 @@ fn shown_name(file: &str) -> &str {
     }
 }
 
-/// Resolve the frontend name: explicit `-f` wins; otherwise infer from
-/// the input's file extension, falling back to the native parser (with a
-/// hint, since the fallback is a guess).
+/// Resolve the frontend name through the registry's shared rule
+/// (explicit `-f`, else extension inference, else the native parser) —
+/// the same helper the batch/serve engine and the plan graph use, so
+/// the three can never diverge. Prints a hint when the fallback fired,
+/// since that choice is a guess.
 fn resolve_frontend_name<'a>(
-    frontends: &FrontendRegistry,
+    frontends: &'a FrontendRegistry,
     explicit: Option<&'a str>,
     file: &str,
 ) -> &'a str {
-    match explicit {
-        Some(name) => name,
-        None if file == "-" => {
+    let (name, fell_back) = frontends.resolve_name(explicit, Some(file));
+    if fell_back {
+        if file == "-" {
             eprintln!("futil: note: reading from stdin; assuming `-f calyx` (pass `-f` to choose)");
-            "calyx"
-        }
-        None => {
-            let ext = Path::new(file).extension().and_then(|e| e.to_str());
-            match ext.and_then(|e| frontends.by_extension(e)) {
-                Some(f) => f.name,
-                None => {
-                    eprintln!(
-                        "futil: note: no frontend claims `{file}`'s extension; assuming `-f calyx` \
-                         (pass `-f` to choose)"
-                    );
-                    "calyx"
-                }
-            }
+        } else {
+            eprintln!(
+                "futil: note: no frontend claims `{file}`'s extension; assuming `-f calyx` \
+                 (pass `-f` to choose)"
+            );
         }
     }
+    name
 }
 
 /// Parse `src` with `frontend`, rendering parse errors as caret
@@ -401,6 +425,234 @@ fn run_check(frontends: &FrontendRegistry, backends: &BackendRegistry, args: Vec
     }
     let failing = sink.errors() > 0 || (deny_warnings && !sink.is_empty());
     exit(i32::from(failing));
+}
+
+fn list_states(graph: &calyx_plan::PlanGraph) {
+    println!("states:");
+    for s in graph.states() {
+        let exts = if s.extensions.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " [extensions: {}]",
+                s.extensions
+                    .iter()
+                    .map(|e| format!(".{e}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )
+        };
+        println!("{}{}", list_row(&s.name, &s.description), exts);
+    }
+}
+
+fn list_ops(graph: &calyx_plan::PlanGraph) {
+    println!("ops:");
+    for op in graph.ops() {
+        println!(
+            "{} [{} -> {}]",
+            list_row(op.name(), op.description()),
+            graph.state(op.from()).name,
+            graph.state(op.to()).name
+        );
+    }
+}
+
+/// The `futil build` and `futil plan` subcommands: route from the
+/// input's state to `--to` over the standard plan graph, then (for
+/// `build`) execute the route through the artifact cache. `plan`
+/// accepts the same flags and ignores the execution-only ones, so an
+/// invocation can be dry-run by swapping the subcommand name.
+fn run_build(
+    frontends: &FrontendRegistry,
+    backends: &BackendRegistry,
+    args: Vec<String>,
+    execute_route: bool,
+) -> ! {
+    let graph = calyx_plan::derive::standard();
+    let mut file: Option<String> = None;
+    let mut to_name: Option<String> = None;
+    let mut from_name: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut build = calyx_plan::BuildOpts::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--to" => match it.next() {
+                Some(s) => to_name = Some(s),
+                None => usage_error(frontends, backends, "`--to` expects a state name"),
+            },
+            "--from" => match it.next() {
+                Some(s) => from_name = Some(s),
+                None => usage_error(frontends, backends, "`--from` expects a state name"),
+            },
+            "-o" => match it.next() {
+                Some(o) => out_path = Some(o),
+                None => usage_error(frontends, backends, "`-o` expects a file path"),
+            },
+            "--cache-dir" => match it.next() {
+                Some(d) => build.cache_dir = d.into(),
+                None => usage_error(frontends, backends, "`--cache-dir` expects a directory"),
+            },
+            "--no-cache" => build.use_cache = false,
+            "--fopt" => match it.next() {
+                Some(f) => match f.split_once('=') {
+                    Some((k, v)) if !k.is_empty() => {
+                        build.opts.fopts.push((k.to_string(), v.to_string()));
+                    }
+                    _ => usage_error(
+                        frontends,
+                        backends,
+                        &format!("`--fopt` argument `{f}`; expected `key=value`"),
+                    ),
+                },
+                None => usage_error(frontends, backends, "`--fopt` expects `key=value`"),
+            },
+            "--cycles" => match it.next().map(|s| s.parse()) {
+                Some(Ok(n)) => build.opts.cycles = n,
+                _ => usage_error(frontends, backends, "`--cycles` expects a number"),
+            },
+            "--format" => match it.next().as_deref() {
+                Some("text") => build.opts.format = ReportFormat::Text,
+                Some("json") => build.opts.format = ReportFormat::Json,
+                _ => usage_error(frontends, backends, "`--format` expects `text` or `json`"),
+            },
+            "--list-states" => {
+                list_states(&graph);
+                exit(0);
+            }
+            "--list-ops" => {
+                list_ops(&graph);
+                exit(0);
+            }
+            "-h" | "--help" => {
+                print!("{}", usage(frontends, backends));
+                exit(0);
+            }
+            "-" if file.is_none() => file = Some("-".to_string()),
+            f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+            other => usage_error(
+                frontends,
+                backends,
+                &format!(
+                    "unexpected argument `{other}` for `futil {}`",
+                    if execute_route { "build" } else { "plan" }
+                ),
+            ),
+        }
+    }
+    let Some(file) = file else {
+        usage_error(frontends, backends, "no input file");
+    };
+    let Some(to_name) = to_name else {
+        usage_error(
+            frontends,
+            backends,
+            "`--to <state>` is required; run `--list-states` for the choices",
+        );
+    };
+    // Unknown `--to`/`--from` states get the graph's message listing
+    // every valid state — same contract as the other registries.
+    let to = match graph.expect_state(&to_name) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("futil: {e}");
+            exit(2);
+        }
+    };
+    let from = match &from_name {
+        Some(name) => match graph.expect_state(name) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("futil: {e}");
+                exit(2);
+            }
+        },
+        None => match graph.infer_state(&file) {
+            Some(s) => s,
+            None => {
+                eprintln!(
+                    "futil: cannot infer a state from `{}`; pass `--from <state>` \
+                     (run `--list-states` for the choices)",
+                    shown_name(&file)
+                );
+                exit(2);
+            }
+        },
+    };
+    // An unreachable goal is a usage error too: the message names the
+    // states that *are* reachable from the start.
+    let route = match graph.plan(from, to) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("futil: {e}");
+            exit(2);
+        }
+    };
+    if !execute_route {
+        println!(
+            "plan: {} -> {} ({} step{})",
+            graph.state(from).name,
+            graph.state(to).name,
+            route.steps.len(),
+            if route.steps.len() == 1 { "" } else { "s" }
+        );
+        for (i, &idx) in route.steps.iter().enumerate() {
+            let op = &graph.ops()[idx];
+            println!(
+                "  {}. {:<18}{} -> {}",
+                i + 1,
+                op.name(),
+                graph.state(op.from()).name,
+                graph.state(op.to()).name
+            );
+        }
+        exit(0);
+    }
+    let src = read_input(&file);
+    let env = calyx_plan::ExecEnv::default();
+    let outcome = match calyx_plan::execute(&graph, &route, &src, &env, &build) {
+        Ok(o) => o,
+        Err(e) => {
+            // Frontend parse errors inside the first step still render
+            // caret diagnostics against the original source.
+            match e.caret_diagnostic(shown_name(&file), &src) {
+                Some(diagnostic) => eprintln!("futil: {diagnostic}"),
+                None => eprintln!("futil: {e}"),
+            }
+            exit(1);
+        }
+    };
+    // Step-status lines: `futil: step <op>: ran|cached (<time>)`. Tests
+    // pin everything before the parenthesized timing.
+    for step in &outcome.steps {
+        eprintln!(
+            "futil: step {}: {} ({:.1}ms)",
+            step.op,
+            step.status.label(),
+            step.micros as f64 / 1000.0
+        );
+    }
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = calyx_service::write_atomic(path, outcome.output.as_bytes()) {
+                eprintln!("futil: cannot write `{path}`: {e}");
+                exit(1);
+            }
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut sink = stdout.lock();
+            if sink
+                .write_all(outcome.output.as_bytes())
+                .and_then(|()| sink.flush())
+                .is_err()
+            {
+                exit(1);
+            }
+        }
+    }
+    exit(0);
 }
 
 /// Parse a JSON-lines job manifest into requests, prefixing every error
@@ -548,6 +800,14 @@ fn main() {
     if args.first().map(String::as_str) == Some("serve") {
         args.remove(0);
         run_serve(&frontends, &backends, args);
+    }
+    if args.first().map(String::as_str) == Some("build") {
+        args.remove(0);
+        run_build(&frontends, &backends, args, true);
+    }
+    if args.first().map(String::as_str) == Some("plan") {
+        args.remove(0);
+        run_build(&frontends, &backends, args, false);
     }
     let mut files: Vec<String> = Vec::new();
     let mut frontend_name: Option<String> = None;

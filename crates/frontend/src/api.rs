@@ -372,6 +372,37 @@ impl FrontendRegistry {
             .find(|f| f.extensions.iter().any(|e| e.eq_ignore_ascii_case(ext)))
     }
 
+    /// The frontend inferred from `path`'s file extension, if any.
+    ///
+    /// This is the one extension-inference rule shared by the `futil`
+    /// driver, the batch/serve engine, and the plan-based build graph —
+    /// keep them on this helper so the inference can never diverge.
+    pub fn infer_for_path(&self, path: &str) -> Option<&RegisteredFrontend> {
+        std::path::Path::new(path)
+            .extension()
+            .and_then(|e| e.to_str())
+            .and_then(|ext| self.by_extension(ext))
+    }
+
+    /// Resolve the frontend name for an input: an explicit name wins,
+    /// else the frontend inferred from the input path's extension, else
+    /// the native `calyx` parser. The second component is `true` when
+    /// the fallback fired (no explicit name and no claiming frontend),
+    /// so drivers can warn that the choice is a guess.
+    pub fn resolve_name<'a>(
+        &'a self,
+        explicit: Option<&'a str>,
+        input: Option<&str>,
+    ) -> (&'a str, bool) {
+        if let Some(name) = explicit {
+            return (name, false);
+        }
+        match input.and_then(|path| self.infer_for_path(path)) {
+            Some(f) => (f.name, false),
+            None => ("calyx", true),
+        }
+    }
+
     /// Construct the frontend registered as `name`.
     ///
     /// # Errors
@@ -434,6 +465,28 @@ mod tests {
         assert_eq!(reg.by_extension("FUSE").unwrap().name, "dahlia");
         assert_eq!(reg.by_extension("systolic").unwrap().name, "systolic");
         assert!(reg.by_extension("sv").is_none());
+    }
+
+    /// The one shared inference rule: explicit name wins, then the
+    /// path's extension, then the `calyx` fallback (flagged so drivers
+    /// can warn).
+    #[test]
+    fn resolve_name_prefers_explicit_then_extension_then_fallback() {
+        let reg = FrontendRegistry::default();
+        assert_eq!(
+            reg.resolve_name(Some("polybench"), Some("x.fuse")),
+            ("polybench", false)
+        );
+        assert_eq!(reg.resolve_name(None, Some("x.fuse")), ("dahlia", false));
+        assert_eq!(
+            reg.resolve_name(None, Some("dir.fuse/x.futil")),
+            ("calyx", false)
+        );
+        assert_eq!(reg.resolve_name(None, Some("-")), ("calyx", true));
+        assert_eq!(reg.resolve_name(None, Some("x.sv")), ("calyx", true));
+        assert_eq!(reg.resolve_name(None, None), ("calyx", true));
+        assert_eq!(reg.infer_for_path("a/b/k.poly").unwrap().name, "polybench");
+        assert!(reg.infer_for_path("noext").is_none());
     }
 
     #[test]

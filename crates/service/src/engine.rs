@@ -105,8 +105,14 @@ fn job_name(req: &JobRequest, id: usize) -> String {
 
 /// Write `bytes` to `path` atomically: stream to a sibling `.tmp` and
 /// rename into place, so a failure never leaves partial output (the same
-/// discipline as `futil -o`).
-fn write_atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+/// discipline as `futil -o`). Shared with the plan executor's artifact
+/// cache, which needs the same no-partial-files guarantee.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; the `.tmp` sibling is removed on
+/// failure.
+pub fn write_atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
     if let Some(parent) = Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
@@ -277,16 +283,17 @@ impl CompileService {
         };
 
         // Frontend: explicit (job, then defaults), else inferred from
-        // the input's extension, else the native parser.
-        let frontend_name = match req.frontend.as_deref().or(defaults.frontend.as_deref()) {
-            Some(f) => f.to_string(),
-            None => req
-                .input
-                .as_deref()
-                .and_then(|p| Path::new(p).extension().and_then(|e| e.to_str()))
-                .and_then(|ext| self.inner.frontends.by_extension(ext))
-                .map_or_else(|| "calyx".to_string(), |f| f.name.to_string()),
-        };
+        // the input's extension, else the native parser — the same
+        // shared rule as the driver and the plan graph.
+        let frontend_name = self
+            .inner
+            .frontends
+            .resolve_name(
+                req.frontend.as_deref().or(defaults.frontend.as_deref()),
+                req.input.as_deref(),
+            )
+            .0
+            .to_string();
         let mut pairs = defaults.fopts.clone();
         pairs.extend(req.fopts.iter().cloned());
         let mut fopts = FrontendOpts::default();

@@ -53,7 +53,7 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{digest64, CacheStats, ParseCache};
-pub use engine::{CompileService, JobDefaults};
+pub use engine::{write_atomic, CompileService, JobDefaults};
 pub use metrics::{percentile, BatchSummary, StageTimes};
 pub use pool::{catch_job_panic, WorkerPool};
 pub use protocol::{

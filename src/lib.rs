@@ -19,6 +19,9 @@
 //! - [`service`]: the parallel compilation service behind `futil --batch`
 //!   and `futil serve` — job queue, shared parse cache, worker pool, and
 //!   the JSON-lines protocol.
+//! - [`plan`]: plan-based build orchestration behind `futil build` — a
+//!   typed state graph derived from the four registries, a route
+//!   planner, and a content-addressed artifact cache.
 //!
 //! # Quickstart
 //!
@@ -60,6 +63,7 @@ pub use calyx_core as core;
 pub use calyx_dahlia as dahlia;
 pub use calyx_frontend as frontend;
 pub use calyx_hls as hls;
+pub use calyx_plan as plan;
 pub use calyx_polybench as polybench;
 pub use calyx_service as service;
 pub use calyx_sim as sim;
