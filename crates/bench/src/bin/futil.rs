@@ -12,7 +12,8 @@
 //! futil serve [--jobs N] [--timeout MS] [--socket PATH]
 //!             [--max-connections N] [shared flags]
 //! futil check <file|-> [-f <frontend>] [--fopt k=v] [--format text|json]
-//!                      [--deny warnings]
+//!                      [--deny warnings|<lint>] [--allow <lint>]
+//! futil check --explain <CODE>
 //! futil build <file|-> --to <state> [--from <state>] [-o <file>]
 //!                      [--cache-dir DIR] [--no-cache] [--fopt k=v]
 //!                      [--cycles N] [--format text|json]
@@ -33,6 +34,12 @@
 //!   --check             run every lint before compiling; diagnostics go
 //!                       to stderr and errors stop the run
 //!   --deny warnings     treat warning diagnostics as fatal
+//!   --deny <lint>       promote one lint's findings to errors
+//!                       (repeatable; `futil check` only)
+//!   --allow <lint>      drop one lint's findings entirely
+//!                       (repeatable; `futil check` only)
+//!   --explain <CODE>    print a lint's long-form documentation and exit
+//!                       (`futil check` only; no input file needed)
 //!   --time              report per-pass wall-clock timings on stderr;
 //!                       simulation backends also report total cycles,
 //!                       wall time, and cycles/sec
@@ -124,7 +131,8 @@ fn usage(frontends: &FrontendRegistry, backends: &BackendRegistry) -> String {
        futil serve [--jobs N] [--timeout MS] [--socket PATH] \
 [--max-connections N]
        futil check <file|-> [-f <frontend>] [--fopt k=v] \
-[--format text|json] [--deny warnings]
+[--format text|json] [--deny warnings|<lint>] [--allow <lint>]
+       futil check --explain <CODE>
        futil build <file|-> --to <state> [--from <state>] [-o <file>] \
 [--cache-dir DIR] [--no-cache]
        futil plan <file|-> --to <state> [--from <state>]
@@ -148,6 +156,12 @@ fn usage(frontends: &FrontendRegistry, backends: &BackendRegistry) -> String {
   --check             run every lint before compiling; diagnostics go to
                       stderr and error-severity findings stop the run
   --deny warnings     treat warning diagnostics as fatal
+  --deny <lint>       promote one lint's findings to errors (repeatable;
+                      `futil check` only)
+  --allow <lint>      drop one lint's findings entirely (repeatable;
+                      `futil check` only)
+  --explain <CODE>    print a lint's long-form documentation and exit
+                      (`futil check` only; accepts a code or a name)
   --time              report per-pass wall-clock timings on stderr;
                       simulation backends also report total cycles, wall
                       time, and cycles/sec
@@ -347,6 +361,37 @@ fn parse_input(frontend: &dyn DynFrontend, file: &str, src: &str) -> calyx_core:
     }
 }
 
+/// The `futil check --explain <CODE>` mode: print one lint's long-form
+/// documentation (looked up by code or name) and exit 0; unknown lints
+/// exit 2 listing every valid code.
+fn explain_lint(query: &str) -> ! {
+    let registry = LintRegistry::default();
+    match registry
+        .lints()
+        .iter()
+        .find(|l| l.code == query || l.name == query)
+    {
+        Some(lint) => {
+            println!("{}: {} ({})", lint.code, lint.name, lint.severity);
+            println!("\n{}", lint.description);
+            println!("\n{}", lint.explanation);
+            exit(0);
+        }
+        None => {
+            let codes: Vec<String> = registry
+                .lints()
+                .iter()
+                .map(|l| format!("{} ({})", l.code, l.name))
+                .collect();
+            eprintln!(
+                "futil: no lint with code or name `{query}`; valid codes: {}",
+                codes.join(", ")
+            );
+            exit(2);
+        }
+    }
+}
+
 /// The `futil check` subcommand: run every registered lint, report every
 /// finding, exit 1 when the program should not be compiled as-is.
 fn run_check(frontends: &FrontendRegistry, backends: &BackendRegistry, args: Vec<String>) -> ! {
@@ -355,6 +400,8 @@ fn run_check(frontends: &FrontendRegistry, backends: &BackendRegistry, args: Vec
     let mut fopts = FrontendOpts::default();
     let mut format = ReportFormat::Text;
     let mut deny_warnings = false;
+    let mut allow: Vec<String> = Vec::new();
+    let mut deny: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -378,9 +425,22 @@ fn run_check(frontends: &FrontendRegistry, backends: &BackendRegistry, args: Vec
                     _ => usage_error(frontends, backends, "`--format` expects `text` or `json`"),
                 }
             }
-            "--deny" => match it.next().as_deref() {
-                Some("warnings") => deny_warnings = true,
-                _ => usage_error(frontends, backends, "`--deny` expects `warnings`"),
+            "--deny" => match it.next() {
+                Some(what) if what == "warnings" => deny_warnings = true,
+                Some(what) => deny.push(what),
+                None => usage_error(
+                    frontends,
+                    backends,
+                    "`--deny` expects `warnings` or a lint name",
+                ),
+            },
+            "--allow" => match it.next() {
+                Some(what) => allow.push(what),
+                None => usage_error(frontends, backends, "`--allow` expects a lint name"),
+            },
+            "--explain" => match it.next() {
+                Some(query) => explain_lint(&query),
+                None => usage_error(frontends, backends, "`--explain` expects a lint code"),
             },
             "--list-lints" => {
                 list_lints();
@@ -402,6 +462,15 @@ fn run_check(frontends: &FrontendRegistry, backends: &BackendRegistry, args: Vec
     let Some(file) = file else {
         usage_error(frontends, backends, "no input file");
     };
+    // Validate lint names before touching the input: a typo in `--allow`
+    // or `--deny` is a usage error listing the valid lints.
+    let registry = LintRegistry::default();
+    for name in allow.iter().chain(deny.iter()) {
+        if let Err(e) = registry.get(name) {
+            eprintln!("futil: {e}");
+            exit(2);
+        }
+    }
     let resolved = resolve_frontend_name(frontends, frontend_name.as_deref(), &file);
     let frontend = match frontends.get(resolved, &fopts) {
         Ok(f) => f,
@@ -412,7 +481,8 @@ fn run_check(frontends: &FrontendRegistry, backends: &BackendRegistry, args: Vec
     };
     let src = read_input(&file);
     let ctx = parse_input(frontend.as_ref(), &file, &src);
-    let sink = LintRegistry::default().check_all(&ctx, &mut AnalysisCache::new());
+    let mut sink = registry.check_all(&ctx, &mut AnalysisCache::new());
+    sink.apply_lint_levels(&allow, &deny);
     match format {
         ReportFormat::Text => {
             // A clean check prints nothing.

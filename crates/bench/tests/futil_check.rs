@@ -67,11 +67,29 @@ fn bad_corpus_reports_the_expected_codes() {
         ("comb_cycle.futil", &["C0102"], 1),
         ("multiple_drivers.futil", &["C0103"], 1),
         ("unreachable_control.futil", &["C0104"], 1),
+        ("uninit_read.futil", &["C0105"], 1),
         ("dead_cell.futil", &["C0201"], 0),
         ("dead_group.futil", &["C0202"], 0),
         ("unused_port.futil", &["C0203"], 0),
         ("width_truncation.futil", &["C0204"], 0),
+        ("dead_write.futil", &["C0205"], 0),
+        ("const_loop.futil", &["C0206"], 0),
     ];
+    // Every registered lint code must have a failing sample in the
+    // corpus (`well-formed` has its own dedicated test below).
+    let covered: std::collections::BTreeSet<&str> = corpus
+        .iter()
+        .flat_map(|(_, codes, _)| codes.iter().copied())
+        .chain(["C0100"])
+        .collect();
+    for l in LintRegistry::default().lints() {
+        assert!(
+            covered.contains(l.code),
+            "lint `{}` ({}) has no failing examples/bad/ sample",
+            l.name,
+            l.code
+        );
+    }
     // The corpus and the table must cover each other.
     let mut listed: Vec<&str> = corpus.iter().map(|(f, _, _)| *f).collect();
     listed.push("well_formed.futil");
@@ -154,6 +172,175 @@ fn par_race_json_report_is_pinned() {
 }
 "#;
     assert_eq!(stdout(&out), expected);
+}
+
+/// The dataflow-backed lints' reports, byte-for-byte: one sample each
+/// for `uninit-read` (must-style reaching-defs), `dead-write`
+/// (liveness), and `const-loop` (constant propagation), in text and
+/// JSON.
+#[test]
+fn dataflow_lint_reports_are_pinned() {
+    let out = futil(&["check", "examples/bad/uninit_read.futil"]);
+    assert_eq!(out.status.code(), Some(1));
+    let expected = "\
+error[C0105] examples/bad/uninit_read.futil:17:7: group `read` reads `r` before any write can reach it
+ 17 |       m.write_data = r.out;
+    |       ^
+  note: `r` powers on with an undefined value; every path reads it unwritten here
+1 error, 0 warnings
+";
+    assert_eq!(stdout(&out), expected);
+
+    let out = futil(&["check", "examples/bad/dead_write.futil"]);
+    assert_eq!(out.status.code(), Some(0));
+    let expected = "\
+warning[C0205] examples/bad/dead_write.futil:13:7: group `first` writes `r` but nothing ever reads that value
+ 13 |       r.in = add.out;
+    |       ^
+  note: on every path from here `r` is overwritten or the schedule ends without reading it
+0 errors, 1 warning
+";
+    assert_eq!(stdout(&out), expected);
+
+    let out = futil(&["check", "examples/bad/const_loop.futil"]);
+    assert_eq!(out.status.code(), Some(0));
+    let expected = "\
+warning[C0206] examples/bad/const_loop.futil:16:11: `while lt.out` never terminates: the condition is always 1 given the registers reaching the loop
+ 16 |     group cond {
+    |           ^
+  note: every register feeding `lt.out` holds the same constant on all paths to the loop, including around the back edge
+0 errors, 1 warning
+";
+    assert_eq!(stdout(&out), expected);
+}
+
+/// The JSON form of the same three reports, also a pinned interface.
+#[test]
+fn dataflow_lint_json_reports_are_pinned() {
+    let out = futil(&[
+        "check",
+        "examples/bad/uninit_read.futil",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let expected = r#"{
+  "file": "examples/bad/uninit_read.futil",
+  "errors": 1,
+  "warnings": 0,
+  "diagnostics": [
+    {"code": "C0105", "lint": "uninit-read", "severity": "error", "line": 17, "col": 7, "message": "group `read` reads `r` before any write can reach it", "notes": ["`r` powers on with an undefined value; every path reads it unwritten here"]}
+  ]
+}
+"#;
+    assert_eq!(stdout(&out), expected);
+
+    let out = futil(&["check", "examples/bad/dead_write.futil", "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let expected = r#"{
+  "file": "examples/bad/dead_write.futil",
+  "errors": 0,
+  "warnings": 1,
+  "diagnostics": [
+    {"code": "C0205", "lint": "dead-write", "severity": "warning", "line": 13, "col": 7, "message": "group `first` writes `r` but nothing ever reads that value", "notes": ["on every path from here `r` is overwritten or the schedule ends without reading it"]}
+  ]
+}
+"#;
+    assert_eq!(stdout(&out), expected);
+
+    let out = futil(&["check", "examples/bad/const_loop.futil", "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let expected = r#"{
+  "file": "examples/bad/const_loop.futil",
+  "errors": 0,
+  "warnings": 1,
+  "diagnostics": [
+    {"code": "C0206", "lint": "const-loop", "severity": "warning", "line": 16, "col": 11, "message": "`while lt.out` never terminates: the condition is always 1 given the registers reaching the loop", "notes": ["every register feeding `lt.out` holds the same constant on all paths to the loop, including around the back edge"]}
+  ]
+}
+"#;
+    assert_eq!(stdout(&out), expected);
+}
+
+/// `--explain` prints a lint's long-form documentation by code or name
+/// and exits 0; an unknown query is a usage error listing every code.
+#[test]
+fn explain_prints_lint_documentation() {
+    for query in ["C0105", "uninit-read"] {
+        let out = futil(&["check", "--explain", query]);
+        assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.starts_with("C0105: uninit-read (error)"), "{text}");
+        assert!(text.contains("reaching-definitions dataflow"), "{text}");
+    }
+
+    // Every registered lint has a working --explain entry.
+    for l in LintRegistry::default().lints() {
+        let out = futil(&["check", "--explain", l.code]);
+        assert_eq!(out.status.code(), Some(0), "--explain {}", l.code);
+        assert!(stdout(&out).contains(l.description), "--explain {}", l.code);
+    }
+
+    let out = futil(&["check", "--explain", "C9999"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("no lint with code or name `C9999`"), "{err}");
+    for l in LintRegistry::default().lints() {
+        assert!(err.contains(l.code), "missing {} in:\n{err}", l.code);
+    }
+}
+
+/// The per-lint level flags: `--deny <lint>` promotes one lint to an
+/// error, `--allow <lint>` drops its findings, and `--allow` wins over
+/// both `--deny <lint>` and the blanket `--deny warnings`.
+#[test]
+fn allow_and_deny_control_exit_codes_per_lint() {
+    let sample = "examples/bad/dead_write.futil";
+    // Warning-severity finding: exit 0 by default.
+    assert_eq!(futil(&["check", sample]).status.code(), Some(0));
+    // Denying the one lint promotes it to exit 1.
+    let denied = futil(&["check", sample, "--deny", "dead-write"]);
+    assert_eq!(denied.status.code(), Some(1));
+    assert!(
+        stdout(&denied).contains("error[C0205]"),
+        "{}",
+        stdout(&denied)
+    );
+    // Allowing it drops the finding even under blanket --deny warnings.
+    let allowed = futil(&[
+        "check",
+        sample,
+        "--allow",
+        "dead-write",
+        "--deny",
+        "warnings",
+    ]);
+    assert_eq!(allowed.status.code(), Some(0));
+    assert!(allowed.stdout.is_empty(), "{}", stdout(&allowed));
+    // Allow wins over a per-lint deny of the same lint.
+    let both = futil(&[
+        "check",
+        sample,
+        "--allow",
+        "dead-write",
+        "--deny",
+        "dead-write",
+    ]);
+    assert_eq!(both.status.code(), Some(0));
+    // Allowing an *error* lint suppresses the failure entirely.
+    let out = futil(&[
+        "check",
+        "examples/bad/uninit_read.futil",
+        "--allow",
+        "uninit-read",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    // A typo in either flag is a usage error listing the valid lints.
+    for flag in ["--allow", "--deny"] {
+        let out = futil(&["check", sample, flag, "no-such-lint"]);
+        assert_eq!(out.status.code(), Some(2));
+        assert!(stderr(&out).contains("valid lints"), "{}", stderr(&out));
+    }
 }
 
 /// A clean program prints nothing in text mode (and a zero-count JSON
@@ -252,13 +439,10 @@ fn check_usage_errors_exit_2() {
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("no input file"), "{}", stderr(&out));
 
+    // `errors` is neither `warnings` nor a lint name.
     let out = futil(&["check", "examples/counter.futil", "--deny", "errors"]);
     assert_eq!(out.status.code(), Some(2));
-    assert!(
-        stderr(&out).contains("`--deny` expects"),
-        "{}",
-        stderr(&out)
-    );
+    assert!(stderr(&out).contains("valid lints"), "{}", stderr(&out));
 
     let out = futil(&["check", "examples/counter.futil", "--format", "xml"]);
     assert_eq!(out.status.code(), Some(2));

@@ -1,0 +1,26 @@
+//! The dataflow engine: fixpoint abstract interpretation over the pCFG.
+//!
+//! [`solver`] provides the generic machinery — a [`Lattice`] of facts, a
+//! per-direction [`Transfer`] function, and a worklist [`solve`] that
+//! treats `par` p-nodes correctly (every child executes, so a p-node's
+//! effect combines *all* children, each recursively solved as its own
+//! sub-pCFG). The concrete analyses on top:
+//!
+//! - [`solve_liveness`] — backward liveness as an engine instance,
+//!   differentially tested byte-for-byte against the hand-rolled solver
+//!   in [`liveness`](crate::analysis::liveness);
+//! - [`ReachingDefs`] — forward def-site tracking with synthetic entry
+//!   defs, powering the `uninit-read` lint;
+//! - [`ConstProp`] — forward constant propagation over register values
+//!   through a flat lattice, powering the `const-loop` lint and the
+//!   wire-chain-aware `unreachable-control` upgrade.
+
+pub mod const_prop;
+pub mod live;
+pub mod reaching;
+pub mod solver;
+
+pub use const_prop::{eval_port, CondFacts, ConstFacts, ConstProp, Scope};
+pub use live::{solve_liveness, LiveTransfer};
+pub use reaching::{DefSite, ReachFacts, ReachingDefs};
+pub use solver::{solve, ConstVal, Direction, Lattice, Solution, Transfer};

@@ -1,0 +1,347 @@
+//! The generic worklist fixpoint engine over [`Pcfg`]s.
+//!
+//! A dataflow analysis is a [`Lattice`] of facts plus a [`Transfer`]
+//! function describing how each node transforms a fact in its
+//! [`Direction`]. [`solve`] then computes the least fixpoint of the flow
+//! equations with a classic worklist: recompute a node's fact from its
+//! neighbors, and re-queue the neighbors on the other side whenever the
+//! result changed. P-nodes are where the pCFG earns its name — all
+//! children of a `par` execute, so [`Transfer::par`] recursively solves
+//! each child sub-pCFG and combines the far-side facts (see the paper's
+//! §5.2 treatment of liveness, generalized here to any lattice).
+
+use crate::analysis::pcfg::{Pcfg, PcfgNode};
+use crate::ir::Id;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A join-semilattice of dataflow facts.
+///
+/// Facts only ever grow (in the `leq` order) during solving, so `join`
+/// combined with monotone transfer functions guarantees termination on
+/// finite lattices.
+pub trait Lattice: Clone + PartialEq {
+    /// The least element: "nothing known yet" / unreached.
+    fn bottom() -> Self;
+    /// Join `other` into `self`; returns `true` when `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+    /// The partial order: is `self ⊑ other`?
+    fn leq(&self, other: &Self) -> bool;
+}
+
+/// Any ordered set is a union lattice (used by liveness and reaching
+/// definitions).
+impl<T: Clone + Ord> Lattice for BTreeSet<T> {
+    fn bottom() -> Self {
+        BTreeSet::new()
+    }
+
+    fn join(&mut self, other: &Self) -> bool {
+        let before = self.len();
+        self.extend(other.iter().cloned());
+        self.len() != before
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.is_subset(other)
+    }
+}
+
+/// Which way facts flow through the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow entry → exit; a node's input joins its predecessors'
+    /// outputs.
+    Forward,
+    /// Facts flow exit → entry; a node's output joins its successors'
+    /// inputs.
+    Backward,
+}
+
+/// The transfer function of one analysis: how each pCFG node transforms
+/// a fact. Implementations must be *monotone* in the [`Lattice`] order —
+/// the solver debug-asserts this while iterating.
+pub trait Transfer: Sized {
+    /// The fact lattice.
+    type Fact: Lattice;
+    /// The flow direction.
+    const DIRECTION: Direction;
+
+    /// Apply a group node's effect to `fact` (the node-entry fact for
+    /// forward analyses, the node-exit fact for backward ones).
+    fn group(&self, group: Id, fact: &Self::Fact) -> Self::Fact;
+
+    /// Apply a p-node's effect. All children of a `par` execute, so the
+    /// default recursively [`solve`]s every child sub-pCFG with `fact` at
+    /// its boundary and joins the far-side facts. Analyses that can be
+    /// more precise (liveness kills, single-writer constants) override
+    /// this.
+    fn par(&self, children: &[Pcfg], fact: &Self::Fact) -> Self::Fact {
+        let mut out = Self::Fact::bottom();
+        for child in children {
+            let solved = solve(child, self, fact.clone());
+            let far = match Self::DIRECTION {
+                Direction::Forward => &solved.output[child.exit],
+                Direction::Backward => &solved.input[child.entry],
+            };
+            out.join(far);
+        }
+        out
+    }
+}
+
+/// Per-node facts of a solved analysis. `input[n]` is the fact at node
+/// `n`'s entry (program order) and `output[n]` the fact at its exit —
+/// for backward analyses these are the live-in/live-out convention.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Fact at each node's entry.
+    pub input: Vec<F>,
+    /// Fact at each node's exit.
+    pub output: Vec<F>,
+}
+
+/// Solve `transfer` over `pcfg` to the least fixpoint, with `boundary`
+/// as the fact at the flow source (the entry node's input for forward
+/// analyses, the exit node's output for backward ones).
+pub fn solve<T: Transfer>(pcfg: &Pcfg, transfer: &T, boundary: T::Fact) -> Solution<T::Fact> {
+    let n = pcfg.len();
+    let mut input = vec![T::Fact::bottom(); n];
+    let mut output = vec![T::Fact::bottom(); n];
+    // Seed every node once, in rough flow order so the common (acyclic)
+    // case converges in one sweep; loops re-queue through the edges.
+    let mut work: VecDeque<usize> = match T::DIRECTION {
+        Direction::Forward => (0..n).collect(),
+        Direction::Backward => (0..n).rev().collect(),
+    };
+    let mut queued = vec![true; n];
+    while let Some(node) = work.pop_front() {
+        queued[node] = false;
+        match T::DIRECTION {
+            Direction::Forward => {
+                let mut inn = if node == pcfg.entry {
+                    boundary.clone()
+                } else {
+                    T::Fact::bottom()
+                };
+                for &p in &pcfg.preds[node] {
+                    inn.join(&output[p]);
+                }
+                let out = apply(transfer, &pcfg.nodes[node], &inn);
+                debug_assert!(output[node].leq(&out), "non-monotone forward transfer");
+                input[node] = inn;
+                if out != output[node] {
+                    output[node] = out;
+                    for &s in &pcfg.succs[node] {
+                        if !queued[s] {
+                            queued[s] = true;
+                            work.push_back(s);
+                        }
+                    }
+                }
+            }
+            Direction::Backward => {
+                let mut out = if node == pcfg.exit {
+                    boundary.clone()
+                } else {
+                    T::Fact::bottom()
+                };
+                for &s in &pcfg.succs[node] {
+                    out.join(&input[s]);
+                }
+                let inn = apply(transfer, &pcfg.nodes[node], &out);
+                debug_assert!(input[node].leq(&inn), "non-monotone backward transfer");
+                output[node] = out;
+                if inn != input[node] {
+                    input[node] = inn;
+                    for &p in &pcfg.preds[node] {
+                        if !queued[p] {
+                            queued[p] = true;
+                            work.push_back(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Solution { input, output }
+}
+
+fn apply<T: Transfer>(transfer: &T, node: &PcfgNode, fact: &T::Fact) -> T::Fact {
+    match node {
+        PcfgNode::Nop => fact.clone(),
+        PcfgNode::Group(g) => transfer.group(*g, fact),
+        PcfgNode::Par(children) => transfer.par(children, fact),
+    }
+}
+
+/// A flat (three-level) constant lattice value: a register either holds
+/// one known constant or is "not a constant" ([`ConstVal::Nac`]); the
+/// implicit bottom is absence from the fact map (unreached / untracked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstVal {
+    /// Provably this constant on every path.
+    Const(u64),
+    /// Not a constant (conflicting or unknowable values).
+    Nac,
+}
+
+impl ConstVal {
+    /// The lattice join of two flat values.
+    pub fn join(self, other: ConstVal) -> ConstVal {
+        match (self, other) {
+            (ConstVal::Const(a), ConstVal::Const(b)) if a == b => self,
+            _ => ConstVal::Nac,
+        }
+    }
+
+    /// The known constant, if any.
+    pub fn as_const(self) -> Option<u64> {
+        match self {
+            ConstVal::Const(v) => Some(v),
+            ConstVal::Nac => None,
+        }
+    }
+}
+
+/// Maps from cells to flat constants form a lattice: pointwise join, with
+/// missing keys as bottom.
+impl Lattice for BTreeMap<Id, ConstVal> {
+    fn bottom() -> Self {
+        BTreeMap::new()
+    }
+
+    fn join(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (&k, &v) in other {
+            match self.get_mut(&k) {
+                None => {
+                    self.insert(k, v);
+                    changed = true;
+                }
+                Some(cur) => {
+                    let joined = cur.join(v);
+                    if joined != *cur {
+                        *cur = joined;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.iter().all(|(k, v)| match (v, other.get(k)) {
+            (_, Some(ConstVal::Nac)) => true,
+            (a, Some(b)) => a == b,
+            (_, None) => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Control;
+
+    /// A toy forward analysis: collect every group name seen on some path.
+    struct SeenGroups;
+
+    impl Transfer for SeenGroups {
+        type Fact = BTreeSet<Id>;
+        const DIRECTION: Direction = Direction::Forward;
+
+        fn group(&self, group: Id, fact: &Self::Fact) -> Self::Fact {
+            let mut f = fact.clone();
+            f.insert(group);
+            f
+        }
+    }
+
+    #[test]
+    fn forward_solve_reaches_fixpoint_through_loops() {
+        // while c { body }; tail — the back edge must not diverge, and
+        // `body` must be seen at the exit.
+        let c = Control::seq(vec![
+            Control::while_(
+                crate::ir::PortRef::cell("w", "out"),
+                Some(Id::new("c")),
+                Control::enable("body"),
+            ),
+            Control::enable("tail"),
+        ]);
+        let pcfg = Pcfg::from_control(&c);
+        let sol = solve(&pcfg, &SeenGroups, BTreeSet::new());
+        let exit_fact = &sol.output[pcfg.exit];
+        for g in ["c", "body", "tail"] {
+            assert!(
+                exit_fact.contains(&Id::new(g)),
+                "missing {g}: {exit_fact:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_par_transfer_joins_all_children() {
+        let c = Control::par(vec![Control::enable("a"), Control::enable("b")]);
+        let pcfg = Pcfg::from_control(&c);
+        let sol = solve(&pcfg, &SeenGroups, BTreeSet::new());
+        let exit_fact = &sol.output[pcfg.exit];
+        assert!(exit_fact.contains(&Id::new("a")));
+        assert!(exit_fact.contains(&Id::new("b")));
+    }
+
+    #[test]
+    fn backward_direction_flows_exit_to_entry() {
+        /// Backward twin of `SeenGroups`.
+        struct SeenBackward;
+        impl Transfer for SeenBackward {
+            type Fact = BTreeSet<Id>;
+            const DIRECTION: Direction = Direction::Backward;
+            fn group(&self, group: Id, fact: &Self::Fact) -> Self::Fact {
+                let mut f = fact.clone();
+                f.insert(group);
+                f
+            }
+        }
+        let c = Control::seq(vec![Control::enable("a"), Control::enable("b")]);
+        let pcfg = Pcfg::from_control(&c);
+        let sol = solve(&pcfg, &SeenBackward, BTreeSet::new());
+        let entry_fact = &sol.input[pcfg.entry];
+        assert!(entry_fact.contains(&Id::new("a")));
+        assert!(entry_fact.contains(&Id::new("b")));
+    }
+
+    #[test]
+    fn set_lattice_laws() {
+        let a: BTreeSet<Id> = [Id::new("x")].into_iter().collect();
+        let mut b = BTreeSet::bottom();
+        assert!(b.leq(&a));
+        assert!(b.join(&a), "joining new elements reports a change");
+        assert!(!b.join(&a), "re-joining is idempotent");
+        assert!(a.leq(&b) && b.leq(&a));
+    }
+
+    #[test]
+    fn const_lattice_joins_flat() {
+        assert_eq!(
+            ConstVal::Const(3).join(ConstVal::Const(3)),
+            ConstVal::Const(3)
+        );
+        assert_eq!(ConstVal::Const(3).join(ConstVal::Const(4)), ConstVal::Nac);
+        assert_eq!(ConstVal::Nac.join(ConstVal::Const(3)), ConstVal::Nac);
+
+        let mut m: BTreeMap<Id, ConstVal> = BTreeMap::bottom();
+        let mut n = BTreeMap::bottom();
+        n.insert(Id::new("r"), ConstVal::Const(1));
+        assert!(m.leq(&n));
+        assert!(m.join(&n));
+        assert!(m.leq(&n) && n.leq(&m));
+        let mut conflicting = BTreeMap::new();
+        conflicting.insert(Id::new("r"), ConstVal::Const(2));
+        assert!(m.join(&conflicting));
+        assert_eq!(m[&Id::new("r")], ConstVal::Nac);
+        assert!(n.leq(&m), "constants are below Nac");
+        assert!(!m.leq(&n));
+    }
+}

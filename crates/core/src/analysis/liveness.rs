@@ -117,12 +117,18 @@ impl Analysis for Liveness {
         let pcfg = cache.get::<Pcfg>(comp);
         let rw = cache.get::<ReadWriteSets>(comp);
         let boundary = cache.get::<BoundaryRegs>(comp);
-        Liveness::solve(&pcfg, &rw, boundary.registers())
+        // Cached queries go through the generic dataflow engine; the
+        // hand-rolled `Liveness::solve` below stays as the differential
+        // oracle (both compute the same least fixpoint).
+        super::dataflow::solve_liveness(&pcfg, &rw, boundary.registers())
     }
 }
 
 impl Liveness {
-    /// Solve liveness over `pcfg` with `boundary` live at the graph's exit.
+    /// Solve liveness over `pcfg` with `boundary` live at the graph's
+    /// exit — the hand-rolled round-robin solver, kept as the oracle the
+    /// engine-backed [`solve_liveness`](super::dataflow::solve_liveness)
+    /// is differentially tested against.
     pub fn solve(pcfg: &Pcfg, rw: &ReadWriteSets, boundary: &BTreeSet<Id>) -> Self {
         let n = pcfg.len();
         let mut live_in = vec![BTreeSet::new(); n];
@@ -194,8 +200,9 @@ fn node_use_def(
 /// path from entry to exit must-writes it. For simplicity and safety this
 /// implementation only counts *straight-line* children (no branch nodes);
 /// otherwise it reports no kills, which is conservative (registers stay
-/// live longer).
-fn par_defs(child: &Pcfg, rw: &ReadWriteSets) -> BTreeSet<Id> {
+/// live longer). Shared with the engine-backed liveness in
+/// [`dataflow`](crate::analysis::dataflow) so the two can never drift.
+pub(crate) fn par_defs(child: &Pcfg, rw: &ReadWriteSets) -> BTreeSet<Id> {
     // Straight-line check: every node has at most one successor.
     let straight = child.succs.iter().all(|s| s.len() <= 1);
     if !straight {

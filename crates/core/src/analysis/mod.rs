@@ -50,11 +50,18 @@
 //! | [`PortUses`] | port → reading/writing assignment sites, cell usage digests | — |
 //! | [`BoundaryCells`] | cells observable outside the schedule (continuous/condition uses) | `PortUses` |
 //! | [`BoundaryRegs`] | registers observable outside the schedule (live at exit) | `BoundaryCells` |
-//! | [`Liveness`] | backward live-range dataflow over the pCFG | `Pcfg`, `ReadWriteSets`, `BoundaryRegs` |
+//! | [`Liveness`] | backward live-range dataflow over the pCFG (engine-backed) | `Pcfg`, `ReadWriteSets`, `BoundaryRegs` |
 //! | [`Interference`] | register interference relation for sharing | `Pcfg`, `ReadWriteSets`, `Liveness` |
+//! | [`ReachingDefs`] | forward def-site dataflow with power-on entry defs | `Pcfg`, `ReadWriteSets` |
+//! | [`ConstProp`] | forward register constant propagation (flat lattice) | `Pcfg`, `ReadWriteSets` |
+//!
+//! The dataflow analyses are all instances of one generic worklist
+//! fixpoint engine over the pCFG — see [`dataflow`] for the `Lattice` /
+//! `Transfer` machinery and its p-node treatment.
 
 pub mod cache;
 pub mod conflict;
+pub mod dataflow;
 pub mod liveness;
 pub mod pcfg;
 pub mod port_uses;
@@ -62,7 +69,8 @@ pub mod read_write;
 
 pub use cache::{Analysis, AnalysisCache, CacheStats};
 pub use conflict::ParConflicts;
+pub use dataflow::{ConstProp, ReachingDefs};
 pub use liveness::{BoundaryCells, BoundaryRegs, Interference, Liveness};
-pub use pcfg::{Pcfg, PcfgNode};
+pub use pcfg::{CondKind, CondSite, Pcfg, PcfgNode};
 pub use port_uses::{AssignmentSite, PortUses, SiteOwner};
 pub use read_write::ReadWriteSets;

@@ -6,7 +6,7 @@
 //! A p-node therefore recursively contains one sub-pCFG per child.
 
 use super::cache::{Analysis, AnalysisCache};
-use crate::ir::{Component, Control, Id};
+use crate::ir::{Component, Control, Id, PortRef};
 
 /// A node in the parallel CFG.
 #[derive(Debug, Clone)]
@@ -17,6 +17,42 @@ pub enum PcfgNode {
     Group(Id),
     /// A `par` block: all children execute; each child is its own pCFG.
     Par(Vec<Pcfg>),
+}
+
+/// Which control construct a [`CondSite`] came from, with enough shape
+/// information (arm/body emptiness) for lints to phrase their findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CondKind {
+    /// An `if`, recording whether each arm is non-empty.
+    If {
+        /// The then-arm is non-empty.
+        has_then: bool,
+        /// The else-arm is non-empty.
+        has_else: bool,
+    },
+    /// A `while`, recording whether the body is non-empty.
+    While {
+        /// The loop body is non-empty.
+        has_body: bool,
+    },
+}
+
+/// A conditional control site (`if`/`while`) recorded while building the
+/// pCFG: the head node where the condition is evaluated, the condition
+/// port, and the optional `with` group. Dataflow clients (constant
+/// propagation, the `const-loop` lint) use this to ask "what fact holds
+/// where this condition is read?" without re-walking the control tree.
+#[derive(Debug, Clone)]
+pub struct CondSite {
+    /// Head node index in *this* pCFG (sites inside `par` children live
+    /// in the child's own [`Pcfg::conds`]).
+    pub node: usize,
+    /// The condition port.
+    pub port: PortRef,
+    /// The `with` condition group, when present.
+    pub cond: Option<Id>,
+    /// The construct and its arm/body shape.
+    pub kind: CondKind,
 }
 
 /// A parallel control-flow graph with unique entry and exit markers.
@@ -32,6 +68,9 @@ pub struct Pcfg {
     pub entry: usize,
     /// Exit node (a [`PcfgNode::Nop`]).
     pub exit: usize,
+    /// `if`/`while` condition sites in this graph (not its p-node
+    /// children — each child sub-pCFG records its own).
+    pub conds: Vec<CondSite>,
 }
 
 impl Analysis for Pcfg {
@@ -59,6 +98,7 @@ impl Pcfg {
             preds: g.preds,
             entry,
             exit,
+            conds: g.conds,
         }
     }
 
@@ -78,6 +118,7 @@ struct Builder {
     nodes: Vec<PcfgNode>,
     succs: Vec<Vec<usize>>,
     preds: Vec<Vec<usize>>,
+    conds: Vec<CondSite>,
 }
 
 impl Builder {
@@ -124,6 +165,7 @@ impl Builder {
                 (n, n)
             }
             Control::If {
+                port,
                 cond,
                 tbranch,
                 fbranch,
@@ -133,6 +175,15 @@ impl Builder {
                     Some(c) => self.add(PcfgNode::Group(*c)),
                     None => self.add(PcfgNode::Nop),
                 };
+                self.conds.push(CondSite {
+                    node: head,
+                    port: *port,
+                    cond: *cond,
+                    kind: CondKind::If {
+                        has_then: !tbranch.is_empty(),
+                        has_else: !fbranch.is_empty(),
+                    },
+                });
                 self.edge(pred, head);
                 let join = self.add(PcfgNode::Nop);
                 let (_, t_last) = self.build(tbranch, head);
@@ -141,11 +192,21 @@ impl Builder {
                 self.edge(f_last, join);
                 (head, join)
             }
-            Control::While { cond, body, .. } => {
+            Control::While {
+                port, cond, body, ..
+            } => {
                 let head = match cond {
                     Some(c) => self.add(PcfgNode::Group(*c)),
                     None => self.add(PcfgNode::Nop),
                 };
+                self.conds.push(CondSite {
+                    node: head,
+                    port: *port,
+                    cond: *cond,
+                    kind: CondKind::While {
+                        has_body: !body.is_empty(),
+                    },
+                });
                 self.edge(pred, head);
                 let (_, body_last) = self.build(body, head);
                 // Back edge: after the body, the condition re-evaluates.

@@ -25,6 +25,18 @@ impl Lint for CombCycle {
     const CODE: &'static str = "C0102";
     const DESCRIPTION: &'static str = "combinational feedback loops (no register on a cycle)";
     const SEVERITY: Severity = Severity::Error;
+    const EXPLANATION: &'static str = "\
+A combinational cycle is a feedback loop with no register on it: a
+port's value depends, through combinational primitives and assignments
+alone, on itself. In hardware this is an oscillator or a latch, not a
+stable circuit; simulators either refuse it or loop forever.
+
+For example, `a.in = b.out; b.in = a.out;` over two `std_wire`s closes a
+two-node cycle.
+
+Fix it by breaking the loop with a register (`std_reg`) so the value
+crosses a clock edge, or by restructuring the logic so data flows one
+way.";
 
     fn check(&self, ctx: &Context, _cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
         for comp in ctx.components.iter() {

@@ -1,0 +1,224 @@
+//! `const-loop` (C0206): loops whose condition is constant because of the
+//! register values flowing into it.
+//!
+//! Backed by the constant-propagation instance of the dataflow engine.
+//! Where `unreachable-control` (C0104) proves a condition constant from
+//! wiring alone, this lint catches the subtler case: the wiring is
+//! genuinely dynamic — the condition reads registers — but every register
+//! feeding it holds one provable constant at the loop head, on every
+//! path including around the back edge. The classic instance is a loop
+//! whose body never updates the induction register: `i < 10` with `i`
+//! stuck at 0 never terminates.
+
+use super::diagnostic::{Diagnostic, Severity};
+use super::registry::Lint;
+use super::sink::DiagnosticSink;
+use crate::analysis::pcfg::CondKind;
+use crate::analysis::{AnalysisCache, ConstProp};
+use crate::ir::{Component, Context, Id, PortRef};
+
+/// Flags `while` loops whose condition is constant given the register
+/// constants reaching the loop head.
+#[derive(Default)]
+pub struct ConstLoop;
+
+impl Lint for ConstLoop {
+    const NAME: &'static str = "const-loop";
+    const CODE: &'static str = "C0206";
+    const DESCRIPTION: &'static str =
+        "while conditions held constant by the register values reaching the loop";
+    const SEVERITY: Severity = Severity::Warning;
+    const EXPLANATION: &'static str = "\
+A `while` condition that reads registers looks dynamic, but if every
+register feeding it holds one provable constant at the loop head — on
+every path, including back around the loop — the condition can only ever
+evaluate one way. This lint runs a forward constant propagation over the
+parallel control-flow graph (a flat lattice per register: one known
+constant, or not-a-constant) and evaluates each loop condition with the
+facts that reach it.
+
+The classic instance is an induction register the body never updates:
+after `init` sets `i` to 0, `while lt.out with cond { work; }` where
+`cond` computes `i < 10` and `work` never writes `i` spins forever —
+`i` is 0 on iteration one, and still 0 after every back edge.
+
+Fix it by updating the condition's registers inside the loop body (an
+increment group for induction variables), or by replacing the loop with
+straight-line control if it really should run exactly once or not at
+all. Conditions constant from wiring alone, with no register involved,
+are reported by `unreachable-control` (C0104) instead.";
+
+    fn check(&self, ctx: &Context, cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
+        for comp in ctx.components.iter() {
+            let cp = cache.get::<ConstProp>(comp);
+            for site in cp.sites() {
+                let CondKind::While { has_body } = site.kind else {
+                    continue;
+                };
+                // Structurally-constant conditions are C0104's finding;
+                // reporting them here too would double up.
+                if site.structural.is_some() {
+                    continue;
+                }
+                match site.value {
+                    Some(v) if v != 0 => report(
+                        ctx,
+                        comp,
+                        sink,
+                        site.cond,
+                        &site.port,
+                        format!(
+                            "`while {}` never terminates: the condition is always 1 \
+                             given the registers reaching the loop",
+                            site.port
+                        ),
+                    ),
+                    Some(_) if has_body => report(
+                        ctx,
+                        comp,
+                        sink,
+                        site.cond,
+                        &site.port,
+                        format!(
+                            "`while {}` body never runs: the condition is always 0 \
+                             given the registers reaching the loop",
+                            site.port
+                        ),
+                    ),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn report(
+    ctx: &Context,
+    comp: &Component,
+    sink: &mut DiagnosticSink,
+    cond: Option<Id>,
+    port: &PortRef,
+    msg: String,
+) {
+    let loc = cond
+        .and_then(|g| ctx.sources.group(comp.name, g))
+        .or_else(|| {
+            port.cell_parent()
+                .and_then(|c| ctx.sources.cell(comp.name, c))
+        });
+    sink.push(
+        Diagnostic::new(ConstLoop::SEVERITY, ConstLoop::CODE, ConstLoop::NAME, msg)
+            .at(loc)
+            .note(format!(
+                "every register feeding `{port}` holds the same constant on all paths \
+                 to the loop, including around the back edge"
+            )),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_context;
+
+    fn check(src: &str) -> DiagnosticSink {
+        let ctx = parse_context(src).unwrap();
+        let mut sink = DiagnosticSink::new();
+        ConstLoop.check(&ctx, &mut AnalysisCache::new(), &mut sink);
+        sink
+    }
+
+    const SHELL: &str = r#"
+        group cond { lt.left = i.out; lt.right = 8'd10; cond[done] = 1'd1; }
+        group work { t.in = i.out; t.write_en = 1'd1; work[done] = t.done; }
+    "#;
+
+    #[test]
+    fn unchanging_induction_register_never_terminates() {
+        let sink = check(&format!(
+            r#"component main() -> () {{
+                cells {{ i = std_reg(8); lt = std_lt(8); t = std_reg(8); }}
+                wires {{
+                  group init {{ i.in = 8'd0; i.write_en = 1'd1; init[done] = i.done; }}
+                  {SHELL}
+                }}
+                control {{ seq {{ init; while lt.out with cond {{ work; }} }} }}
+            }}"#
+        ));
+        assert_eq!(sink.warnings(), 1, "{:?}", sink.diagnostics());
+        assert!(
+            sink.diagnostics()[0].message.contains("never terminates"),
+            "{}",
+            sink.diagnostics()[0].message
+        );
+    }
+
+    #[test]
+    fn condition_false_at_entry_body_never_runs() {
+        let sink = check(&format!(
+            r#"component main() -> () {{
+                cells {{ i = std_reg(8); lt = std_lt(8); t = std_reg(8); }}
+                wires {{
+                  group init {{ i.in = 8'd20; i.write_en = 1'd1; init[done] = i.done; }}
+                  {SHELL}
+                }}
+                control {{ seq {{ init; while lt.out with cond {{ work; }} }} }}
+            }}"#
+        ));
+        assert_eq!(sink.warnings(), 1, "{:?}", sink.diagnostics());
+        assert!(
+            sink.diagnostics()[0].message.contains("body never runs"),
+            "{}",
+            sink.diagnostics()[0].message
+        );
+    }
+
+    #[test]
+    fn incremented_induction_register_is_clean() {
+        let sink = check(&format!(
+            r#"component main() -> () {{
+                cells {{ i = std_reg(8); lt = std_lt(8); add = std_add(8); t = std_reg(8); }}
+                wires {{
+                  group init {{ i.in = 8'd0; i.write_en = 1'd1; init[done] = i.done; }}
+                  {SHELL}
+                  group incr {{
+                    add.left = i.out; add.right = 8'd1;
+                    i.in = add.out; i.write_en = 1'd1;
+                    incr[done] = i.done;
+                  }}
+                }}
+                control {{ seq {{ init; while lt.out with cond {{ seq {{ work; incr; }} }} }} }}
+            }}"#
+        ));
+        assert!(sink.is_empty(), "{:?}", sink.diagnostics());
+    }
+
+    #[test]
+    fn uninitialized_induction_register_is_clean() {
+        // Power-on values are undefined, not constant — `uninit-read`
+        // territory, no claim about the loop.
+        let sink = check(&format!(
+            r#"component main() -> () {{
+                cells {{ i = std_reg(8); lt = std_lt(8); t = std_reg(8); }}
+                wires {{ {SHELL} }}
+                control {{ while lt.out with cond {{ work; }} }}
+            }}"#
+        ));
+        assert!(sink.is_empty(), "{:?}", sink.diagnostics());
+    }
+
+    #[test]
+    fn structurally_constant_conditions_are_left_to_c0104() {
+        let sink = check(
+            r#"component main() -> () {
+                cells { cnd = std_wire(1); t = std_reg(8); }
+                wires {
+                  cnd.in = 1'd1;
+                  group work { t.in = 8'd1; t.write_en = 1'd1; work[done] = t.done; }
+                }
+                control { while cnd.out { work; } }
+            }"#,
+        );
+        assert!(sink.is_empty(), "{:?}", sink.diagnostics());
+    }
+}

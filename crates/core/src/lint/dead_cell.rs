@@ -20,6 +20,15 @@ impl Lint for DeadCell {
     const CODE: &'static str = "C0201";
     const DESCRIPTION: &'static str = "cells never referenced by any assignment or condition";
     const SEVERITY: Severity = Severity::Warning;
+    const EXPLANATION: &'static str = "\
+A cell no assignment reads or writes and no control condition observes
+is dead weight: it synthesizes to hardware (or is silently deleted by
+the `dead-cell-removal` pass) without affecting the program.
+
+Fix it by deleting the cell declaration, or wiring it up if it was
+meant to be used. Cells marked `@external` are exempt — they exist for
+the outside world (memory-mapped interfaces, testbench probes) even
+when the schedule never touches them.";
 
     fn check(&self, ctx: &Context, cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
         for comp in ctx.components.iter() {

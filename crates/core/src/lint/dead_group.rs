@@ -16,6 +16,17 @@ impl Lint for DeadGroup {
     const CODE: &'static str = "C0202";
     const DESCRIPTION: &'static str = "groups the control program never enables";
     const SEVERITY: Severity = Severity::Warning;
+    const EXPLANATION: &'static str = "\
+A group the control program never enables — not by an `enable`
+statement and not as a `with` condition group — never executes: its
+assignments are dead code.
+
+This usually means a schedule edit removed the last enable, or a group
+was written and never hooked up.
+
+Fix it by enabling the group where it belongs in the control program,
+or deleting it. Groups that *are* enabled but behind a provably
+constant condition are `unreachable-control`'s finding instead.";
 
     fn check(&self, ctx: &Context, _cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
         for comp in ctx.components.iter() {

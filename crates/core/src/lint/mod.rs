@@ -30,13 +30,19 @@
 //! | `C0102` | `comb-cycle` | error | combinational feedback loops (no register on a cycle) |
 //! | `C0103` | `multiple-drivers` | error | ports driven unconditionally from scopes that may be active together |
 //! | `C0104` | `unreachable-control` | error | if/while conditions that are provably constant (dead branches, infinite loops) |
+//! | `C0105` | `uninit-read` | error | register reads that always observe the undefined power-on value |
 //! | `C0201` | `dead-cell` | warning | cells never referenced by any assignment or condition |
 //! | `C0202` | `dead-group` | warning | groups the control program never enables |
 //! | `C0203` | `unused-port` | warning | signature inputs never read, outputs never written |
 //! | `C0204` | `width-truncation` | warning | constants whose value does not fit the declared width |
+//! | `C0205` | `dead-write` | warning | register writes that are overwritten or never read afterwards |
+//! | `C0206` | `const-loop` | warning | while conditions held constant by the register values reaching the loop |
 //!
 //! (This table is checked against the registry by a test; `futil
-//! --list-lints` prints the same names and descriptions.)
+//! --list-lints` prints the same names and descriptions. The dataflow-
+//! backed lints — `uninit-read`, `dead-write`, `const-loop`, and the
+//! constant evaluation behind `unreachable-control` — all ride on the
+//! fixpoint engine in [`analysis::dataflow`](crate::analysis::dataflow).)
 //!
 //! # Example
 //!
@@ -60,26 +66,32 @@
 //! ```
 
 mod comb_cycle;
+mod const_loop;
 mod dead_cell;
 mod dead_group;
+mod dead_write;
 mod diagnostic;
 mod multiple_drivers;
 mod par_race;
 mod registry;
 mod sink;
+mod uninit_read;
 mod unreachable_control;
 mod unused_port;
 mod well_formed;
 mod width_truncation;
 
 pub use comb_cycle::CombCycle;
+pub use const_loop::ConstLoop;
 pub use dead_cell::DeadCell;
 pub use dead_group::DeadGroup;
+pub use dead_write::DeadWrite;
 pub use diagnostic::{Diagnostic, Severity};
 pub use multiple_drivers::MultipleDrivers;
 pub use par_race::ParRace;
 pub use registry::{Lint, LintRegistry, RegisteredLint};
 pub use sink::DiagnosticSink;
+pub use uninit_read::UninitRead;
 pub use unreachable_control::UnreachableControl;
 pub use unused_port::UnusedPort;
 pub use well_formed::WellFormedLint;

@@ -25,6 +25,18 @@ impl Lint for MultipleDrivers {
     const DESCRIPTION: &'static str =
         "ports driven unconditionally from scopes that may be active together";
     const SEVERITY: Severity = Severity::Error;
+    const EXPLANATION: &'static str = "\
+A port driven unconditionally from two scopes that can be active at the
+same time — two groups under one `par`, or a group plus a continuous
+assignment — has two simultaneous drivers in hardware: bus contention
+with an undefined result.
+
+Unlike `well-formed`'s duplicate-driver check (same scope, always a
+conflict), this lint reasons about which scopes may be *concurrently
+active* using the par-conflict analysis.
+
+Fix it by guarding the assignments so at most one fires, merging the
+drivers into one scope, or sequencing the groups.";
 
     fn check(&self, ctx: &Context, cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
         for comp in ctx.components.iter() {

@@ -25,6 +25,19 @@ impl Lint for ParRace {
     const DESCRIPTION: &'static str =
         "registers or memories touched by two groups that may run in parallel";
     const SEVERITY: Severity = Severity::Error;
+    const EXPLANATION: &'static str = "\
+Children of a `par` block execute concurrently with no ordering
+guarantees. When two groups that may run in parallel touch the same
+register or memory — and at least one of them writes it — the result
+depends on scheduling: the value read, or even the final value stored,
+differs between legal executions.
+
+For example, `par { wa; wb; }` where both groups write register `r`
+leaves `r` holding whichever write committed last.
+
+Fix it by sequencing the conflicting groups (`seq`), splitting the
+shared state into per-branch cells, or restricting each branch to
+disjoint memory regions.";
 
     fn check(&self, ctx: &Context, cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
         for comp in ctx.components.iter() {

@@ -4,8 +4,8 @@
 use super::diagnostic::Severity;
 use super::sink::DiagnosticSink;
 use super::{
-    CombCycle, DeadCell, DeadGroup, MultipleDrivers, ParRace, UnreachableControl, UnusedPort,
-    WellFormedLint, WidthTruncation,
+    CombCycle, ConstLoop, DeadCell, DeadGroup, DeadWrite, MultipleDrivers, ParRace, UninitRead,
+    UnreachableControl, UnusedPort, WellFormedLint, WidthTruncation,
 };
 use crate::analysis::AnalysisCache;
 use crate::errors::{CalyxResult, Error};
@@ -29,6 +29,9 @@ pub trait Lint {
     const DESCRIPTION: &'static str;
     /// Severity of every diagnostic this lint produces.
     const SEVERITY: Severity;
+    /// Long-form documentation shown by `futil check --explain <CODE>`:
+    /// what the lint detects, an example, and how to fix it.
+    const EXPLANATION: &'static str;
 
     /// Check `ctx`, pushing findings into `sink`.
     fn check(&self, ctx: &Context, cache: &mut AnalysisCache, sink: &mut DiagnosticSink);
@@ -45,6 +48,8 @@ pub struct RegisteredLint {
     pub description: &'static str,
     /// Severity of the lint's diagnostics.
     pub severity: Severity,
+    /// Long-form documentation (from [`Lint::EXPLANATION`]).
+    pub explanation: &'static str,
     /// Runs the lint over a program.
     pub run: fn(&Context, &mut AnalysisCache, &mut DiagnosticSink),
 }
@@ -69,10 +74,13 @@ impl Default for LintRegistry {
         reg.register::<CombCycle>();
         reg.register::<MultipleDrivers>();
         reg.register::<UnreachableControl>();
+        reg.register::<UninitRead>();
         reg.register::<DeadCell>();
         reg.register::<DeadGroup>();
         reg.register::<UnusedPort>();
         reg.register::<WidthTruncation>();
+        reg.register::<DeadWrite>();
+        reg.register::<ConstLoop>();
         reg
     }
 }
@@ -118,6 +126,7 @@ impl LintRegistry {
             code,
             description: L::DESCRIPTION,
             severity: L::SEVERITY,
+            explanation: L::EXPLANATION,
             run: |ctx, cache, sink| L::default().check(ctx, cache, sink),
         });
     }
@@ -167,9 +176,20 @@ mod tests {
     use std::collections::BTreeSet;
 
     #[test]
-    fn default_registry_has_all_nine_lints() {
+    fn default_registry_has_all_twelve_lints() {
         let reg = LintRegistry::default();
-        assert_eq!(reg.lints().len(), 9);
+        assert_eq!(reg.lints().len(), 12);
+    }
+
+    #[test]
+    fn every_lint_has_a_substantial_explanation() {
+        for lint in LintRegistry::default().lints() {
+            assert!(
+                lint.explanation.len() > 100,
+                "`{}` needs a real --explain body, not a stub",
+                lint.name
+            );
+        }
     }
 
     #[test]

@@ -55,6 +55,21 @@ impl DiagnosticSink {
         self.diags.iter().filter(|d| d.severity == s).count()
     }
 
+    /// Apply rustc-style per-lint level overrides: findings from lints in
+    /// `allow` are dropped entirely; findings from lints in `deny` are
+    /// promoted to [`Severity::Error`]. Both match the lint *name* (the
+    /// `--list-lints` name), and `allow` wins when a lint appears in
+    /// both — silencing is the more explicit request.
+    pub fn apply_lint_levels(&mut self, allow: &[String], deny: &[String]) {
+        self.diags
+            .retain(|d| !allow.iter().any(|name| name == d.lint));
+        for d in &mut self.diags {
+            if deny.iter().any(|name| name == d.lint) {
+                d.severity = Severity::Error;
+            }
+        }
+    }
+
     /// Stable-sort findings by source position (line, then column);
     /// position-free findings sort last, keeping their push order.
     pub fn sort_by_location(&mut self) {
@@ -189,6 +204,40 @@ mod tests {
         sink.sort_by_location();
         let codes: Vec<&str> = sink.diagnostics().iter().map(|d| d.code).collect();
         assert_eq!(codes, vec!["C0101", "C0102", "C0204"]);
+    }
+
+    #[test]
+    fn lint_levels_allow_drops_and_deny_promotes() {
+        let mut sink = DiagnosticSink::new();
+        sink.push(Diagnostic::new(
+            Severity::Warning,
+            "C0201",
+            "dead-cell",
+            "m1",
+        ));
+        sink.push(Diagnostic::new(
+            Severity::Warning,
+            "C0205",
+            "dead-write",
+            "m2",
+        ));
+        sink.push(Diagnostic::new(Severity::Error, "C0101", "par-race", "m3"));
+        sink.apply_lint_levels(&["dead-cell".into()], &["dead-write".into()]);
+        assert_eq!(sink.len(), 2, "{:?}", sink.diagnostics());
+        assert_eq!((sink.errors(), sink.warnings()), (2, 0));
+    }
+
+    #[test]
+    fn allow_wins_over_deny_for_the_same_lint() {
+        let mut sink = DiagnosticSink::new();
+        sink.push(Diagnostic::new(
+            Severity::Warning,
+            "C0205",
+            "dead-write",
+            "m",
+        ));
+        sink.apply_lint_levels(&["dead-write".into()], &["dead-write".into()]);
+        assert!(sink.is_empty());
     }
 
     #[test]

@@ -2,15 +2,20 @@
 //! provably constant.
 //!
 //! Conditions in Calyx are ports, usually a `std_wire` the condition group
-//! drives. When every driver of that wire is an unconditional constant the
-//! branch decision is fixed at compile time: one `if` arm can never run,
-//! and a `while` either never enters its body or never leaves it.
+//! drives. When the port evaluates to a constant from wiring alone —
+//! through `std_wire` chains and combinational primitives with constant,
+//! unconditional inputs (the structural mode of the dataflow constant
+//! evaluator) — the branch decision is fixed at compile time: one `if`
+//! arm can never run, and a `while` either never enters its body or never
+//! leaves it. Conditions that are constant only because of the *register
+//! values* flowing into them are the `const-loop` lint's territory.
 
 use super::diagnostic::{Diagnostic, Severity};
 use super::registry::Lint;
 use super::sink::DiagnosticSink;
+use crate::analysis::dataflow::{eval_port, Scope};
 use crate::analysis::AnalysisCache;
-use crate::ir::{Atom, Component, Context, Control, Id, PortRef};
+use crate::ir::{Component, Context, Control, Id, PortRef};
 
 /// Flags `if`/`while` statements with provably constant conditions.
 #[derive(Default)]
@@ -22,6 +27,23 @@ impl Lint for UnreachableControl {
     const DESCRIPTION: &'static str =
         "if/while conditions that are provably constant (dead branches, infinite loops)";
     const SEVERITY: Severity = Severity::Error;
+    const EXPLANATION: &'static str = "\
+An `if` or `while` condition that evaluates to a constant from wiring
+alone makes the branch decision at compile time: one `if` arm can never
+execute, and a `while` either never enters its body (condition 0) or
+never terminates (condition 1).
+
+The condition port is evaluated structurally by the dataflow constant
+evaluator: through `std_wire` chains and combinational primitives whose
+inputs are unconditional constants, without assuming anything about
+register values. `while cnd.out { step; }` with `cnd.in = 1'd0` is the
+simplest instance; `cnd.in = n.out` where `n` inverts a constant
+comparison is caught the same way.
+
+Fix it by driving the condition from the comparison it was meant to
+read, or by deleting the branch/loop if the constant is intentional.
+Conditions held constant by *register* values are reported by
+`const-loop` (C0206) instead.";
 
     fn check(&self, ctx: &Context, _cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
         for comp in ctx.components.iter() {
@@ -30,31 +52,11 @@ impl Lint for UnreachableControl {
     }
 }
 
-/// The provable constant value of `port`, if it is a `std_wire` output
-/// whose every `in` driver (anywhere in the component) is the same
-/// unconditional constant.
+/// The provable constant value of `port` from wiring alone: the dataflow
+/// evaluator in structural mode, which follows `std_wire` chains and
+/// combinational primitives but never assumes a register value.
 fn const_value(comp: &Component, port: &PortRef) -> Option<u64> {
-    let cell = comp.cells.get(port.cell_parent()?)?;
-    if !cell.is_primitive("std_wire") || port.port.as_str() != "out" {
-        return None;
-    }
-    let in_port = PortRef::cell(cell.name, "in");
-    let mut value = None;
-    for asgn in comp.all_assignments() {
-        if asgn.dst != in_port {
-            continue;
-        }
-        match (asgn.guard.is_true(), asgn.src) {
-            (true, Atom::Const { val, .. }) => match value {
-                None => value = Some(val),
-                Some(v) if v == val => {}
-                Some(_) => return None,
-            },
-            // A guarded or non-constant driver makes the value unknowable.
-            _ => return None,
-        }
-    }
-    value
+    eval_port(comp, Scope::All, None, *port)
 }
 
 fn report(
@@ -80,7 +82,7 @@ fn report(
         )
         .at(loc)
         .note(format!(
-            "every driver of `{port}` is the same unconditional constant"
+            "`{port}` evaluates to a constant from wiring alone, before any group runs"
         )),
     );
 }
@@ -223,6 +225,34 @@ mod tests {
             sink.diagnostics()[0]
                 .message
                 .contains("never takes the else branch"),
+            "{}",
+            sink.diagnostics()[0].message
+        );
+    }
+
+    #[test]
+    fn sees_through_wire_chains_and_comb_logic() {
+        // cnd.out = not(eq(w.out, 0)) with w.in = 1'd0 — constant 0
+        // through a two-hop chain and two combinational primitives.
+        let sink = check(&format!(
+            r#"component main() -> () {{
+                cells {{
+                  w = std_wire(1); eq = std_eq(1); n = std_not(1);
+                  cnd = std_wire(1); r = std_reg(8);
+                }}
+                wires {{
+                  w.in = 1'd0;
+                  eq.left = w.out; eq.right = 1'd0;
+                  n.in = eq.out;
+                  cnd.in = n.out;
+                  {BODY}
+                }}
+                control {{ while cnd.out {{ step; }} }}
+            }}"#
+        ));
+        assert_eq!(sink.errors(), 1, "{:?}", sink.diagnostics());
+        assert!(
+            sink.diagnostics()[0].message.contains("unreachable"),
             "{}",
             sink.diagnostics()[0].message
         );

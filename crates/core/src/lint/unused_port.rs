@@ -17,6 +17,17 @@ impl Lint for UnusedPort {
     const CODE: &'static str = "C0203";
     const DESCRIPTION: &'static str = "signature inputs never read, outputs never written";
     const SEVERITY: Severity = Severity::Warning;
+    const EXPLANATION: &'static str = "\
+A component signature port nothing touches is a stale interface: an
+input no assignment or condition ever reads, or an output no assignment
+ever drives (an undriven output reads as constant 0 downstream).
+
+This usually means the implementation changed and the signature did
+not.
+
+Fix it by removing the port from the signature (and from every
+instantiation site), or by wiring it to the logic that was supposed to
+use it.";
 
     fn check(&self, ctx: &Context, cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
         for comp in ctx.components.iter() {

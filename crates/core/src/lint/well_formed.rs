@@ -23,6 +23,19 @@ impl Lint for WellFormedLint {
     const DESCRIPTION: &'static str =
         "structural violations: bad widths, duplicate drivers, undefined names, ghost groups";
     const SEVERITY: Severity = Severity::Error;
+    const EXPLANATION: &'static str = "\
+The structural ground rules every Calyx program must satisfy before any
+other lint is meaningful: port widths on both sides of an assignment
+must match, a port may not be driven twice unconditionally in one scope,
+every referenced cell/group/port must exist, and every group enabled by
+the control program must be defined.
+
+These are the same checks compilation enforces, surfaced as diagnostics
+with source positions instead of a fatal error, so `futil check` can
+report all of them at once.
+
+Fix each finding at the reported position; subsequent lints assume a
+well-formed program and may report noise until these are resolved.";
 
     fn check(&self, ctx: &Context, _cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
         let mut errors = Vec::new();

@@ -21,6 +21,16 @@ impl Lint for WidthTruncation {
     const CODE: &'static str = "C0204";
     const DESCRIPTION: &'static str = "constants whose value does not fit the declared width";
     const SEVERITY: Severity = Severity::Warning;
+    const EXPLANATION: &'static str = "\
+A constant literal whose value does not fit its declared width is
+silently truncated to the low bits: `4'd16` is stored as 0, `2'd5` as
+1. The program then computes with a number different from the one in
+the source.
+
+Fix it by widening the literal's declared width (and the port it feeds,
+if needed) or correcting the value. If the truncation is intentional,
+write the already-truncated value so the source says what the hardware
+does.";
 
     fn check(&self, ctx: &Context, _cache: &mut AnalysisCache, sink: &mut DiagnosticSink) {
         for t in ctx.sources.truncations() {

@@ -18,6 +18,9 @@ impl Lint for MainOnly {
     const CODE: &'static str = "C9001";
     const DESCRIPTION: &'static str = "components must be named `main` (house style)";
     const SEVERITY: Severity = Severity::Warning;
+    const EXPLANATION: &'static str =
+        "House style for this test suite: every component is named `main`. \
+         Rename the component; there is nothing deeper to it.";
 
     fn check(
         &self,
